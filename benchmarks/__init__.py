@@ -1,0 +1,6 @@
+"""Benchmark harness package.
+
+Being a package lets the per-figure benches import the shared
+constants from :mod:`benchmarks.conftest` regardless of how pytest was
+invoked (``pytest benchmarks/`` vs ``python -m pytest``).
+"""

@@ -1,0 +1,67 @@
+"""Shared state for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures.  They
+share a single synthetic ensemble trace and one run of the Figure-5
+policy suite (both session-scoped), because the suite is the expensive
+part and Figures 5-9 are different views of the same runs — exactly as
+in the paper.
+
+Scale: the benches run the ``small`` preset (~1/10,000 linear scale,
+a few million block accesses over 8 days).  Set the environment
+variable ``SIEVESTORE_BENCH_SCALE`` to override (e.g. 1e-5 for a quick
+smoke run, 1e-3 for a heavier one).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.sim import context_for_trace, run_policy_suite
+from repro.ssd.device import INTEL_X25E
+from repro.traces import EnsembleTraceGenerator, SyntheticTraceConfig
+
+DAYS = 8
+
+#: Occupancy aggregation window (minutes) for the scaled trace; see
+#: repro.ssd.occupancy.occupancy_from_stats.
+OCCUPANCY_WINDOW_MINUTES = 30
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("SIEVESTORE_BENCH_SCALE", "1e-4"))
+
+
+@pytest.fixture(scope="session")
+def bench_config():
+    return SyntheticTraceConfig(scale=bench_scale(), days=DAYS)
+
+
+@pytest.fixture(scope="session")
+def bench_generator(bench_config):
+    return EnsembleTraceGenerator(bench_config)
+
+
+@pytest.fixture(scope="session")
+def bench_trace(bench_generator):
+    return bench_generator.generate()
+
+
+@pytest.fixture(scope="session")
+def bench_context(bench_trace, bench_config):
+    return context_for_trace(
+        bench_trace, days=bench_config.days, scale=bench_config.scale
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_suite(bench_context):
+    """The Figure-5 policy suite, run once for the whole bench session."""
+    return run_policy_suite(bench_context)
+
+
+@pytest.fixture(scope="session")
+def bench_device(bench_config):
+    """The X25-E scaled to the workload's scale (see SSDModel.scaled)."""
+    return INTEL_X25E.scaled(bench_config.scale)

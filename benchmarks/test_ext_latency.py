@@ -1,0 +1,51 @@
+"""Extension bench — end-to-end latency, the cost-*performance* bottom line.
+
+Converts the Figure-5/6 hit and allocation-write counts into mean
+service latency per block access (X25-E-class SSD vs enterprise HDD
+array), showing the paper's performance argument in milliseconds:
+sieved caches turn their hits into real speedup, while unsieved caches
+burn the gains on allocation-writes.
+"""
+
+import pytest
+
+from repro.analysis.report import render_table
+from repro.ssd.latency import ERA_2010, latency_report
+
+CONFIGS = ("ideal", "sievestore-c", "sievestore-d", "randsieve-c",
+           "aod-32", "wmna-32")
+
+
+def test_ext_latency(benchmark, bench_suite):
+    reports = benchmark(
+        lambda: {name: latency_report(bench_suite[name].stats) for name in CONFIGS}
+    )
+    no_cache = reports["sievestore-c"].mean_no_cache_ms
+    print()
+    print(
+        render_table(
+            ["config", "mean access (ms)", "alloc overhead (ms)", "speedup"],
+            [
+                [
+                    name,
+                    round(r.mean_access_ms, 3),
+                    round(r.allocation_overhead_ms, 4),
+                    f"{r.speedup:.2f}x",
+                ]
+                for name, r in reports.items()
+            ],
+            title=f"Extension: end-to-end latency "
+            f"(no-cache baseline {no_cache:.2f} ms/access)",
+        )
+    )
+    # Every cache beats no-cache; the sieves beat the best unsieved.
+    for name in CONFIGS:
+        assert reports[name].speedup > 1.0, name
+    best_unsieved = max(reports["aod-32"].speedup, reports["wmna-32"].speedup)
+    assert reports["sievestore-c"].speedup > best_unsieved
+    assert reports["sievestore-d"].speedup > 0.85 * best_unsieved
+    # The allocation-write tax is visible for unsieved, invisible for
+    # sieved configurations.
+    assert reports["aod-32"].allocation_overhead_ms > 20 * reports[
+        "sievestore-c"
+    ].allocation_overhead_ms

@@ -1,0 +1,53 @@
+"""Figure 6 — allocation-writes per day, by allocation configuration.
+
+The paper's headline sieving result: SieveStore's allocation-writes are
+more than two orders of magnitude below AOD/WMNA's, and the random
+sieves sit in between (~8.5x worse than true sieving).
+"""
+
+import pytest
+
+from repro.analysis.report import render_series, render_table
+from repro.sim import allocation_write_series, total_allocation_writes
+from repro.sim.experiment import FIGURE5_POLICIES
+
+
+def test_fig6_allocation_writes(benchmark, bench_suite):
+    series = benchmark(lambda: allocation_write_series(bench_suite))
+    names = [n for n in FIGURE5_POLICIES if n != "ideal"]
+    print()
+    print(
+        render_series(
+            {name: [float(v) for v in series[name]] for name in names},
+            x_label="day",
+            title="Figure 6: allocation-writes per day (512-byte blocks)",
+            float_format="{:.0f}",
+        )
+    )
+    totals = {name: total_allocation_writes(bench_suite[name]) for name in names}
+    print(
+        render_table(
+            ["config", "total allocation-writes", "vs sievestore-c"],
+            [
+                [name, totals[name],
+                 f"{totals[name] / max(1, totals['sievestore-c']):.1f}x"]
+                for name in names
+            ],
+            title="\nWhole-trace totals",
+        )
+    )
+
+    # > 2 orders of magnitude between sieved and unsieved.
+    for sieve in ("sievestore-c", "sievestore-d"):
+        for unsieved in ("aod-16", "wmna-16", "aod-32", "wmna-32"):
+            assert totals[unsieved] > 100 * totals[sieve], (sieve, unsieved)
+    # Random sieves: far below unsieved, well above true sieving
+    # (paper: 8.5x on average).
+    assert totals["randsieve-c"] > 3 * totals["sievestore-c"]
+    assert totals["randsieve-c"] < 0.1 * totals["wmna-32"]
+    # WMNA allocates less than AOD (write misses bypass).
+    assert totals["wmna-32"] < totals["aod-32"]
+    # SieveStore's allocation volume is a tiny fraction of accesses
+    # (the ideal sieve's epsilon from Table 2).
+    accesses = bench_suite["sievestore-c"].stats.total.accesses
+    assert totals["sievestore-c"] < 0.02 * accesses

@@ -1,0 +1,89 @@
+"""Figure 7 — total SSD accesses split into read hits, write hits, and
+allocation-writes.
+
+Shape claims: for unsieved policies the allocation-writes bar dominates
+all SSD traffic (and those are the slow operations); for SieveStore the
+allocation-writes bar is nearly invisible.  Also reproduces the
+endurance argument of Section 5.1 (caching write-hot blocks does not
+wear the drive out).
+"""
+
+import pytest
+
+from repro.analysis.report import render_table
+from repro.sim import ssd_operation_series
+from repro.ssd.device import INTEL_X25E
+from repro.ssd.endurance import endurance_report, paper_endurance_example
+from benchmarks.conftest import DAYS
+
+
+def test_fig7_ssd_operations(benchmark, bench_suite):
+    series = benchmark(lambda: ssd_operation_series(bench_suite))
+    names = ("sievestore-d", "sievestore-c", "randsieve-c", "wmna-32", "aod-32")
+    rows = []
+    for name in names:
+        totals = {
+            "read_hits": sum(d["read_hits"] for d in series[name]),
+            "write_hits": sum(d["write_hits"] for d in series[name]),
+            "allocation_writes": sum(d["allocation_writes"] for d in series[name]),
+        }
+        total_ops = sum(totals.values())
+        rows.append(
+            [
+                name,
+                totals["read_hits"],
+                totals["write_hits"],
+                totals["allocation_writes"],
+                total_ops,
+                f"{totals['allocation_writes'] / max(1, total_ops) * 100:.1f}%",
+            ]
+        )
+    print()
+    print(
+        render_table(
+            ["config", "read hits", "write hits", "alloc-writes",
+             "total SSD ops", "alloc share"],
+            rows,
+            title="Figure 7: total SSD operations (512-byte blocks)",
+        )
+    )
+
+    for name in ("aod-32", "wmna-32", "aod-16", "wmna-16"):
+        total = bench_suite[name].stats.total
+        # Allocation-writes dominate unsieved SSD traffic.
+        assert total.allocation_writes > total.hits, name
+    for name in ("sievestore-c", "sievestore-d"):
+        total = bench_suite[name].stats.total
+        # The sieve's allocation bar is nearly invisible at scale.
+        assert total.allocation_writes < 0.05 * total.hits, name
+
+
+def test_endurance(benchmark, bench_suite, bench_config):
+    """Section 5.1: X25-E lifetime under SieveStore's write load."""
+    result = bench_suite["sievestore-c"]
+
+    def compute():
+        return endurance_report(INTEL_X25E.scaled(bench_config.scale), result.stats)
+
+    report = benchmark(compute)
+    paper_years = paper_endurance_example(INTEL_X25E)
+    print()
+    print(
+        render_table(
+            ["quantity", "value"],
+            [
+                ["peak daily SSD writes (blocks, scaled)", report.peak_daily_write_blocks],
+                ["peak daily writes at full scale (blocks)",
+                 int(report.peak_daily_write_blocks / bench_config.scale)],
+                ["lifetime at peak (years)", round(report.lifetime_years_at_peak, 1)],
+                ["lifetime at mean (years)", round(report.lifetime_years_at_mean, 1)],
+                ["paper's 500M-writes/day example (years)", round(paper_years, 1)],
+            ],
+            title="Section 5.1 endurance analysis",
+        )
+    )
+    # "the disk's endurance is over 10 years".
+    assert report.lifetime_years_at_peak > 10
+    assert paper_years > 10
+    # Full-scale daily write volume stays under the paper's 500M bound.
+    assert report.peak_daily_write_blocks / bench_config.scale < 5e8

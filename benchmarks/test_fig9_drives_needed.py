@@ -1,0 +1,82 @@
+"""Figure 9 — number of drives needed per window, sorted, with coverage.
+
+The paper's cost punchline: SieveStore-D satisfies the ensemble's IOPS
+with one drive 100% of the time; SieveStore-C with one drive >99.9% of
+the time (two drives cover the last few minutes); WMNA needs ~7 drives
+for 99.9% coverage and still ~4 after diluting coverage to 90%.
+"""
+
+import pytest
+
+from repro.analysis.report import render_table
+from repro.ssd.occupancy import (
+    coverage_table,
+    occupancy_from_stats,
+    sorted_drive_requirements,
+)
+from benchmarks.conftest import DAYS, OCCUPANCY_WINDOW_MINUTES
+
+CONFIGS = ("sievestore-d", "sievestore-c", "randsieve-c", "wmna-32", "aod-32")
+
+
+@pytest.fixture(scope="module")
+def occupancy(bench_suite, bench_device):
+    minutes = DAYS * 1440
+    return {
+        name: occupancy_from_stats(
+            bench_suite[name].stats,
+            bench_device,
+            minutes,
+            window_minutes=OCCUPANCY_WINDOW_MINUTES,
+        )
+        for name in CONFIGS
+    }
+
+
+def test_fig9_drives_needed(benchmark, occupancy):
+    sorted_needs = benchmark(
+        lambda: {name: sorted_drive_requirements(s) for name, s in occupancy.items()}
+    )
+    quantile_marks = (0.5, 0.9, 0.99, 0.999, 1.0)
+    rows = []
+    for name in CONFIGS:
+        needs = sorted_needs[name]
+        rows.append(
+            [name]
+            + [needs[min(len(needs) - 1, int(q * len(needs)) - (1 if q == 1.0 else 0))]
+               for q in quantile_marks]
+        )
+    print()
+    print(
+        render_table(
+            ["config"] + [f"q={q}" for q in quantile_marks],
+            rows,
+            title="Figure 9: drives needed (sorted windows, quantiles)",
+        )
+    )
+    coverage_rows = []
+    for name in CONFIGS:
+        table = coverage_table(occupancy[name], coverages=(1.0, 0.999, 0.9))
+        coverage_rows.append([name, table[1.0], table[0.999], table[0.9]])
+    print(
+        render_table(
+            ["config", "drives @100%", "drives @99.9%", "drives @90%"],
+            coverage_rows,
+            title="\nDrives for coverage levels",
+        )
+    )
+
+    by_name = {row[0]: row for row in coverage_rows}
+    # SieveStore-D: one drive always (batch moves staggered off-peak).
+    assert by_name["sievestore-d"][1] <= 1
+    # SieveStore-C: one drive at 99.9% coverage; never more than two.
+    assert by_name["sievestore-c"][2] <= 1
+    assert by_name["sievestore-c"][1] <= 2
+    # Unsieved policies need multiple drives even at diluted coverage.
+    # (Paper: WMNA ~7 drives at 99.9%, 4 at 90%; the synthetic trace
+    # reproduces the one-drive-vs-multi-drive contrast at a gentler
+    # factor — see EXPERIMENTS.md.)
+    assert by_name["wmna-32"][2] >= 2
+    assert by_name["wmna-32"][3] >= 2
+    assert by_name["aod-32"][2] >= 3
+    assert by_name["wmna-32"][2] >= 2 * by_name["sievestore-c"][2]

@@ -1,0 +1,104 @@
+"""Section 5.3 — ensemble-level vs ideal per-server caching.
+
+Two comparisons, both maximally generous to per-server caching:
+
+* iso-capacity (elastic SSD): each server holds the day-by-day top 1%
+  of its own blocks; the ensemble cache holds the global top 1%.  Same
+  total capacity — the ensemble captures more (O2's dynamic sharing).
+* whole-drive: per-server deployment needs >= 13 physical drives versus
+  the ensemble appliance's 1-2, for no more capture — strictly worse
+  cost-performance.
+"""
+
+import pytest
+
+from repro.analysis.report import render_series, render_table
+from repro.ensemble.per_server import (
+    compare_ensemble_vs_per_server,
+    per_server_capacity_blocks,
+    whole_drive_cost_comparison,
+)
+from repro.sim import mean_capture
+from benchmarks.conftest import DAYS
+
+
+def test_sec53_iso_capacity(benchmark, bench_context):
+    comparison = benchmark(
+        lambda: compare_ensemble_vs_per_server(bench_context.daily_counts)
+    )
+    print()
+    print(
+        render_series(
+            {
+                "ensemble top-1%": comparison.ensemble_shares,
+                "per-server top-1%": comparison.per_server_shares,
+            },
+            x_label="day",
+            title="Section 5.3: ideal capture, shared vs statically split capacity",
+        )
+    )
+    print(
+        f"mean: ensemble={comparison.mean_ensemble:.3f} "
+        f"per-server={comparison.mean_per_server:.3f} "
+        f"advantage={comparison.ensemble_advantage * 100:+.1f}%"
+    )
+    # Ensemble-level caching captures at least as much every day, and
+    # strictly more on average.
+    for day, (ens, per) in enumerate(
+        zip(comparison.ensemble_shares, comparison.per_server_shares)
+    ):
+        assert ens >= per - 0.02, f"day {day}"
+    assert comparison.ensemble_advantage > 0
+
+
+def test_sec53_whole_drive_cost(benchmark, bench_context, bench_suite):
+    rows = benchmark(
+        lambda: whole_drive_cost_comparison(
+            bench_context.daily_counts, server_count=13, ensemble_drives=2
+        )
+    )
+    print()
+    print(
+        render_table(
+            ["configuration", "drives", "mean capture", "capture per drive"],
+            [
+                [r.configuration, r.drives, round(r.mean_capture, 3),
+                 round(r.capture_per_drive, 4)]
+                for r in rows
+            ],
+            title="Section 5.3: whole-drive cost comparison",
+        )
+    )
+    ensemble, per_server = rows
+    # Same-or-better performance at 1/6th the drives or less.
+    assert ensemble.drives * 6 <= per_server.drives + 1
+    assert ensemble.mean_capture >= per_server.mean_capture
+    assert ensemble.capture_per_drive > 3 * per_server.capture_per_drive
+
+    # SieveStore-C (a practical, not ideal, ensemble cache) still beats
+    # the *ideal* per-server configuration's capture.
+    practical = mean_capture(bench_suite["sievestore-c"])
+    assert practical > 0.9 * per_server.mean_capture
+
+
+def test_sec53_per_server_capacity_waste(benchmark, bench_context):
+    """Static partitioning must provision every server for its own peak."""
+    capacities = benchmark(
+        lambda: per_server_capacity_blocks(bench_context.daily_counts)
+    )
+    total = sum(capacities.values())
+    print()
+    print(
+        render_table(
+            ["server", "peak daily top-1% blocks"],
+            sorted(capacities.items()),
+            title="Per-server peak capacity needs (elastic assumption)",
+        )
+    )
+    peak_ensemble = max(
+        max(1, len(c) // 100) for c in bench_context.daily_counts
+    )
+    print(f"sum of per-server peaks: {total}; ensemble peak: {peak_ensemble}")
+    # Provisioning per-server peaks costs more capacity than the shared
+    # ensemble peak (peaks do not align across servers).
+    assert total >= peak_ensemble

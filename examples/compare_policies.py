@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Policy shoot-out: sieved vs unsieved vs random vs ideal.
+
+Reruns the paper's Figure-5 comparison on a freshly generated ensemble
+trace and prints per-day capture, allocation-writes, and the headline
+comparisons ("how much more does SieveStore capture than the best
+unsieved cache, at what allocation-write cost?").
+
+Run:
+    python examples/compare_policies.py [scale]
+
+``scale`` defaults to 2e-5 (seconds of runtime); the benchmarks use
+1e-4 (minutes).
+"""
+
+import sys
+
+from repro.analysis.report import render_series, render_table
+from repro.sim import (
+    capture_series,
+    context_for_trace,
+    mean_capture,
+    run_policy_suite,
+    total_allocation_writes,
+)
+from repro.sim.experiment import FIGURE5_POLICIES
+from repro.traces import EnsembleTraceGenerator, SyntheticTraceConfig
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 2e-5
+    config = SyntheticTraceConfig(scale=scale, days=8)
+    print(f"generating trace at scale {scale:g} ...")
+    trace = EnsembleTraceGenerator(config).generate()
+    ctx = context_for_trace(trace, days=config.days, scale=scale)
+
+    print(f"simulating {len(FIGURE5_POLICIES)} configurations over "
+          f"{trace.total_blocks():,} block accesses ...")
+    suite = run_policy_suite(ctx, track_minutes=False)
+
+    print()
+    print(render_series(capture_series(suite), x_label="day",
+                        title="Accesses captured per day (Figure 5)"))
+
+    def capture(name):
+        skip = (0,) if name in ("sievestore-d", "randsieve-blkd") else ()
+        return mean_capture(suite[name], skip_days=skip)
+
+    best_unsieved = max(
+        capture(n) for n in ("aod-16", "wmna-16", "aod-32", "wmna-32")
+    )
+    rows = []
+    for name in FIGURE5_POLICIES:
+        rows.append([
+            name,
+            round(capture(name), 3),
+            f"{(capture(name) / best_unsieved - 1) * 100:+.0f}%",
+            total_allocation_writes(suite[name]),
+        ])
+    print()
+    print(render_table(
+        ["config", "mean capture", "vs best unsieved", "allocation-writes"],
+        rows,
+        title="Summary (D and RandSieve-BlkD averages exclude day 1)",
+    ))
+
+    c_alloc = total_allocation_writes(suite["sievestore-c"])
+    u_alloc = total_allocation_writes(suite["wmna-32"])
+    print(f"\nSieveStore-C allocation-writes vs WMNA: "
+          f"{u_alloc / max(1, c_alloc):,.0f}x fewer with sieving")
+
+
+if __name__ == "__main__":
+    main()

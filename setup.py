@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The evaluation environment has no network access and no ``wheel``
+package, so PEP-660 editable installs (which need ``bdist_wheel``)
+fail.  ``python setup.py develop`` (or ``pip install -e .`` on
+toolchains with wheel available) installs the package from src/.
+"""
+from setuptools import setup
+
+setup()

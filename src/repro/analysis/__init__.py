@@ -1,0 +1,65 @@
+"""Trace analyses behind the paper's tables and figures.
+
+* :mod:`~repro.analysis.skew` — Figure 2 (popularity skew, O1).
+* :mod:`~repro.analysis.variation` — Figure 3 (skew variation, O2).
+* :mod:`~repro.analysis.tables` — Table 2 (allocation-policy impact).
+* :mod:`~repro.analysis.report` — plain-text table/series renderers.
+"""
+
+from repro.analysis.skew import (
+    PAPER_BINS,
+    SkewProfile,
+    access_count_quantiles,
+    daily_skew_profiles,
+    skew_profile,
+)
+from repro.analysis.variation import (
+    composition_variation,
+    cumulative_access_curve,
+    gini_coefficient,
+    server_day_gini,
+    top_set_server_composition,
+    volume_gini,
+)
+from repro.analysis.tables import (
+    AllocationPolicyRow,
+    ssd_write_amplification,
+    table2_rows,
+)
+from repro.analysis.summary import (
+    ServerTraffic,
+    TraceSummary,
+    summarize_trace,
+    summary_rows,
+)
+from repro.analysis.report import (
+    format_ratio,
+    render_histogram_line,
+    render_series,
+    render_table,
+)
+
+__all__ = [
+    "PAPER_BINS",
+    "SkewProfile",
+    "access_count_quantiles",
+    "daily_skew_profiles",
+    "skew_profile",
+    "composition_variation",
+    "cumulative_access_curve",
+    "gini_coefficient",
+    "server_day_gini",
+    "top_set_server_composition",
+    "volume_gini",
+    "AllocationPolicyRow",
+    "ssd_write_amplification",
+    "table2_rows",
+    "ServerTraffic",
+    "TraceSummary",
+    "summarize_trace",
+    "summary_rows",
+    "format_ratio",
+    "render_histogram_line",
+    "render_series",
+    "render_table",
+]

@@ -1,0 +1,83 @@
+"""Plain-text renderers for the reproduced tables and figure series.
+
+Every benchmark prints through these helpers so the reproduction's
+output is greppable and diffable (no plotting dependencies).  Numbers
+are the data behind the paper's figures; the renderers label them with
+the corresponding table/figure ids.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: str = "",
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render rows as a fixed-width ASCII table."""
+    formatted: List[List[str]] = []
+    for row in rows:
+        formatted.append(
+            [
+                float_format.format(cell) if isinstance(cell, float) else str(cell)
+                for cell in row
+            ]
+        )
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in formatted)) if formatted else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in formatted:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)
+
+
+def render_series(
+    series: Mapping[str, Sequence[float]],
+    x_label: str = "day",
+    title: str = "",
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render named per-day series as rows of a table (figure data)."""
+    names = list(series)
+    length = max((len(v) for v in series.values()), default=0)
+    headers = [x_label] + names
+    rows = []
+    for x in range(length):
+        row: List = [x]
+        for name in names:
+            values = series[name]
+            row.append(float(values[x]) if x < len(values) else float("nan"))
+        rows.append(row)
+    return render_table(headers, rows, title=title, float_format=float_format)
+
+
+def render_histogram_line(
+    values: Sequence[float],
+    width: int = 60,
+    label_format: str = "{:.2f}",
+) -> str:
+    """A one-line unicode sparkline for quick visual shape checks."""
+    if not values:
+        return "(empty)"
+    blocks = " ▁▂▃▄▅▆▇█"
+    peak = max(values) or 1.0
+    step = max(1, len(values) // width)
+    sampled = [max(values[i : i + step]) for i in range(0, len(values), step)]
+    chars = "".join(blocks[min(8, int(v / peak * 8))] for v in sampled)
+    return f"{chars}  (max={label_format.format(peak)})"
+
+
+def format_ratio(value: float, reference: float) -> str:
+    """'x / y (z%)' comparison string used in bench output."""
+    if reference == 0:
+        return f"{value:.3f} / 0 (n/a)"
+    return f"{value:.3f} / {reference:.3f} ({value / reference * 100:.0f}%)"

@@ -1,0 +1,48 @@
+"""Cache substrate: fully-associative block cache, replacement, allocation.
+
+The split between :mod:`~repro.cache.allocation` (who gets in) and
+:mod:`~repro.cache.replacement` (who gets evicted) mirrors the paper's
+Section 3: sieving is an *allocation* mechanism, and no replacement
+policy can substitute for it.
+"""
+
+from repro.cache.block_cache import BlockCache
+from repro.cache.replacement import (
+    ClockReplacement,
+    FIFOReplacement,
+    LFUReplacement,
+    LRUReplacement,
+    RandomReplacement,
+    ReplacementPolicy,
+    make_replacement,
+)
+from repro.cache.allocation import (
+    AllocateOnDemand,
+    AllocationPolicy,
+    NeverAllocate,
+    StaticSet,
+    WriteMissNoAllocate,
+)
+from repro.cache.stats import CacheStats, DayStats, MinuteIO
+from repro.cache.write_policy import DirtyTracker, WriteMode
+
+__all__ = [
+    "BlockCache",
+    "ClockReplacement",
+    "FIFOReplacement",
+    "LFUReplacement",
+    "LRUReplacement",
+    "RandomReplacement",
+    "ReplacementPolicy",
+    "make_replacement",
+    "AllocateOnDemand",
+    "AllocationPolicy",
+    "NeverAllocate",
+    "StaticSet",
+    "WriteMissNoAllocate",
+    "CacheStats",
+    "DayStats",
+    "MinuteIO",
+    "DirtyTracker",
+    "WriteMode",
+]

@@ -1,0 +1,139 @@
+"""Fully-associative 512-byte block cache with pluggable replacement.
+
+This models the disk-cache metastate the paper simulates: "the
+data-structures ... for the metastate of a fully-associative, 16GB
+cache with LRU replacement (tags, LRU stack information)" (Section 4).
+Only metastate is modeled — there is no data payload — which is exactly
+what a trace-driven cache simulation needs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Set
+
+from repro.cache.replacement import LRUReplacement, ReplacementPolicy
+
+
+class BlockCache:
+    """A set of resident block addresses bounded by a frame capacity.
+
+    The cache never allocates on its own: callers decide *whether* to
+    insert (the allocation policy / sieve) and the cache decides *whom*
+    to evict (the replacement policy).  This separation mirrors the
+    paper's central distinction between allocation and replacement
+    (Section 3).
+    """
+
+    def __init__(
+        self,
+        capacity_blocks: int,
+        replacement: Optional[ReplacementPolicy] = None,
+    ):
+        if capacity_blocks <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity_blocks}")
+        self.capacity_blocks = capacity_blocks
+        self.replacement = replacement if replacement is not None else LRUReplacement()
+        self._resident: Set[int] = set()
+
+    def __len__(self) -> int:
+        return len(self._resident)
+
+    def __contains__(self, address: int) -> bool:
+        return address in self._resident
+
+    @property
+    def is_full(self) -> bool:
+        """Whether every frame is occupied."""
+        return len(self._resident) >= self.capacity_blocks
+
+    def access(self, address: int) -> bool:
+        """Look up a block; returns True on hit and updates recency."""
+        if address in self._resident:
+            self.replacement.on_access(address)
+            return True
+        return False
+
+    def peek(self, address: int) -> bool:
+        """Look up a block without updating replacement state."""
+        return address in self._resident
+
+    def insert(self, address: int) -> Optional[int]:
+        """Insert a block, evicting if needed; returns the victim or None.
+
+        Inserting a resident block is an error — callers must check with
+        :meth:`access`/:meth:`peek` first, because a real cache would
+        have served that access as a hit.
+        """
+        if address in self._resident:
+            raise ValueError(f"block {address} is already resident")
+        victim = None
+        if len(self._resident) >= self.capacity_blocks:
+            victim = self.replacement.choose_victim()
+            self._evict(victim)
+        self._resident.add(address)
+        self.replacement.on_insert(address)
+        return victim
+
+    def _evict(self, address: int) -> None:
+        self._resident.remove(address)
+        self.replacement.on_remove(address)
+
+    def remove(self, address: int) -> None:
+        """Remove a resident block (used by batch replacement)."""
+        if address not in self._resident:
+            raise KeyError(f"block {address} is not resident")
+        self._evict(address)
+
+    def discard(self, address: int) -> bool:
+        """Remove a block if resident; returns whether it was."""
+        if address in self._resident:
+            self._evict(address)
+            return True
+        return False
+
+    def residents(self) -> Iterator[int]:
+        """Iterate over resident addresses (unspecified order)."""
+        return iter(self._resident)
+
+    def resident_set(self) -> Set[int]:
+        """A copy of the resident address set."""
+        return set(self._resident)
+
+    def replace_contents(self, addresses: Iterable[int]) -> tuple:
+        """Batch-replace the cache contents (SieveStore-D epochs).
+
+        Blocks present in both the old and the new set stay resident
+        without being counted as moved — the paper's optimization that
+        "the replacement and allocation cancel each other to eliminate
+        unnecessary block moves" (Section 3.2).
+
+        Returns ``(inserted, removed)`` counts; ``inserted`` is the
+        number of allocation-writes the batch implies.
+        """
+        new_set = set(addresses)
+        if len(new_set) > self.capacity_blocks:
+            raise ValueError(
+                f"batch of {len(new_set)} blocks exceeds capacity "
+                f"{self.capacity_blocks}"
+            )
+        to_remove = self._resident - new_set
+        to_insert = new_set - self._resident
+        for address in to_remove:
+            self._evict(address)
+        for address in to_insert:
+            self._resident.add(address)
+            self.replacement.on_insert(address)
+        return len(to_insert), len(to_remove)
+
+    def check_invariants(self) -> None:
+        """Verify the cache's internal consistency (used by tests)."""
+        if len(self._resident) > self.capacity_blocks:
+            raise AssertionError(
+                f"resident {len(self._resident)} exceeds capacity "
+                f"{self.capacity_blocks}"
+            )
+        if len(self.replacement) != len(self._resident):
+            raise AssertionError(
+                f"replacement tracks {len(self.replacement)} blocks but "
+                f"{len(self._resident)} are resident"
+            )

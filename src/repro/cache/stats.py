@@ -1,0 +1,168 @@
+"""Cache statistics: hits, misses, allocation-writes, per-day/per-minute.
+
+The paper's figures aggregate three disjoint classes of SSD operations
+(Figure 7): **read hits**, **write hits**, and **allocation-writes**
+(the insertion write performed when a missed block is allocated a cache
+frame).  Misses that are not allocated bypass the SSD entirely.  All
+counts here are in 512-byte block units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.util.intervals import day_of, minute_of
+
+
+@dataclass
+class DayStats:
+    """Per-day block-level counters.
+
+    ``backing_writes`` counts blocks written to the underlying ensemble
+    (write-through forwards, write-back evict-time flushes, and all
+    write misses); ``writebacks`` is the evict-time subset.  Both are
+    zero-cost extensions to the paper's accounting — they never affect
+    the SSD-side numbers the figures report.
+    """
+
+    accesses: int = 0
+    read_hits: int = 0
+    write_hits: int = 0
+    read_misses: int = 0
+    write_misses: int = 0
+    allocation_writes: int = 0
+    backing_writes: int = 0
+    writebacks: int = 0
+
+    @property
+    def hits(self) -> int:
+        """All hits (reads + writes)."""
+        return self.read_hits + self.write_hits
+
+    @property
+    def misses(self) -> int:
+        """All misses (reads + writes)."""
+        return self.read_misses + self.write_misses
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of block accesses served by the cache (0 if idle)."""
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def ssd_operations(self) -> int:
+        """All SSD ops: hits plus allocation-writes (Figure 7's bars)."""
+        return self.hits + self.allocation_writes
+
+    @property
+    def ssd_writes(self) -> int:
+        """Slow SSD write ops: write hits plus allocation-writes."""
+        return self.write_hits + self.allocation_writes
+
+
+@dataclass
+class MinuteIO:
+    """Per-minute SSD read/write op counts, in 4-KB I/O units.
+
+    These drive the drive-occupancy costing of Section 4: each 4-KB read
+    occupies the drive for 1/35000 s and each 4-KB write for 1/3300 s.
+    """
+
+    reads: int = 0
+    writes: int = 0
+
+
+class CacheStats:
+    """Accumulates block-level cache statistics for a simulation run.
+
+    Per-day counters feed Figures 5-7; per-minute 4-KB I/O-unit counters
+    feed the drive-occupancy analysis of Figures 8-9.  Minute-level
+    accounting can be disabled for analyses that do not need it.
+    """
+
+    def __init__(self, days: int, track_minutes: bool = True):
+        if days <= 0:
+            raise ValueError(f"days must be positive, got {days}")
+        self.days = days
+        self.track_minutes = track_minutes
+        self.per_day: List[DayStats] = [DayStats() for _ in range(days)]
+        self.per_minute: Dict[int, MinuteIO] = {}
+
+    # -- block-level recording -------------------------------------------
+    def _day(self, time: float) -> DayStats:
+        day = day_of(time)
+        if day >= self.days:
+            day = self.days - 1
+        return self.per_day[day]
+
+    def record_hit(self, time: float, is_write: bool, blocks: int = 1) -> None:
+        """Count cache hits for ``blocks`` 512-byte blocks."""
+        stats = self._day(time)
+        stats.accesses += blocks
+        if is_write:
+            stats.write_hits += blocks
+        else:
+            stats.read_hits += blocks
+
+    def record_miss(self, time: float, is_write: bool, blocks: int = 1) -> None:
+        """Count cache misses for ``blocks`` 512-byte blocks."""
+        stats = self._day(time)
+        stats.accesses += blocks
+        if is_write:
+            stats.write_misses += blocks
+        else:
+            stats.read_misses += blocks
+
+    def record_allocation_write(self, time: float, blocks: int = 1) -> None:
+        """Record insertion writes; does not count as an access."""
+        self._day(time).allocation_writes += blocks
+
+    def record_backing_write(
+        self, time: float, blocks: int = 1, is_writeback: bool = False
+    ) -> None:
+        """Record writes reaching the backing ensemble (extension)."""
+        day = self._day(time)
+        day.backing_writes += blocks
+        if is_writeback:
+            day.writebacks += blocks
+
+    # -- minute-level 4-KB unit recording ----------------------------------
+    def record_ssd_io(self, time: float, io_units: int, is_write: bool) -> None:
+        """Record SSD traffic in 4-KB units for occupancy costing."""
+        if not self.track_minutes or io_units <= 0:
+            return
+        entry = self.per_minute.setdefault(minute_of(time), MinuteIO())
+        if is_write:
+            entry.writes += io_units
+        else:
+            entry.reads += io_units
+
+    # -- aggregation --------------------------------------------------------
+    @property
+    def total(self) -> DayStats:
+        """Whole-run totals as a single DayStats."""
+        total = DayStats()
+        for day in self.per_day:
+            total.accesses += day.accesses
+            total.read_hits += day.read_hits
+            total.write_hits += day.write_hits
+            total.read_misses += day.read_misses
+            total.write_misses += day.write_misses
+            total.allocation_writes += day.allocation_writes
+            total.backing_writes += day.backing_writes
+            total.writebacks += day.writebacks
+        return total
+
+    def minute_series(self) -> List[Tuple[int, MinuteIO]]:
+        """(minute, MinuteIO) pairs in chronological order."""
+        return sorted(self.per_minute.items())
+
+    def check_consistency(self) -> None:
+        """Internal invariant: hits + misses == accesses, every day."""
+        for index, day in enumerate(self.per_day):
+            if day.hits + day.misses != day.accesses:
+                raise AssertionError(
+                    f"day {index}: hits({day.hits}) + misses({day.misses}) "
+                    f"!= accesses({day.accesses})"
+                )

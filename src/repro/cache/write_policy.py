@@ -1,0 +1,72 @@
+"""Write handling for the cached blocks: write-through vs write-back.
+
+The paper's evaluation counts SSD operations and is agnostic about when
+dirty data reaches the backing ensemble.  Because the SieveStore
+appliance's medium is *non-volatile* (flash), it can safely absorb
+writes and flush them lazily — an extension the paper's deployment
+model invites:
+
+* **WRITE_THROUGH** — every write hit is also forwarded to the backing
+  ensemble immediately.  The ensemble sees all write traffic; the cache
+  only saves it read traffic.
+* **WRITE_BACK** — write hits only dirty the cached block; the ensemble
+  sees a write only when a dirty block is evicted (or on an explicit
+  flush).  Repeated writes to a hot block coalesce into one backing
+  write, multiplying the ensemble's write-traffic savings.
+
+:class:`DirtyTracker` maintains the dirty-block set; the appliance
+consults it on evictions and batch replacements.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Set
+
+
+class WriteMode(enum.Enum):
+    """When dirty data is propagated to the backing ensemble."""
+
+    WRITE_THROUGH = "write-through"
+    WRITE_BACK = "write-back"
+
+
+class DirtyTracker:
+    """The set of cached blocks holding data newer than the ensemble's."""
+
+    def __init__(self) -> None:
+        self._dirty: Set[int] = set()
+        #: total blocks ever marked dirty (for write-coalescing stats)
+        self.marks = 0
+
+    def __len__(self) -> int:
+        return len(self._dirty)
+
+    def __contains__(self, address: int) -> bool:
+        return address in self._dirty
+
+    def mark(self, address: int) -> None:
+        """A cached block was written."""
+        self.marks += 1
+        self._dirty.add(address)
+
+    def clean(self, address: int) -> bool:
+        """A block was written back (or evicted); returns whether it was
+        dirty."""
+        if address in self._dirty:
+            self._dirty.remove(address)
+            return True
+        return False
+
+    def drain(self) -> Set[int]:
+        """Flush everything (shutdown / end-of-trace); returns the set."""
+        drained, self._dirty = self._dirty, set()
+        return drained
+
+    def clean_many(self, addresses: Iterable[int]) -> int:
+        """Clean a batch (epoch replacement); returns how many were dirty."""
+        cleaned = 0
+        for address in addresses:
+            if self.clean(address):
+                cleaned += 1
+        return cleaned

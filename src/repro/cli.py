@@ -1,0 +1,247 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives downstream users the library's main workflows without writing
+Python:
+
+* ``simulate``  — run one allocation configuration over a synthetic
+  ensemble trace (or an MSR-Cambridge CSV) and print the per-day
+  capture/allocation-write report;
+* ``skew``      — the Figure-2 popularity analysis of a trace;
+* ``drives``    — the Figures-8/9 drive-occupancy and coverage analysis
+  for one configuration;
+* ``table2``    — print the paper's Table 2 for a given hit rate and
+  read fraction.
+
+All commands are deterministic for a given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.report import render_table
+from repro.analysis.skew import access_count_quantiles
+from repro.analysis.tables import table2_rows
+from repro.sim import context_for_trace, run_policy
+from repro.sim.experiment import FIGURE5_POLICIES
+from repro.ssd.device import INTEL_X25E
+from repro.ssd.occupancy import coverage_table, occupancy_from_stats
+from repro.traces import (
+    EnsembleTraceGenerator,
+    SyntheticTraceConfig,
+    read_msr_csv,
+)
+from repro.traces.streams import daily_block_counts
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SieveStore (ISCA 2010) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_trace_options(p):
+        p.add_argument(
+            "--scale", type=float, default=2e-5,
+            help="linear workload scale for the synthetic trace",
+        )
+        p.add_argument("--days", type=int, default=8)
+        p.add_argument("--seed", type=int, default=20100619)
+        p.add_argument(
+            "--msr-csv", metavar="FILE", default=None,
+            help="replay an MSR-Cambridge CSV instead of synthesizing",
+        )
+
+    sim = sub.add_parser("simulate", help="run one cache configuration")
+    add_trace_options(sim)
+    sim.add_argument(
+        "--policy", choices=sorted(FIGURE5_POLICIES), default="sievestore-c"
+    )
+    sim.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="also write the result (stats + policy name) as JSON",
+    )
+
+    skew = sub.add_parser("skew", help="Figure-2 popularity analysis")
+    add_trace_options(skew)
+
+    summarize = sub.add_parser(
+        "summarize", help="traffic inventory of a trace (Table-1 style)"
+    )
+    add_trace_options(summarize)
+
+    validate = sub.add_parser(
+        "validate",
+        help="check a trace against the paper's O1/O2 statistics",
+    )
+    add_trace_options(validate)
+
+    drives = sub.add_parser("drives", help="drive occupancy / coverage")
+    add_trace_options(drives)
+    drives.add_argument(
+        "--policy", choices=sorted(FIGURE5_POLICIES), default="sievestore-c"
+    )
+    drives.add_argument(
+        "--window-minutes", type=int, default=30,
+        help="occupancy aggregation window (widen for small scales)",
+    )
+
+    table2 = sub.add_parser("table2", help="print the paper's Table 2")
+    table2.add_argument("--hit-rate", type=float, default=0.35)
+    table2.add_argument("--read-fraction", type=float, default=0.75)
+    return parser
+
+
+def _load_trace(args):
+    if args.msr_csv:
+        trace = read_msr_csv(args.msr_csv)
+        return trace, args.days
+    config = SyntheticTraceConfig(
+        scale=args.scale, days=args.days, seed=args.seed
+    )
+    return EnsembleTraceGenerator(config).generate(), config.days
+
+
+def _cmd_simulate(args) -> int:
+    trace, days = _load_trace(args)
+    ctx = context_for_trace(trace, days=days, scale=args.scale)
+    result = run_policy(args.policy, ctx, track_minutes=False)
+    rows = [
+        [day, d.accesses, round(d.hit_ratio, 3), d.allocation_writes]
+        for day, d in enumerate(result.stats.per_day)
+    ]
+    total = result.stats.total
+    rows.append(
+        ["all", total.accesses, round(total.hit_ratio, 3),
+         total.allocation_writes]
+    )
+    print(render_table(
+        ["day", "block accesses", "capture", "allocation-writes"],
+        rows,
+        title=f"{args.policy} over {len(trace):,} requests",
+    ))
+    if args.json:
+        from repro.sim.serialize import save_result
+
+        save_result(result, args.json)
+        print(f"result written to {args.json}")
+    return 0
+
+
+def _cmd_summarize(args) -> int:
+    from repro.analysis.summary import summarize_trace, summary_rows
+
+    trace, _days = _load_trace(args)
+    summary = summarize_trace(trace)
+    print(render_table(
+        ["server", "requests", "blocks", "traffic share", "read fraction"],
+        summary_rows(summary),
+        title=f"{summary.requests:,} requests / "
+        f"{summary.block_accesses:,} block accesses over "
+        f"{summary.days} days",
+    ))
+    print(
+        f"\nread fraction: {summary.read_fraction:.2f}   "
+        f"4K-aligned: {summary.aligned_fraction:.2%}   "
+        f"mean request: {summary.request_size_blocks_mean:.1f} blocks"
+    )
+    print("request sizes:", summary.request_size_histogram)
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    from repro.traces.validation import validate_trace
+
+    trace, days = _load_trace(args)
+    report = validate_trace(trace, days=days)
+    print(render_table(
+        ["check", "measured", "accepted band", "status"],
+        report.rows(),
+        title="Fidelity against the paper's published trace statistics",
+    ))
+    if report.passed:
+        print("\nall checks passed — the paper's conclusions should transfer")
+        return 0
+    print(f"\n{len(report.failures())} check(s) outside the published bands")
+    return 1
+
+
+def _cmd_skew(args) -> int:
+    trace, days = _load_trace(args)
+    counts = daily_block_counts(trace, days)
+    rows = []
+    for day, table in enumerate(counts):
+        q = access_count_quantiles(table)
+        rows.append([
+            day, q["blocks"], q["accesses"], round(q["top1_share"], 3),
+            round(q["fraction_le_10"], 3), round(q["fraction_single"], 3),
+        ])
+    print(render_table(
+        ["day", "unique blocks", "accesses", "top-1% share",
+         "<=10 accesses", "single-access"],
+        rows,
+        title="Popularity skew (Figure 2 statistics)",
+    ))
+    return 0
+
+
+def _cmd_drives(args) -> int:
+    trace, days = _load_trace(args)
+    ctx = context_for_trace(trace, days=days, scale=args.scale)
+    result = run_policy(args.policy, ctx, track_minutes=True)
+    device = INTEL_X25E.scaled(args.scale)
+    series = occupancy_from_stats(
+        result.stats, device, days * 1440, window_minutes=args.window_minutes
+    )
+    coverage = coverage_table(series, coverages=(1.0, 0.999, 0.9))
+    print(render_table(
+        ["metric", "value"],
+        [
+            ["peak drive occupancy", round(series.max_occupancy(), 3)],
+            ["windows within 1 drive", f"{series.fraction_within(1):.2%}"],
+            ["drives @100% coverage", coverage[1.0]],
+            ["drives @99.9% coverage", coverage[0.999]],
+            ["drives @90% coverage", coverage[0.9]],
+        ],
+        title=f"Drive needs for {args.policy} "
+        f"({device.name}, {args.window_minutes}-min windows)",
+    ))
+    return 0
+
+
+def _cmd_table2(args) -> int:
+    rows = table2_rows(hit_rate=args.hit_rate, read_fraction=args.read_fraction)
+    print(render_table(
+        ["policy", "hits", "misses", "alloc-writes", "SSD writes", "SSD ops"],
+        [
+            [r.policy, r.hits, r.misses, r.allocation_writes,
+             r.ssd_writes, r.ssd_operations]
+            for r in rows
+        ],
+        title=f"Table 2 (hit rate {args.hit_rate:.0%}, "
+        f"{args.read_fraction:.0%} reads)",
+    ))
+    return 0
+
+
+_COMMANDS = {
+    "simulate": _cmd_simulate,
+    "skew": _cmd_skew,
+    "summarize": _cmd_summarize,
+    "validate": _cmd_validate,
+    "drives": _cmd_drives,
+    "table2": _cmd_table2,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,100 @@
+"""Ideal (oracle) sieves and the oracle-retention analysis of Section 3.1.
+
+Two oracles from the paper:
+
+* **Ideal day-by-day sieve** ("the ideal SieveStore that captures the
+  top 1% of blocks each day", Figure 5's left-most bar): at the start of
+  each day, the cache magically holds exactly the day's top-1% most
+  accessed blocks.  It needs the day's access counts in advance, which
+  is what makes it an oracle; it upper-bounds SieveStore-D (but not
+  SieveStore-C, which adapts continuously).
+
+* **Oracle retention** (the thought-experiment behind Table 2): assume
+  a replacement policy that keeps the top 1% resident at all times, and
+  compare allocation policies purely by the allocation-writes they then
+  incur.  That analysis is analytic, not simulated — see
+  :func:`repro.analysis.tables.table2_rows`.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Iterable, List, Optional, Sequence, Set
+
+from repro.cache.allocation import AllocationPolicy
+
+
+def top_fraction_blocks(counts: Counter, fraction: float = 0.01) -> Set[int]:
+    """The most-accessed ``fraction`` of blocks in ``counts``.
+
+    The set size is ``ceil(fraction * unique_blocks)`` (at least 1 for a
+    non-empty counter).  Ties at the boundary are broken by address for
+    determinism.
+    """
+    if not 0 < fraction <= 1:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    if not counts:
+        return set()
+    k = max(1, math.ceil(len(counts) * fraction))
+    ranked = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+    return {address for address, _ in ranked[:k]}
+
+
+class IdealDailySieve(AllocationPolicy):
+    """Oracle: installs each day's top-1% block set at the day's start.
+
+    Args:
+        daily_counts: per-day block access counters for the trace this
+            policy will be run against (the oracle's future knowledge).
+        fraction: popularity cut (the paper uses the top 1%).
+        capacity_blocks: cache capacity; the selection is truncated to
+            fit, most-accessed first.
+    """
+
+    name = "ideal"
+
+    def __init__(
+        self,
+        daily_counts: Sequence[Counter],
+        fraction: float = 0.01,
+        capacity_blocks: Optional[int] = None,
+    ):
+        self.daily_counts = list(daily_counts)
+        self.fraction = fraction
+        self.capacity_blocks = capacity_blocks
+        #: allocation-writes implied by each day's batch (set by engine
+        #: accounting; the ideal policy itself only selects sets)
+
+    def epoch_boundary(self, day: int) -> Optional[Iterable[int]]:
+        if day >= len(self.daily_counts):
+            return set()
+        selected = top_fraction_blocks(self.daily_counts[day], self.fraction)
+        if self.capacity_blocks is not None and len(selected) > self.capacity_blocks:
+            counts = self.daily_counts[day]
+            ranked = sorted(selected, key=lambda a: (-counts[a], a))
+            selected = set(ranked[: self.capacity_blocks])
+        return selected
+
+    def wants(self, address: int, is_write: bool, time: float) -> bool:
+        return False
+
+
+def ideal_capture_shares(
+    daily_counts: Sequence[Counter], fraction: float = 0.01
+) -> List[float]:
+    """Fraction of each day's accesses falling in that day's top set.
+
+    This is the closed-form version of running :class:`IdealDailySieve`
+    through the engine: because the top set is resident for the whole
+    day, every access to it hits.
+    """
+    shares = []
+    for counts in daily_counts:
+        total = sum(counts.values())
+        if total == 0:
+            shares.append(0.0)
+            continue
+        top = top_fraction_blocks(counts, fraction)
+        shares.append(sum(counts[a] for a in top) / total)
+    return shares

@@ -1,0 +1,76 @@
+"""IMCT — the Imprecise Miss Count Table (Section 3.3, first sieve tier).
+
+The block-address space is vastly larger than any affordable in-memory
+table, so SieveStore-C's first tier maps addresses onto a fixed number
+of slots with a many-to-one hash.  Slots accumulate (potentially
+aliased) windowed miss counts; only blocks whose *slot* count reaches
+the tier-1 threshold (t1, tuned to 9 in the paper) are promoted to the
+precise MCT.
+
+Aliasing is not just tolerated, it is the documented failure mode that
+motivates the second tier: low-reuse blocks can piggy-back on a popular
+block's slot count and would receive undeserved allocations if the IMCT
+alone decided admission (the paper found exactly this).  The
+``single_tier_admission`` flag in :class:`~repro.core.sievestore_c.SieveStoreC`
+exists to reproduce that pathology in the ablation bench.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.windows import SubwindowCounter, WindowSpec
+from repro.util.hashing import stable_bucket
+
+
+class ImpreciseMissCountTable:
+    """Fixed-size, hash-indexed table of windowed miss counters.
+
+    Args:
+        slots: number of table entries.  The paper sizes IMCT + MCT at
+            about 8 GB of memory for the full-scale trace; scaled
+            configurations shrink this proportionally.
+        window: the sliding-window shape (W, k).
+        salt: decorrelates this table's hash from other address hashes.
+    """
+
+    def __init__(self, slots: int, window: WindowSpec, salt: int = 0x13C7):
+        if slots <= 0:
+            raise ValueError(f"slots must be positive, got {slots}")
+        self.slots = slots
+        self.window = window
+        self.salt = salt
+        self._counters: List[SubwindowCounter] = [
+            SubwindowCounter(window.subwindows) for _ in range(slots)
+        ]
+        self.recorded_misses = 0
+
+    def slot_of(self, address: int) -> int:
+        """Table slot an address maps to (many-to-one)."""
+        return stable_bucket(address, self.slots, salt=self.salt)
+
+    def record_miss(self, address: int, time: float) -> int:
+        """Count a miss for the address's slot; returns the slot's
+        windowed total (including any aliased contributions)."""
+        self.recorded_misses += 1
+        subwindow = self.window.subwindow_index(time)
+        return self._counters[self.slot_of(address)].record(subwindow)
+
+    def count(self, address: int, time: float) -> int:
+        """Current windowed count of the address's slot (read-only)."""
+        subwindow = self.window.subwindow_index(time)
+        return self._counters[self.slot_of(address)].total(subwindow)
+
+    def reset_slot(self, address: int) -> None:
+        """Zero the slot an address maps to (after promotion/allocation)."""
+        self._counters[self.slot_of(address)].reset()
+
+    def memory_bytes_estimate(self) -> int:
+        """Rough size of a production-hardware realization of the table.
+
+        Assumes one byte per subwindow counter plus a 2-byte last-update
+        stamp per slot — the kind of arithmetic used to budget the
+        paper's ~8 GB sieve state.  (The Python object overhead is, of
+        course, much larger.)
+        """
+        return self.slots * (self.window.subwindows + 2)

@@ -1,0 +1,141 @@
+"""Discretized sliding-window miss counters (Section 3.3).
+
+SieveStore-C logically counts misses "over the past W time units", but
+keeping per-timestamp state is impractical, so the paper discretizes the
+window into ``k`` subwindows of ``W/k`` each: "The implementation uses k
+counters to track the misses in each subwindow and a counter to track
+the last time the counters were updated.  If during a miss, the current
+time window is larger than the last-updated counter by k or more, then
+all counters are inferred to be stale and zeroed out."
+
+:class:`SubwindowCounter` implements exactly that scheme for one block;
+it is the unit shared by the IMCT (one counter per table slot) and the
+MCT (one counter per tracked block).  The paper's tuned parameters are
+W = 8 hours with k = 4 subwindows of 2 hours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.util.intervals import SECONDS_PER_HOUR
+
+#: The paper's tuned window length (8 hours).
+DEFAULT_WINDOW_SECONDS = 8 * SECONDS_PER_HOUR
+#: The paper's tuned subwindow count (four 2-hour subwindows).
+DEFAULT_SUBWINDOWS = 4
+
+
+@dataclass
+class WindowSpec:
+    """Shape of the sliding window: total length W and subwindow count k."""
+
+    window_seconds: float = DEFAULT_WINDOW_SECONDS
+    subwindows: int = DEFAULT_SUBWINDOWS
+
+    def __post_init__(self) -> None:
+        if self.window_seconds <= 0:
+            raise ValueError(f"window must be positive, got {self.window_seconds}")
+        if self.subwindows <= 0:
+            raise ValueError(f"subwindows must be positive, got {self.subwindows}")
+
+    @property
+    def subwindow_seconds(self) -> float:
+        """Length of one subwindow (W / k)."""
+        return self.window_seconds / self.subwindows
+
+    def subwindow_index(self, time: float) -> int:
+        """Global index of the subwindow containing ``time``."""
+        if time < 0:
+            raise ValueError(f"time must be non-negative, got {time}")
+        return int(time // self.subwindow_seconds)
+
+
+class SubwindowCounter:
+    """Miss counts for one entity over the last k subwindows.
+
+    The counter is updated lazily: advancing time costs O(k) at worst
+    (and usually O(elapsed subwindows)), and no background sweeper is
+    needed — matching the paper's description.
+    """
+
+    __slots__ = ("_counts", "_last_subwindow")
+
+    def __init__(self, subwindows: int):
+        self._counts: List[int] = [0] * subwindows
+        self._last_subwindow = -1
+
+    def _advance(self, subwindow: int) -> None:
+        """Roll the window forward to ``subwindow``, expiring stale slots."""
+        k = len(self._counts)
+        if self._last_subwindow < 0 or subwindow - self._last_subwindow >= k:
+            # "If ... the current time window is larger than the
+            # last-updated counter by k or more, then all counters are
+            # inferred to be stale and zeroed out."
+            for i in range(k):
+                self._counts[i] = 0
+        else:
+            for stale in range(self._last_subwindow + 1, subwindow + 1):
+                self._counts[stale % k] = 0
+        self._last_subwindow = subwindow
+
+    def record(self, subwindow: int, amount: int = 1) -> int:
+        """Record ``amount`` misses in ``subwindow``; returns the new total.
+
+        ``subwindow`` must be monotonically non-decreasing across calls
+        (trace time moves forward); moving backwards raises.
+        """
+        if subwindow < self._last_subwindow:
+            raise ValueError(
+                f"time moved backwards: subwindow {subwindow} < "
+                f"{self._last_subwindow}"
+            )
+        if subwindow != self._last_subwindow:
+            self._advance(subwindow)
+        self._counts[subwindow % len(self._counts)] += amount
+        return self.total(subwindow)
+
+    def total(self, subwindow: int) -> int:
+        """Miss count over the window ending at ``subwindow``.
+
+        Read-only: counts that would expire by ``subwindow`` are ignored
+        without mutating state, so ``total`` can be called speculatively.
+        """
+        k = len(self._counts)
+        if self._last_subwindow < 0 or subwindow - self._last_subwindow >= k:
+            return 0
+        if subwindow < self._last_subwindow:
+            raise ValueError(
+                f"time moved backwards: subwindow {subwindow} < "
+                f"{self._last_subwindow}"
+            )
+        # Slots written in subwindows older than (subwindow - k, ...] are
+        # stale; with lazy advancement those are exactly the slots whose
+        # global index precedes subwindow - k + 1.
+        stale_before = subwindow - k + 1
+        total = 0
+        for age in range(k):
+            slot_global = self._last_subwindow - age
+            if slot_global < 0 or slot_global < stale_before:
+                break
+            total += self._counts[slot_global % k]
+        return total
+
+    def reset(self) -> None:
+        """Zero the counter (used when a block is allocated or pruned)."""
+        for i in range(len(self._counts)):
+            self._counts[i] = 0
+        self._last_subwindow = -1
+
+    @property
+    def last_subwindow(self) -> int:
+        """The most recent subwindow recorded (-1 if never used)."""
+        return self._last_subwindow
+
+    def is_stale(self, subwindow: int) -> bool:
+        """True if the whole window has expired by ``subwindow``."""
+        return (
+            self._last_subwindow < 0
+            or subwindow - self._last_subwindow >= len(self._counts)
+        )

@@ -1,0 +1,54 @@
+"""Ensemble topology, per-server caching baselines, network feasibility."""
+
+from repro.ensemble.topology import (
+    EnsembleTopology,
+    daily_unique_blocks_by_server,
+    per_server_daily_counts_from_ensemble,
+)
+from repro.ensemble.per_server import (
+    CaptureComparison,
+    DriveCostRow,
+    compare_ensemble_vs_per_server,
+    ensemble_ideal_shares,
+    per_server_capacity_blocks,
+    per_server_ideal_shares,
+    whole_drive_cost_comparison,
+)
+from repro.ensemble.cluster import ClusterResult, simulate_cluster
+from repro.ensemble.scaling import (
+    ScalingPoint,
+    partition_servers,
+    partitioned_ideal_shares,
+    scaling_profile,
+)
+from repro.ensemble.network import (
+    GBE_BYTES_PER_SECOND,
+    NetworkBudget,
+    NetworkReport,
+    network_report,
+    worst_case_ssd_utilization,
+)
+
+__all__ = [
+    "EnsembleTopology",
+    "daily_unique_blocks_by_server",
+    "per_server_daily_counts_from_ensemble",
+    "CaptureComparison",
+    "DriveCostRow",
+    "compare_ensemble_vs_per_server",
+    "ensemble_ideal_shares",
+    "per_server_capacity_blocks",
+    "per_server_ideal_shares",
+    "whole_drive_cost_comparison",
+    "ClusterResult",
+    "simulate_cluster",
+    "ScalingPoint",
+    "partition_servers",
+    "partitioned_ideal_shares",
+    "scaling_profile",
+    "GBE_BYTES_PER_SECOND",
+    "NetworkBudget",
+    "NetworkReport",
+    "network_report",
+    "worst_case_ssd_utilization",
+]

@@ -1,0 +1,91 @@
+"""Network feasibility arithmetic for the SieveStore node (Section 3.3).
+
+The paper's worst-case analysis: a reasonably configured appliance with
+four Gigabit Ethernet links offers ~500 MB/s; even the SSD's maximum
+access throughput (250 MB/s of 100%-sequential reads) is only ~50% of
+that, and real SSD load is far lower.  Allocation traffic (copies of
+newly-admitted blocks) is negligible because sieving admits so few
+blocks.  This module packages that arithmetic so the bench can evaluate
+it against measured simulation traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.cache.stats import CacheStats
+from repro.ssd.device import SSDModel
+from repro.util.units import IO_UNIT_BYTES
+
+#: Bytes per second of one Gigabit Ethernet link (decimal gigabit).
+GBE_BYTES_PER_SECOND = 125_000_000.0
+
+
+@dataclass(frozen=True)
+class NetworkBudget:
+    """Link budget of the appliance node."""
+
+    links: int = 4
+    link_bytes_per_second: float = GBE_BYTES_PER_SECOND
+
+    @property
+    def total_bytes_per_second(self) -> float:
+        """Aggregate bandwidth across the node's links."""
+        return self.links * self.link_bytes_per_second
+
+    def utilization(self, bytes_per_second: float) -> float:
+        """Fraction of the node's aggregate link bandwidth used."""
+        if bytes_per_second < 0:
+            raise ValueError("bytes_per_second must be non-negative")
+        return bytes_per_second / self.total_bytes_per_second
+
+
+@dataclass(frozen=True)
+class NetworkReport:
+    """Worst-case and measured network utilization of the appliance."""
+
+    ssd_peak_utilization: float
+    measured_peak_utilization: float
+    write_share_of_traffic: float
+
+
+def worst_case_ssd_utilization(
+    device: SSDModel, budget: NetworkBudget
+) -> float:
+    """The paper's worst case: SSD streaming sequential reads flat out."""
+    return budget.utilization(device.seq_read_mbps * 1e6)
+
+
+def network_report(
+    stats: CacheStats,
+    device: SSDModel,
+    budget: NetworkBudget = NetworkBudget(),
+    device_scale: float = 1.0,
+) -> NetworkReport:
+    """Evaluate the Section 3.3 argument against measured traffic.
+
+    Hit traffic serves blocks over the network; allocation traffic
+    copies admitted blocks in.  Per-minute 4-KB unit counts from the
+    simulation are converted to bytes/s; ``device_scale`` maps a scaled
+    workload back to full-scale bandwidth for comparison against the
+    (full-scale) link budget.
+    """
+    if device_scale <= 0:
+        raise ValueError("device_scale must be positive")
+    peak_units = 0
+    total_units = 0
+    total_write_units = 0
+    for io in stats.per_minute.values():
+        units = io.reads + io.writes
+        peak_units = max(peak_units, units)
+        total_units += units
+        total_write_units += io.writes
+    peak_bytes_per_second = peak_units * IO_UNIT_BYTES / 60.0 / device_scale
+    return NetworkReport(
+        ssd_peak_utilization=worst_case_ssd_utilization(device, budget),
+        measured_peak_utilization=budget.utilization(peak_bytes_per_second),
+        write_share_of_traffic=(
+            total_write_units / total_units if total_units else 0.0
+        ),
+    )

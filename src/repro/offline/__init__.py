@@ -1,0 +1,24 @@
+"""Offline metastate pipeline: hash-partitioned logs + per-key reduction.
+
+This is SieveStore-D's bookkeeping machinery (Section 3.2): access
+tuples logged to R files by address hash, sorted, run-length reduced,
+and thresholded at epoch boundaries.
+"""
+
+from repro.offline.logs import AccessLog
+from repro.offline.mapreduce import (
+    compact,
+    epoch_allocation,
+    log_trace_day,
+    reduce_all,
+    reduce_partition,
+)
+
+__all__ = [
+    "AccessLog",
+    "compact",
+    "epoch_allocation",
+    "log_trace_day",
+    "reduce_all",
+    "reduce_partition",
+]

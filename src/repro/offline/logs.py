@@ -1,0 +1,126 @@
+"""Hash-partitioned access logs (SieveStore-D's metastate, Section 3.2).
+
+SieveStore-D must count accesses for *every* block, including ones that
+are not cache-resident.  The paper keeps this off the critical path by
+logging each access as an ``<address, 1>`` tuple to one of R files,
+selected by a hash of the address, on the SieveStore node's local
+storage (not the SSD cache).  This module implements that log: an
+append-only writer that partitions tuples across R files, and a reader
+that streams them back for the reduction pass.
+
+The on-disk format is deliberately simple and greppable: one
+``address count`` pair per line.  Incremental compaction (Section 3.2's
+"per-key reductions may be periodically performed in an incremental way
+to reduce the size of the logs") rewrites a partition with its counts
+merged; see :mod:`repro.offline.mapreduce`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import IO, Iterator, List, Tuple, Union
+
+from repro.util.hashing import stable_bucket
+
+#: Hash salt for partition selection (decorrelated from the IMCT's).
+_PARTITION_SALT = 0x10C5
+
+
+class AccessLog:
+    """An R-way hash-partitioned append-only access log on disk.
+
+    Args:
+        directory: where partition files live; created if missing.
+        partitions: R, the number of partition files.
+
+    The log is a context manager; writes are buffered through ordinary
+    file handles, so closing (or exiting the ``with`` block) flushes.
+    """
+
+    def __init__(self, directory: Union[str, Path], partitions: int = 16):
+        if partitions <= 0:
+            raise ValueError(f"partitions must be positive, got {partitions}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.partitions = partitions
+        self._handles: List[IO[str]] = []
+        self.records_written = 0
+
+    # -- lifecycle ---------------------------------------------------------
+    def __enter__(self) -> "AccessLog":
+        self.open()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def open(self) -> None:
+        """Open all partition files for appending."""
+        if self._handles:
+            return
+        self._handles = [
+            (self.directory / self.partition_name(i)).open("a")
+            for i in range(self.partitions)
+        ]
+
+    def close(self) -> None:
+        """Flush and close all partition files."""
+        for handle in self._handles:
+            handle.close()
+        self._handles = []
+
+    # -- writing -------------------------------------------------------------
+    @staticmethod
+    def partition_name(index: int) -> str:
+        """File name of partition ``index``."""
+        return f"part-{index:04d}.log"
+
+    def partition_of(self, address: int) -> int:
+        """The partition an address is logged to (stable across runs)."""
+        return stable_bucket(address, self.partitions, salt=_PARTITION_SALT)
+
+    def append(self, address: int, count: int = 1) -> None:
+        """Log one ``<address, count>`` tuple (count=1 for raw accesses)."""
+        if not self._handles:
+            raise RuntimeError("log is not open; use 'with AccessLog(...)'")
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        self._handles[self.partition_of(address)].write(f"{address} {count}\n")
+        self.records_written += 1
+
+    # -- reading -------------------------------------------------------------
+    def partition_path(self, index: int) -> Path:
+        """Path of partition ``index`` on disk."""
+        return self.directory / self.partition_name(index)
+
+    def read_partition(self, index: int) -> Iterator[Tuple[int, int]]:
+        """Stream ``(address, count)`` tuples from one partition file."""
+        path = self.partition_path(index)
+        if not path.exists():
+            return
+        with path.open() as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                address_text, count_text = line.split()
+                yield int(address_text), int(count_text)
+
+    def partition_sizes(self) -> List[int]:
+        """Byte size of each partition file (0 for missing files)."""
+        return [
+            self.partition_path(i).stat().st_size
+            if self.partition_path(i).exists()
+            else 0
+            for i in range(self.partitions)
+        ]
+
+    def clear(self) -> None:
+        """Delete all partition files (end of epoch)."""
+        if self._handles:
+            raise RuntimeError("close the log before clearing it")
+        for index in range(self.partitions):
+            path = self.partition_path(index)
+            if path.exists():
+                path.unlink()
+        self.records_written = 0

@@ -1,0 +1,58 @@
+"""Trace-driven simulation: engine, experiment configurations, metrics."""
+
+from repro.sim.engine import SimulationResult, simulate
+from repro.sim.experiment import (
+    FIGURE5_POLICIES,
+    ExperimentContext,
+    build_policy,
+    context_for_trace,
+    run_policy,
+    run_policy_suite,
+    sievestore_c_with_window,
+    sievestore_d_with_epoch,
+    sievestore_d_with_threshold,
+)
+from repro.sim.serialize import (
+    load_result,
+    result_from_dict,
+    result_to_dict,
+    save_result,
+    stats_from_dict,
+    stats_to_dict,
+)
+from repro.sim.metrics import (
+    allocation_write_series,
+    capture_breakdown,
+    capture_improvement,
+    capture_series,
+    mean_capture,
+    ssd_operation_series,
+    total_allocation_writes,
+)
+
+__all__ = [
+    "SimulationResult",
+    "simulate",
+    "FIGURE5_POLICIES",
+    "ExperimentContext",
+    "build_policy",
+    "context_for_trace",
+    "run_policy",
+    "run_policy_suite",
+    "sievestore_c_with_window",
+    "sievestore_d_with_epoch",
+    "sievestore_d_with_threshold",
+    "load_result",
+    "result_from_dict",
+    "result_to_dict",
+    "save_result",
+    "stats_from_dict",
+    "stats_to_dict",
+    "allocation_write_series",
+    "capture_breakdown",
+    "capture_improvement",
+    "capture_series",
+    "mean_capture",
+    "ssd_operation_series",
+    "total_allocation_writes",
+]

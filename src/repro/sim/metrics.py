@@ -1,0 +1,98 @@
+"""Figure-series builders: turn simulation results into the paper's plots.
+
+Each function returns plain dict/list structures that the report
+renderers (:mod:`repro.analysis.report`) and the benchmark harnesses
+print; nothing here depends on a plotting library.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+from repro.sim.engine import SimulationResult
+
+
+def capture_series(results: Mapping[str, SimulationResult]) -> Dict[str, List[float]]:
+    """Figure 5: per-day fraction of accesses captured, per configuration."""
+    return {name: result.daily_capture() for name, result in results.items()}
+
+
+def capture_breakdown(
+    results: Mapping[str, SimulationResult]
+) -> Dict[str, List[dict]]:
+    """Figure 5's read/write split: per-day captured reads and writes
+    as fractions of the day's total accesses."""
+    series: Dict[str, List[dict]] = {}
+    for name, result in results.items():
+        days = []
+        for day in result.stats.per_day:
+            total = day.accesses or 1
+            days.append(
+                {
+                    "read_hits": day.read_hits / total,
+                    "write_hits": day.write_hits / total,
+                    "captured": day.hit_ratio,
+                }
+            )
+        series[name] = days
+    return series
+
+
+def allocation_write_series(
+    results: Mapping[str, SimulationResult]
+) -> Dict[str, List[int]]:
+    """Figure 6: per-day allocation-writes (512-byte blocks), per config."""
+    return {name: result.daily_allocation_writes() for name, result in results.items()}
+
+
+def ssd_operation_series(
+    results: Mapping[str, SimulationResult]
+) -> Dict[str, List[dict]]:
+    """Figure 7: per-day SSD ops split into read hits / write hits /
+    allocation-writes (512-byte block granularity)."""
+    series: Dict[str, List[dict]] = {}
+    for name, result in results.items():
+        series[name] = [
+            {
+                "read_hits": day.read_hits,
+                "write_hits": day.write_hits,
+                "allocation_writes": day.allocation_writes,
+                "total": day.ssd_operations,
+            }
+            for day in result.stats.per_day
+        ]
+    return series
+
+
+def mean_capture(
+    result: SimulationResult, skip_days: Sequence[int] = ()
+) -> float:
+    """Average daily capture, optionally skipping bootstrap days.
+
+    The paper excludes day 1 from SieveStore-D's average ("the average
+    excludes the first day") because the sieve needs a day of logs.
+    """
+    values = [
+        day.hit_ratio
+        for index, day in enumerate(result.stats.per_day)
+        if index not in skip_days and day.accesses
+    ]
+    return sum(values) / len(values) if values else 0.0
+
+
+def total_allocation_writes(result: SimulationResult) -> int:
+    """Whole-run allocation-write total for one result."""
+    return sum(result.daily_allocation_writes())
+
+
+def capture_improvement(
+    candidate: SimulationResult,
+    baseline: SimulationResult,
+    skip_days: Sequence[int] = (),
+) -> float:
+    """Relative improvement in mean capture over a baseline (paper's
+    "35%/50% more accesses than the best unsieved cache")."""
+    base = mean_capture(baseline, skip_days)
+    if base == 0:
+        return float("inf")
+    return mean_capture(candidate, skip_days) / base - 1.0

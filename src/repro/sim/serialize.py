@@ -1,0 +1,92 @@
+"""Result serialization: persist experiment outcomes as JSON.
+
+Simulation runs at real scales take minutes; downstream analysis (and
+the CLI's ``--json`` flag) wants the numbers without re-running.  The
+schema is deliberately flat and versioned; everything the figure
+builders consume (per-day counters, per-minute I/O) round-trips.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.cache.stats import CacheStats, DayStats, MinuteIO
+from repro.sim.engine import SimulationResult
+
+#: Bump on schema changes; loaders refuse unknown versions.
+SCHEMA_VERSION = 1
+
+
+def stats_to_dict(stats: CacheStats) -> dict:
+    """CacheStats -> plain-JSON dict."""
+    return {
+        "days": stats.days,
+        "per_day": [
+            {
+                "accesses": d.accesses,
+                "read_hits": d.read_hits,
+                "write_hits": d.write_hits,
+                "read_misses": d.read_misses,
+                "write_misses": d.write_misses,
+                "allocation_writes": d.allocation_writes,
+                "backing_writes": d.backing_writes,
+                "writebacks": d.writebacks,
+            }
+            for d in stats.per_day
+        ],
+        "per_minute": {
+            str(minute): [io.reads, io.writes]
+            for minute, io in sorted(stats.per_minute.items())
+        },
+    }
+
+
+def stats_from_dict(payload: dict) -> CacheStats:
+    """Inverse of :func:`stats_to_dict`."""
+    stats = CacheStats(days=payload["days"])
+    for index, day in enumerate(payload["per_day"]):
+        stats.per_day[index] = DayStats(**day)
+    for minute, (reads, writes) in payload.get("per_minute", {}).items():
+        stats.per_minute[int(minute)] = MinuteIO(reads=reads, writes=writes)
+    stats.check_consistency()
+    return stats
+
+
+def result_to_dict(result: SimulationResult) -> dict:
+    """SimulationResult -> plain-JSON dict (policy objects are not
+    serialized — only their name and the measured statistics)."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "policy_name": result.policy_name,
+        "wall_seconds": result.wall_seconds,
+        "stats": stats_to_dict(result.stats),
+    }
+
+
+def result_from_dict(payload: dict) -> SimulationResult:
+    """Rehydrate a result (cache/policy objects come back as None)."""
+    version = payload.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported result schema version {version!r} "
+            f"(expected {SCHEMA_VERSION})"
+        )
+    return SimulationResult(
+        policy_name=payload["policy_name"],
+        stats=stats_from_dict(payload["stats"]),
+        cache=None,
+        policy=None,
+        wall_seconds=payload.get("wall_seconds", 0.0),
+    )
+
+
+def save_result(result: SimulationResult, path: Union[str, Path]) -> None:
+    """Write one result to a JSON file."""
+    Path(path).write_text(json.dumps(result_to_dict(result), indent=2))
+
+
+def load_result(path: Union[str, Path]) -> SimulationResult:
+    """Read a result written by :func:`save_result`."""
+    return result_from_dict(json.loads(Path(path).read_text()))

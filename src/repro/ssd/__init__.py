@@ -1,0 +1,40 @@
+"""SSD device model, drive-occupancy costing, and endurance analysis."""
+
+from repro.ssd.device import INTEL_X25E, SSDModel
+from repro.ssd.occupancy import (
+    OccupancySeries,
+    coverage_table,
+    occupancy_from_stats,
+    sorted_drive_requirements,
+)
+from repro.ssd.latency import (
+    ERA_2010,
+    LatencyModel,
+    LatencyReport,
+    latency_report,
+)
+from repro.ssd.endurance import (
+    DAYS_PER_YEAR,
+    EnduranceReport,
+    endurance_report,
+    lifetime_years,
+    paper_endurance_example,
+)
+
+__all__ = [
+    "INTEL_X25E",
+    "SSDModel",
+    "OccupancySeries",
+    "coverage_table",
+    "occupancy_from_stats",
+    "sorted_drive_requirements",
+    "ERA_2010",
+    "LatencyModel",
+    "LatencyReport",
+    "latency_report",
+    "DAYS_PER_YEAR",
+    "EnduranceReport",
+    "endurance_report",
+    "lifetime_years",
+    "paper_endurance_example",
+]

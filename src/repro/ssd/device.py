@@ -1,0 +1,109 @@
+"""SSD device parameter model.
+
+The paper models the cache device after Intel's X25-E Extreme SATA SSD
+(Section 4): 35,000 random read IOPS, 3,300 random write IOPS,
+250 MB/s sustained sequential read, 170 MB/s sequential write, and a
+1-petabyte write endurance.  Random IOPS at 4-KB transfers is the
+tighter constraint (140 MB/s reads, 13.2 MB/s writes), so drive needs
+are assessed under the IOPS constraint.
+
+Because this reproduction runs scaled-down traces (see DESIGN.md), the
+model provides :meth:`SSDModel.scaled`, which shrinks device throughput
+by the same linear factor as the workload.  Drive-count results depend
+only on the *ratio* of offered load to device throughput, so scaling
+both sides preserves the paper's drives-needed shapes exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.util.units import GIB, IO_UNIT_BYTES
+
+
+@dataclass(frozen=True)
+class SSDModel:
+    """Performance/endurance parameters of one SSD drive.
+
+    Attributes:
+        name: human-readable model name.
+        read_iops: random 4-KB read operations per second.
+        write_iops: random 4-KB write operations per second.
+        seq_read_mbps: sustained sequential read bandwidth (MB/s).
+        seq_write_mbps: sustained sequential write bandwidth (MB/s).
+        capacity_bytes: usable capacity.
+        endurance_bytes: total bytes writable over the device lifetime.
+    """
+
+    name: str
+    read_iops: float
+    write_iops: float
+    seq_read_mbps: float
+    seq_write_mbps: float
+    capacity_bytes: int
+    endurance_bytes: float
+
+    def __post_init__(self) -> None:
+        if self.read_iops <= 0 or self.write_iops <= 0:
+            raise ValueError("IOPS ratings must be positive")
+        if self.capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+
+    @property
+    def read_service_time(self) -> float:
+        """Seconds one 4-KB random read occupies the drive (1/read_iops)."""
+        return 1.0 / self.read_iops
+
+    @property
+    def write_service_time(self) -> float:
+        """Seconds one 4-KB random write occupies the drive (1/write_iops)."""
+        return 1.0 / self.write_iops
+
+    @property
+    def random_read_mbps(self) -> float:
+        """Random-read bandwidth implied by the 4-KB IOPS rating."""
+        return self.read_iops * IO_UNIT_BYTES / 1e6
+
+    @property
+    def random_write_mbps(self) -> float:
+        """Random-write bandwidth implied by the 4-KB IOPS rating."""
+        return self.write_iops * IO_UNIT_BYTES / 1e6
+
+    def occupancy_seconds(self, read_units: int, write_units: int) -> float:
+        """Drive-seconds needed to serve the given 4-KB unit counts."""
+        return (
+            read_units * self.read_service_time
+            + write_units * self.write_service_time
+        )
+
+    def scaled(self, factor: float) -> "SSDModel":
+        """A device with throughput/capacity scaled by ``factor``.
+
+        Used when the workload itself is linearly scaled; see module
+        docs.  Endurance is scaled too, so lifetime-in-years results are
+        preserved.
+        """
+        if not 0 < factor <= 1:
+            raise ValueError(f"factor must be in (0, 1], got {factor}")
+        return replace(
+            self,
+            name=f"{self.name} (x{factor:g})",
+            read_iops=self.read_iops * factor,
+            write_iops=self.write_iops * factor,
+            seq_read_mbps=self.seq_read_mbps * factor,
+            seq_write_mbps=self.seq_write_mbps * factor,
+            capacity_bytes=max(1, int(self.capacity_bytes * factor)),
+            endurance_bytes=self.endurance_bytes * factor,
+        )
+
+
+#: The paper's reference device (Intel X25-E Extreme SATA SSD, 32 GB class).
+INTEL_X25E = SSDModel(
+    name="Intel X25-E",
+    read_iops=35_000.0,
+    write_iops=3_300.0,
+    seq_read_mbps=250.0,
+    seq_write_mbps=170.0,
+    capacity_bytes=32 * GIB,
+    endurance_bytes=1e15,  # 1 petabyte of writes
+)

@@ -1,0 +1,130 @@
+"""Per-minute drive-IOPS occupancy and drives-needed analysis.
+
+Implements the paper's cost methodology (Section 4):
+
+* For each minute of the trace, every 4-KB read occupies the drive for
+  1/35,000 s and every 4-KB write for 1/3,300 s (X25-E ratings).
+* The **drive IOPS occupancy** of a minute is total busy-seconds / 60 —
+  a value of 1.0 means exactly one saturated drive (Figure 8).
+* The **drives needed** for a minute is the ceiling of the occupancy
+  (Figure 9).
+* **Coverage**: the fraction of trace minutes servable with a given
+  number of drives; the paper reports the drives needed at 100%, 99.9%
+  and 90% coverage.
+
+Queueing is deliberately ignored, as in the paper, which argues the
+sieved configurations run at low enough load points that queueing is
+not significant.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.cache.stats import CacheStats, MinuteIO
+from repro.ssd.device import SSDModel
+
+
+@dataclass(frozen=True)
+class OccupancySeries:
+    """Drive-IOPS occupancy for every minute of a trace.
+
+    ``values[i]`` is the occupancy of ``minutes[i]``; minutes with no
+    SSD traffic are included with zero occupancy so coverage statistics
+    are over the whole trace duration, as in the paper (10,080 minutes
+    for the 7-day trace).
+    """
+
+    minutes: Tuple[int, ...]
+    values: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.minutes) != len(self.values):
+            raise ValueError("minutes and values must have equal length")
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def drives_needed(self) -> List[int]:
+        """Per-minute drive counts: ceil of occupancy, minimum 0."""
+        return [math.ceil(v) if v > 0 else 0 for v in self.values]
+
+    def max_occupancy(self) -> float:
+        """Worst single-window occupancy over the trace."""
+        return max(self.values) if self.values else 0.0
+
+    def drives_for_coverage(self, coverage: float) -> int:
+        """Drives needed to cover ``coverage`` fraction of minutes.
+
+        ``coverage=1.0`` is the worst-case design (max over minutes);
+        lower coverages take the corresponding quantile, mirroring the
+        paper's 99.9%/90% dilutions.
+        """
+        if not 0 < coverage <= 1:
+            raise ValueError(f"coverage must be in (0, 1], got {coverage}")
+        needs = sorted(self.drives_needed())
+        if not needs:
+            return 0
+        index = min(len(needs) - 1, math.ceil(coverage * len(needs)) - 1)
+        return needs[index]
+
+    def fraction_within(self, drives: int) -> float:
+        """Fraction of minutes servable by at most ``drives`` drives."""
+        if not self.values:
+            return 1.0
+        ok = sum(1 for n in self.drives_needed() if n <= drives)
+        return ok / len(self.values)
+
+
+def occupancy_from_stats(
+    stats: CacheStats,
+    device: SSDModel,
+    total_minutes: int,
+    window_minutes: int = 1,
+) -> OccupancySeries:
+    """Build the occupancy series from a simulation's per-minute SSD I/O.
+
+    Args:
+        stats: simulation statistics with minute tracking enabled.
+        device: the SSD parameter model (possibly scaled).
+        total_minutes: trace length in minutes; minutes with no traffic
+            count as zero-occupancy.
+        window_minutes: aggregation window.  The paper uses 1 (its
+            full-scale trace moves ~1e5 I/O units per minute); scaled
+            traces move a handful, so per-minute occupancy is dominated
+            by small-number noise — aggregate over windows wide enough
+            that the expected unit count per window matches the paper's
+            statistical regime.  Occupancy is busy-seconds over the
+            window length, so the drives-needed semantics carry over.
+    """
+    if total_minutes <= 0:
+        raise ValueError(f"total_minutes must be positive, got {total_minutes}")
+    if window_minutes <= 0:
+        raise ValueError(f"window_minutes must be positive, got {window_minutes}")
+    windows = (total_minutes + window_minutes - 1) // window_minutes
+    occupancy = [0.0] * windows
+    window_seconds = 60.0 * window_minutes
+    for minute, io in stats.per_minute.items():
+        if minute >= total_minutes:
+            minute = total_minutes - 1
+        occupancy[minute // window_minutes] += (
+            device.occupancy_seconds(io.reads, io.writes) / window_seconds
+        )
+    return OccupancySeries(
+        minutes=tuple(w * window_minutes for w in range(windows)),
+        values=tuple(occupancy),
+    )
+
+
+def sorted_drive_requirements(series: OccupancySeries) -> List[int]:
+    """Per-minute drive counts in increasing order (Figure 9's X ordering)."""
+    return sorted(series.drives_needed())
+
+
+def coverage_table(
+    series: OccupancySeries, coverages: Sequence[float] = (1.0, 0.999, 0.99, 0.9)
+) -> Dict[float, int]:
+    """Drives needed at each coverage level (the paper quotes 100%/99.9%/90%)."""
+    return {c: series.drives_for_coverage(c) for c in coverages}

@@ -1,0 +1,776 @@
+"""Synthetic storage-ensemble workload generator.
+
+The paper's evaluation is driven by week-long block traces of a
+13-server ensemble (the MSR Cambridge traces).  Those traces are not
+redistributable, so this module generates a *statistical twin*: a seeded
+synthetic trace engineered to exhibit the published properties the
+paper's results depend on:
+
+O1 (popularity skew, Section 2 / Figure 2):
+    * the top ~1% of blocks accessed each day account for a large,
+      day-varying share of accesses (paper: 14%-53%);
+    * 99% of blocks accessed in a day see 10 or fewer accesses;
+    * ~97% of blocks see 4 or fewer accesses;
+    * about half of all accessed blocks are accessed exactly once;
+    * the per-bin access count collapses rapidly past the top 1%.
+
+O2 (skew variation, Figure 3):
+    * servers differ strongly (web proxy extremely skewed, source
+      control near-linear);
+    * volumes of one server differ (Web volumes 0 vs 1);
+    * the same server's skew varies day to day (web staging);
+    * the server composition of the ensemble top-1% varies over time.
+
+Mechanically, each (volume, day) workload is a set of **extents**
+(contiguous runs of 512-byte blocks, one per non-overlapping 16-block
+slot).  An extent carries a daily access count drawn either from a
+bounded low-reuse *tail* distribution (counts 1..10) or, for the ~1%
+*hot* extents, from a Zipf-like head scaled so hot accesses hit a
+target share of the day's traffic.  Hot extents persist across days
+with partial drift, which is what makes yesterday's access counts a
+useful (but imperfect) predictor — the property SieveStore-D exploits
+and the day-by-day ideal sieve bounds.
+
+Day 0 models the paper's partial first calendar day (tracing started at
+5 pm): intensity is scaled by 7/24 and hot counts shrink accordingly,
+reproducing the paper's observation that on day 1 only a sliver of
+blocks reach 10+ accesses (which is why SieveStore-D starts weakly on
+day 2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.traces.model import IOKind, IORequest, Trace, merge_traces
+from repro.traces.servers import ServerProfile, VolumeProfile, paper_ensemble
+from repro.util.intervals import SECONDS_PER_DAY, SECONDS_PER_MINUTE
+from repro.util.units import BLOCK_BYTES, GIB
+
+#: Blocks per extent slot; extents never cross slots, so they never overlap.
+SLOT_BLOCKS = 16
+
+#: Tail access-count distribution (counts 1..10).  Chosen so that, with
+#: ~1% hot extents, the all-blocks percentiles match O1: P(count<=4)
+#: ~= 0.99 * 0.98 ~= 0.97 and P(count<=10) ~= 0.99.
+_TAIL_COUNTS = np.arange(1, 11)
+_TAIL_PROBS = np.array(
+    [0.48, 0.27, 0.14, 0.09, 0.006, 0.006, 0.003, 0.003, 0.001, 0.001]
+)
+assert abs(_TAIL_PROBS.sum() - 1.0) < 1e-9
+
+#: Fraction of the first calendar day actually traced (5 pm to midnight).
+DAY0_INTENSITY = 7.0 / 24.0
+
+
+@dataclass(frozen=True)
+class SyntheticTraceConfig:
+    """Knobs for the synthetic ensemble generator.
+
+    Attributes:
+        days: number of calendar days to generate (the paper uses 8,
+            with day 0 partial).
+        scale: linear scale factor relative to the paper's full-size
+            ensemble.  It multiplies volume capacities and the daily
+            accessed footprint; 1e-4 yields a few hundred thousand
+            block accesses per day, simulable in seconds.
+        mean_daily_footprint_gb: mean unique bytes accessed per full day
+            at scale 1.0 (paper: 685 GB/day, range 335-1190 GB).
+        footprint_sigma: lognormal sigma of the day-to-day footprint.
+        hot_fraction: fraction of a day's extents that belong to the hot
+            (Zipf-head) class (~1% to match O1).
+        hot_drift: fraction of each volume's hot set replaced per day
+            (O2 drift; successive days overlap roughly 1 - hot_drift,
+            and the hottest half of the set never drifts).
+        partial_day0: model day 0 as the paper's partial calendar day.
+        burst_minutes_per_server_day: number of random 1-minute windows
+            per (server, day) with elevated arrival intensity.  Bursts
+            are drawn independently per server, so cross-server
+            correlated bursts are rare, as the paper observes.
+        unaligned_fraction: fraction of extents that are not 4-KB
+            aligned (paper: ~6% of accesses).
+        seed: master RNG seed; everything downstream is deterministic.
+    """
+
+    days: int = 8
+    scale: float = 1e-4
+    mean_daily_footprint_gb: float = 685.0
+    footprint_sigma: float = 0.30
+    hot_fraction: float = 0.007
+    hot_drift: float = 0.12
+    partial_day0: bool = True
+    burst_minutes_per_server_day: int = 2
+    burst_intensity: float = 6.0
+    unaligned_fraction: float = 0.06
+    read_fraction_override: Optional[float] = None
+    #: Fraction of hot extents in the very-hot top band (hundreds to
+    #: thousands of accesses/day — Figure 2(a)'s extreme head).  The
+    #: rest form a log-uniform mid band (11 to a solved maximum), which
+    #: spreads hot mass evenly per count decade; the low decades of that
+    #: band are where sieving wins and demand-filled LRU loses.
+    hot_top_fraction: float = 0.04
+    hot_top_range: Tuple[float, float] = (250.0, 4000.0)
+    #: Mean accesses per hot-block arrival cluster (see
+    #: _clustered_hot_times); smaller clusters mean more refaults for
+    #: demand-filled caches.
+    hot_cluster_mean: float = 1.9
+    #: Fraction of each hot block's accesses that arrive in *isolation*
+    #: (heavy-tailed inter-access gaps, as in self-similar storage
+    #: traffic) rather than inside a cluster.  Isolated accesses follow
+    #: gaps longer than a demand-filled cache's residency, so they miss
+    #: under AOD/WMNA but still hit once a sieve has pinned the block.
+    hot_isolated_fraction: float = 0.60
+    #: Fraction of hot extents that are *write-hot* (logs, metadata,
+    #: database pages) — overwhelmingly written, rarely read.  Traffic
+    #: below a buffer cache is write-dominated, and the paper stresses
+    #: that SieveStore deliberately caches write-hot blocks (Section
+    #: 5.1); a write-no-allocate policy structurally cannot admit them,
+    #: which is a large part of why unsieved WMNA underperforms.
+    write_hot_fraction: float = 0.35
+    #: Read fraction of requests to write-hot extents.
+    write_hot_read_fraction: float = 0.10
+    seed: int = 20100619  # ISCA'10 opening day
+    servers: Tuple[ServerProfile, ...] = field(
+        default_factory=lambda: tuple(paper_ensemble())
+    )
+
+    def __post_init__(self) -> None:
+        if self.days <= 0:
+            raise ValueError(f"days must be positive, got {self.days}")
+        if not 0 < self.scale <= 1:
+            raise ValueError(f"scale must be in (0, 1], got {self.scale}")
+        if not 0 < self.hot_fraction < 0.5:
+            raise ValueError(f"hot_fraction out of range: {self.hot_fraction}")
+        if not 0 <= self.hot_drift <= 1:
+            raise ValueError(f"hot_drift out of range: {self.hot_drift}")
+
+
+def tiny_config(**overrides) -> SyntheticTraceConfig:
+    """A fast configuration for unit tests (tens of thousands of accesses)."""
+    defaults = dict(scale=1.5e-5, days=8, burst_minutes_per_server_day=1)
+    defaults.update(overrides)
+    return SyntheticTraceConfig(**defaults)
+
+
+def small_config(**overrides) -> SyntheticTraceConfig:
+    """The default benchmark configuration (a few million block accesses)."""
+    defaults = dict(scale=1e-4, days=8)
+    defaults.update(overrides)
+    return SyntheticTraceConfig(**defaults)
+
+
+@dataclass
+class _VolumeHotPool:
+    """Persistent per-volume hot-extent state with daily drift."""
+
+    slots: np.ndarray  # slot indices of current hot extents, ranked hot->cold
+
+    def drift(self, rng: np.random.Generator, total_slots: int, drift: float) -> None:
+        """Replace a ``drift`` fraction of hot slots with fresh ones.
+
+        Victims are drawn from the colder half of the ranked hot set;
+        the hottest half persists day over day.  This gives
+        the paper's O2 behaviour: the hot set drifts significantly with
+        increasing time separation, yet successive days overlap enough
+        that yesterday's access counts predict today's hot set (the
+        property SieveStore-D relies on).
+        """
+        n = len(self.slots)
+        n_replace = int(round(n * drift))
+        protected = n // 2
+        n_replace = min(n_replace, n - protected)
+        if n_replace <= 0:
+            return
+        victims = protected + rng.choice(n - protected, size=n_replace, replace=False)
+        occupied = set(self.slots.tolist())
+        fresh = []
+        while len(fresh) < n_replace:
+            candidate = int(rng.integers(0, total_slots))
+            if candidate not in occupied:
+                occupied.add(candidate)
+                fresh.append(candidate)
+        self.slots = self.slots.copy()
+        self.slots[victims] = fresh
+
+
+class EnsembleTraceGenerator:
+    """Generates the synthetic ensemble trace described in the module docs.
+
+    Usage::
+
+        gen = EnsembleTraceGenerator(SyntheticTraceConfig(scale=1e-4))
+        trace = gen.generate()            # full chronological ensemble trace
+        per_server = gen.per_server_traces()  # same requests, split by server
+    """
+
+    def __init__(self, config: SyntheticTraceConfig):
+        self.config = config
+        self._rng = np.random.default_rng(config.seed)
+        self._hot_pools: Dict[Tuple[int, int], _VolumeHotPool] = {}
+        self._trace: Optional[Trace] = None
+        self._per_server: Optional[Dict[int, Trace]] = None
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def generate(self) -> Trace:
+        """Generate (and cache) the full ensemble trace."""
+        if self._trace is None:
+            per_server = self._generate_all()
+            self._per_server = per_server
+            self._trace = merge_traces(
+                list(per_server.values()),
+                description=(
+                    f"synthetic ensemble: {len(self.config.servers)} servers, "
+                    f"{self.config.days} days, scale={self.config.scale:g}, "
+                    f"seed={self.config.seed}"
+                ),
+            )
+        return self._trace
+
+    def per_server_traces(self) -> Dict[int, Trace]:
+        """Per-server traces (server_id -> Trace), generating if needed."""
+        self.generate()
+        assert self._per_server is not None
+        return self._per_server
+
+    # ------------------------------------------------------------------
+    # generation internals
+    # ------------------------------------------------------------------
+    def _generate_all(self) -> Dict[int, Trace]:
+        cfg = self.config
+        day_footprints = self._daily_footprint_blocks()
+        per_server_requests: Dict[int, List[IORequest]] = {
+            s.server_id: [] for s in cfg.servers
+        }
+        for day in range(cfg.days):
+            day_factor = self._hot_share_day_factor(day)
+            mean_blocks = (
+                cfg.mean_daily_footprint_gb * GIB / BLOCK_BYTES * cfg.scale
+            )
+            for server in cfg.servers:
+                server_footprint = day_footprints[day] * server.activity_share
+                server_mean = mean_blocks * server.activity_share
+                minute_weights = self._minute_weights(server, day)
+                for volume in server.volumes:
+                    requests = self._generate_volume_day(
+                        server=server,
+                        volume=volume,
+                        day=day,
+                        footprint_blocks=server_footprint * volume.access_share,
+                        mean_footprint_blocks=server_mean * volume.access_share,
+                        day_factor=day_factor,
+                        minute_weights=minute_weights,
+                    )
+                    per_server_requests[server.server_id].extend(requests)
+        traces = {}
+        for server in cfg.servers:
+            reqs = sorted(
+                per_server_requests[server.server_id], key=lambda r: r.issue_time
+            )
+            traces[server.server_id] = Trace(
+                reqs, description=f"synthetic server {server.key}"
+            )
+        return traces
+
+    def _daily_footprint_blocks(self) -> List[float]:
+        """Unique blocks accessed per day for the whole ensemble."""
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed ^ 0xF00D)
+        mean_blocks = cfg.mean_daily_footprint_gb * GIB / BLOCK_BYTES * cfg.scale
+        footprints = []
+        for day in range(cfg.days):
+            factor = float(
+                np.exp(rng.normal(-0.5 * cfg.footprint_sigma**2, cfg.footprint_sigma))
+            )
+            blocks = mean_blocks * factor
+            if day == 0 and cfg.partial_day0:
+                blocks *= DAY0_INTENSITY
+            footprints.append(blocks)
+        return footprints
+
+    def _hot_share_day_factor(self, day: int) -> float:
+        """Ensemble-wide daily modulation of the hot-access share.
+
+        Widens the day-to-day spread of the top-1% access share toward
+        the paper's observed 14%-53% range.
+        """
+        rng = np.random.default_rng(self.config.seed ^ (0xDA << 8) ^ day)
+        return float(rng.uniform(0.6, 1.3))
+
+    def _effective_skew(
+        self, server: ServerProfile, volume: VolumeProfile, day: int
+    ) -> float:
+        """Per-(server, volume, day) skew with the server's daily wobble."""
+        rng = np.random.default_rng(
+            self.config.seed ^ (server.server_id << 16) ^ (volume.volume_id << 8) ^ day
+        )
+        wobble = float(np.exp(rng.normal(0.0, server.daily_wobble)))
+        return server.skew * volume.skew_scale * wobble
+
+    @staticmethod
+    def _hot_access_share(effective_skew: float, day_factor: float) -> float:
+        """Map effective skew onto the hot extents' share of accesses.
+
+        Calibrated so the ensemble-weighted mean lands near the paper's
+        ~35% average ideal-sieve capture, the web proxy (skew 1.6) is
+        nearly all-hot, and source control (skew 0.15) is near-linear.
+        """
+        share = 0.44 * effective_skew**1.4 * day_factor
+        return float(np.clip(share, 0.01, 0.93))
+
+    def _minute_weights(self, server: ServerProfile, day: int) -> np.ndarray:
+        """Arrival-intensity weights for each minute of one server-day.
+
+        Diurnal sinusoid (server-specific phase) plus a few independent
+        1-minute bursts.  Day 0 only covers the final 7 hours.
+        """
+        cfg = self.config
+        rng = np.random.default_rng(
+            cfg.seed ^ (server.server_id << 20) ^ (day << 4) ^ 0xB0
+        )
+        minutes = np.arange(1440)
+        phase = (server.server_id * 97) % 1440
+        weights = 1.0 + 0.45 * np.sin(2 * np.pi * (minutes - phase) / 1440)
+        for _ in range(cfg.burst_minutes_per_server_day):
+            weights[int(rng.integers(0, 1440))] *= cfg.burst_intensity
+        if day == 0 and cfg.partial_day0:
+            weights[: 1440 - int(1440 * DAY0_INTENSITY)] = 0.0
+        total = weights.sum()
+        if total <= 0:
+            raise AssertionError("minute weights must have positive mass")
+        return weights / total
+
+    def _hot_pool(
+        self,
+        server: ServerProfile,
+        volume: VolumeProfile,
+        day: int,
+        n_hot: int,
+        total_slots: int,
+    ) -> np.ndarray:
+        """Current hot slots for a volume, applying daily drift."""
+        key = (server.server_id, volume.volume_id)
+        rng = np.random.default_rng(
+            self.config.seed
+            ^ (server.server_id << 12)
+            ^ (volume.volume_id << 6)
+            ^ (day << 1)
+            ^ 0x5EED
+        )
+        pool = self._hot_pools.get(key)
+        if pool is None:
+            slots = rng.choice(total_slots, size=max(n_hot, 1), replace=False)
+            pool = _VolumeHotPool(slots=np.asarray(slots))
+            self._hot_pools[key] = pool
+        else:
+            pool.drift(rng, total_slots, self.config.hot_drift)
+        # Resize the pool if today's hot-set size differs from yesterday's.
+        current = len(pool.slots)
+        if n_hot > current:
+            occupied = set(pool.slots.tolist())
+            extra = []
+            while len(extra) < n_hot - current:
+                candidate = int(rng.integers(0, total_slots))
+                if candidate not in occupied:
+                    occupied.add(candidate)
+                    extra.append(candidate)
+            pool.slots = np.concatenate([pool.slots, np.asarray(extra, dtype=pool.slots.dtype)])
+        return pool.slots[:n_hot]
+
+    def _generate_volume_day(
+        self,
+        server: ServerProfile,
+        volume: VolumeProfile,
+        day: int,
+        footprint_blocks: float,
+        mean_footprint_blocks: float,
+        day_factor: float,
+        minute_weights: np.ndarray,
+    ) -> List[IORequest]:
+        """Generate all requests for one (server, volume, day)."""
+        cfg = self.config
+        rng = np.random.default_rng(
+            cfg.seed ^ (server.server_id << 24) ^ (volume.volume_id << 16) ^ (day << 2)
+        )
+        volume_blocks = max(
+            SLOT_BLOCKS * 64, int(volume.size_gb * GIB / BLOCK_BYTES * cfg.scale)
+        )
+        total_slots = volume_blocks // SLOT_BLOCKS
+
+        mean_extent_blocks = 9.0  # see _extent_geometry
+        n_extents = max(4, int(footprint_blocks / mean_extent_blocks))
+        n_extents = min(n_extents, max(4, int(total_slots * 0.5)))
+        # The hot-set size tracks the geometric mean of the day's and the
+        # volume's mean footprint: stable enough across days that
+        # yesterday's counts predict today's hot set (O2 / SieveStore-D's
+        # premise), yet scaling with the day's traffic so the hot band
+        # stays below the top percentile on light days.  Probabilistic
+        # rounding keeps the expected hot fraction right even when a
+        # volume-day has under one hot extent; deterministic max(1, ...)
+        # would inflate the hot share badly at small scales.
+        mean_fp = max(mean_footprint_blocks, 1.0)
+        mean_target = (mean_fp / mean_extent_blocks) * cfg.hot_fraction
+        # Resolve the fractional part of the *mean* target with a
+        # volume-stable draw (so a small volume's hot-set size never
+        # flips between 0 and 1 across days — that would look like
+        # spurious hot-set churn), then scale mildly by the day's
+        # footprint so the hot band stays below the top percentile on
+        # light days without destabilizing the set.
+        round_rng = np.random.default_rng(
+            cfg.seed ^ (server.server_id << 10) ^ volume.volume_id ^ 0x407
+        )
+        base = int(mean_target) + (1 if round_rng.random() < mean_target % 1.0 else 0)
+        day_ratio = (max(footprint_blocks, 1.0) / mean_fp) ** 0.3
+        n_hot = int(round(base * day_ratio))
+        if base > 0:
+            n_hot = max(n_hot, 1)
+        n_hot = min(n_hot, n_extents - 1)
+        n_tail = n_extents - n_hot
+
+        # --- access counts -------------------------------------------------
+        tail_counts = rng.choice(_TAIL_COUNTS, size=n_tail, p=_TAIL_PROBS)
+        skew = self._effective_skew(server, volume, day)
+        hot_share = self._hot_access_share(skew, day_factor)
+        tail_accesses = int(tail_counts.sum())
+        hot_accesses = int(tail_accesses * hot_share / (1.0 - hot_share))
+        hot_counts, n_top = self._zipf_head_counts(rng, n_hot, hot_accesses, skew)
+        if day == 0 and cfg.partial_day0:
+            # Partial day: hot blocks see proportionally fewer accesses, so
+            # very few cross SieveStore-D's threshold (paper Section 5.1).
+            hot_counts = np.maximum((hot_counts * DAY0_INTENSITY).astype(np.int64), 2)
+
+        # --- extent placement ---------------------------------------------
+        hot_slots = self._hot_pool(server, volume, day, n_hot, total_slots)
+        tail_slots = self._sample_tail_slots(rng, total_slots, n_tail, set(hot_slots.tolist()))
+
+        slots = np.concatenate([hot_slots, tail_slots])
+        counts = np.concatenate([hot_counts, tail_counts]).astype(np.int64)
+        offsets, lengths, aligned = self._extent_geometry(rng, len(slots))
+
+        # --- request emission -----------------------------------------------
+        # Three arrival patterns, matching how block traffic below a
+        # buffer cache actually behaves:
+        #   * hot extents: accessed throughout the (diurnal) day;
+        #   * multi-access tail extents: their few accesses are spread
+        #     hours apart — too far for any demand-filled cache to hold
+        #     them between touches;
+        #   * single-access tail extents: arrive in scan *sessions*
+        #     (backups, sweeps) tens of minutes wide, flooding an
+        #     unsieved LRU cache with junk and evicting its hot set.
+        # The sessions plus the spread-out tail reuse are what make the
+        # unsieved baselines lose: a sieve never admits the junk, so its
+        # resident hot set survives every burst.
+        extent_idx = np.repeat(np.arange(len(slots)), counts)
+        n_requests = len(extent_idx)
+        hot_req = extent_idx < n_hot
+        single_mask = counts == 1
+        single_mask[:n_hot] = False
+        burst_req = single_mask[extent_idx]
+        spread_req = ~hot_req & ~burst_req
+        times = np.empty(n_requests)
+
+        n_hot_req = int(hot_req.sum())
+        if n_hot_req:
+            times[hot_req] = self._clustered_hot_times(
+                rng, extent_idx[hot_req], counts[:n_hot], minute_weights
+            )
+        n_spread = int(spread_req.sum())
+        if n_spread:
+            # Multi-access tail extents: touches *stratified* around the
+            # clock (periodic re-reads, cron-style activity), so every
+            # re-access gap is hours — far beyond any demand-filled
+            # cache's residency.
+            first = np.concatenate([[0], np.cumsum(counts)[:-1]])
+            occurrence = np.arange(n_requests) - first[extent_idx]
+            span = SECONDS_PER_DAY
+            start = 0.0
+            if day == 0 and cfg.partial_day0:
+                span = SECONDS_PER_DAY * DAY0_INTENSITY
+                start = SECONDS_PER_DAY - span
+            c_req = counts[extent_idx[spread_req]].astype(float)
+            phase = rng.random(n_tail + n_hot)[extent_idx[spread_req]]
+            slot_pos = (
+                occurrence[spread_req] + phase + rng.uniform(-0.3, 0.3, size=n_spread)
+            ) % c_req
+            times[spread_req] = start + slot_pos / c_req * span
+        n_burst = int(burst_req.sum())
+        if n_burst:
+            burst_extents = extent_idx[burst_req]
+            # Re-index burst extents densely for session assignment.
+            unique_ids, dense = np.unique(burst_extents, return_inverse=True)
+            times[burst_req] = self._session_times(
+                rng, dense, len(unique_ids), minute_weights
+            )
+        times += day * SECONDS_PER_DAY
+        read_fraction = (
+            cfg.read_fraction_override
+            if cfg.read_fraction_override is not None
+            else server.read_fraction
+        )
+        # Per-extent read probability: most extents follow the server's
+        # read fraction, but a slice of the hot set is write-hot.
+        extent_read_p = np.full(len(slots), read_fraction)
+        if n_hot and cfg.write_hot_fraction > 0:
+            # Write-hot extents come from the modest-count part of the
+            # hot band only: logs and metadata are written tens of times
+            # a day, while the mega-hot blocks are read-dominated.
+            # Keeping the heavy hitters read-mostly also keeps the SSD's
+            # daily write volume within the paper's ~500M-blocks/day
+            # envelope (Section 5.1).
+            write_hot = rng.random(n_hot) < cfg.write_hot_fraction
+            write_hot[:n_top] = False
+            write_hot &= hot_counts <= 120
+            extent_read_p[:n_hot][write_hot] = cfg.write_hot_read_fraction
+        is_read = rng.random(n_requests) < extent_read_p[extent_idx]
+        latency = 0.005 + rng.exponential(0.003, size=n_requests)
+
+        requests = []
+        base_offsets = slots * SLOT_BLOCKS
+        for i in range(n_requests):
+            e = extent_idx[i]
+            block_count = int(lengths[e])
+            issue = float(times[i])
+            requests.append(
+                IORequest(
+                    issue_time=issue,
+                    completion_time=issue
+                    + float(latency[i])
+                    + block_count * BLOCK_BYTES / 80e6,
+                    server_id=server.server_id,
+                    volume_id=volume.volume_id,
+                    block_offset=int(base_offsets[e] + offsets[e]),
+                    block_count=block_count,
+                    kind=IOKind.READ if is_read[i] else IOKind.WRITE,
+                    aligned_4k=bool(aligned[e]),
+                )
+            )
+        return requests
+
+    def _clustered_hot_times(
+        self,
+        rng: np.random.Generator,
+        hot_access_extent: np.ndarray,
+        hot_counts: np.ndarray,
+        minute_weights: np.ndarray,
+    ) -> np.ndarray:
+        """Second-of-day timestamps for hot-extent requests.
+
+        Hot-block traffic below a buffer cache arrives in short
+        *clusters* (read-modify-write pairs, bursts of related requests)
+        separated by long silences.  Each hot extent's daily accesses
+        are split into clusters of ~2-4; cluster centers follow the
+        diurnal profile, accesses fall within a few minutes of their
+        center.  The long inter-cluster silences are what defeats
+        demand-filled LRU caching (the block is evicted between
+        clusters and refaults on every return) while leaving sieved
+        caches untouched (once admitted, the block stays resident and
+        every later cluster hits).
+        """
+        n_hot = len(hot_counts)
+        if n_hot == 0:
+            return np.zeros(0)
+        n_accesses = len(hot_access_extent)
+        spread = self.config.hot_cluster_mean * 0.4
+        clustered_share = 1.0 - self.config.hot_isolated_fraction
+        mean_cluster = rng.uniform(
+            self.config.hot_cluster_mean - spread,
+            self.config.hot_cluster_mean + spread,
+            size=n_hot,
+        )
+        clusters_per_extent = np.maximum(
+            1, np.round(hot_counts * clustered_share / mean_cluster)
+        ).astype(np.int64)
+        first_cluster = np.concatenate(
+            [[0], np.cumsum(clusters_per_extent)[:-1]]
+        )
+        total_clusters = int(clusters_per_extent.sum())
+        centers = rng.choice(1440, size=total_clusters, p=minute_weights).astype(float)
+        # Pick a uniformly random cluster of the owning extent per access.
+        pick = (
+            rng.random(n_accesses) * clusters_per_extent[hot_access_extent]
+        ).astype(np.int64)
+        cluster_id = first_cluster[hot_access_extent] + pick
+        minutes = np.clip(
+            centers[cluster_id] + rng.normal(0.0, 3.0, size=n_accesses),
+            0.0,
+            1439.0,
+        )
+        # Isolated accesses: re-draw their minute independently from the
+        # diurnal profile, giving them gaps far beyond any demand-filled
+        # cache's residency.
+        isolated = rng.random(n_accesses) < self.config.hot_isolated_fraction
+        n_isolated = int(isolated.sum())
+        if n_isolated:
+            minutes[isolated] = rng.choice(
+                1440, size=n_isolated, p=minute_weights
+            ).astype(float)
+        if minute_weights[: 1440 // 2].sum() == 0.0:
+            first_minute = int(np.argmax(minute_weights > 0))
+            minutes = np.maximum(minutes, first_minute)
+        return minutes * SECONDS_PER_MINUTE + rng.uniform(
+            0, SECONDS_PER_MINUTE, size=len(cluster_id)
+        )
+
+    def _session_times(
+        self,
+        rng: np.random.Generator,
+        tail_extent_idx: np.ndarray,
+        n_tail: int,
+        minute_weights: np.ndarray,
+    ) -> np.ndarray:
+        """Second-of-day timestamps for tail-extent requests.
+
+        Tail extents are partitioned into scan sessions; every access of
+        an extent lands inside its session's window, so all the reuse a
+        low-count block has is confined to one burst (as it would be for
+        a scan re-reading a region).  Session centers follow the same
+        diurnal weights as hot traffic.
+        """
+        n_sessions = max(3, n_tail // 400)
+        centers = rng.choice(1440, size=n_sessions, p=minute_weights).astype(float)
+        widths = rng.uniform(10.0, 30.0, size=n_sessions)  # minutes
+        session_of_extent = rng.integers(0, n_sessions, size=n_tail)
+        session = session_of_extent[tail_extent_idx]
+        offsets = rng.uniform(-0.5, 0.5, size=len(session)) * widths[session]
+        minutes = np.clip(centers[session] + offsets, 0.0, 1439.0)
+        if minute_weights[: 1440 // 2].sum() == 0.0:
+            # Partial day 0: keep sessions inside the traced window.
+            first_minute = int(np.argmax(minute_weights > 0))
+            minutes = np.maximum(minutes, first_minute)
+        return minutes * SECONDS_PER_MINUTE + rng.uniform(0, 60.0, size=len(session))
+
+    def _zipf_head_counts(
+        self, rng: np.random.Generator, n_hot: int, hot_accesses: int, skew: float
+    ) -> np.ndarray:
+        """Distribute ``hot_accesses`` over ``n_hot`` extents, power-law style.
+
+        Counts are i.i.d. truncated-Pareto draws with minimum 11 (hot
+        blocks sit strictly above the tail's 10-access ceiling, matching
+        Figure 2(a)'s cliff at the top percentile) and a tail index
+        chosen so the draws' mean matches ``hot_accesses / n_hot``.
+        Sampling i.i.d. — rather than assigning rank-based Zipf weights
+        within the volume — keeps the *ensemble* head distribution
+        scale-free even when a scaled-down volume has only a couple of
+        hot extents.  A tail index near 1 spreads hot mass roughly
+        evenly per count decade (10s to 1000s of accesses/day), which is
+        what the paper's Figure 2(a) slope implies and what places a
+        substantial mass share below the LRU-retention cutoff where only
+        sieving captures it.
+
+        The draws are sorted descending so rank 0 is the hottest extent
+        (the hot-pool drift protects low ranks).  Returns
+        ``(counts, n_top)`` where ``n_top`` is the number of top-band
+        extents (always the leading ranks after sorting).
+        """
+        if n_hot <= 0:
+            return np.zeros(0, dtype=np.int64), 0
+        cfg = self.config
+        floor = 11.0
+        target_mean = max(hot_accesses / n_hot, floor * 1.1)
+        top_lo, top_hi = cfg.hot_top_range
+        top_mean = (top_hi - top_lo) / math.log(top_hi / top_lo)
+        # Choose the top-band population so the mixture mean hits the
+        # target; small volumes may not afford any top-band extent.
+        top_fraction = cfg.hot_top_fraction
+        if target_mean < floor * 1.2 + top_fraction * top_mean:
+            top_fraction = max(0.0, (target_mean - floor * 1.2) / top_mean)
+        # Probabilistic rounding: a volume with 3 hot extents and a 4%
+        # top fraction still fields a top-band extent 12% of the time,
+        # keeping the *expected* ensemble mixture right at every scale.
+        raw = n_hot * top_fraction
+        n_top = int(raw) + (1 if rng.random() < raw % 1.0 else 0)
+        mid_target = (target_mean * n_hot - n_top * top_mean) / max(n_hot - n_top, 1)
+        mid_target = max(mid_target, floor * 1.05)
+        mid_hi = self._solve_pareto1_max(mid_target, floor)
+        counts = np.empty(n_hot, dtype=np.int64)
+        if n_top:
+            counts[:n_top] = np.round(
+                np.exp(rng.uniform(math.log(top_lo), math.log(top_hi), size=n_top))
+            )
+        if n_hot - n_top:
+            # Truncated Pareto(index 1): density ~ x^-2 on [floor, M], so
+            # access *mass* spreads evenly per count decade.
+            u = rng.random(n_hot - n_top)
+            counts[n_top:] = np.round(floor / (1.0 - u * (1.0 - floor / mid_hi)))
+        counts = np.maximum(counts, int(floor))
+        counts[::-1].sort()  # descending: rank 0 is hottest
+        return counts, n_top
+
+    @staticmethod
+    def _solve_pareto1_max(target_mean: float, floor: float) -> float:
+        """Upper truncation M of a Pareto(1) with the given mean.
+
+        For density ~ x^-2 on [floor, M] the mean is
+        ``floor * ln(M/floor) / (1 - floor/M)``, monotone in M; bisect.
+        """
+
+        def mean(m: float) -> float:
+            return floor * math.log(m / floor) / (1.0 - floor / m)
+
+        lo, hi = floor * 1.02, floor * 1e7
+        if target_mean <= mean(lo):
+            return lo
+        if target_mean >= mean(hi):
+            return hi
+        for _ in range(80):
+            mid = math.sqrt(lo * hi)
+            if mean(mid) < target_mean:
+                lo = mid
+            else:
+                hi = mid
+        return math.sqrt(lo * hi)
+
+    @staticmethod
+    def _sample_tail_slots(
+        rng: np.random.Generator, total_slots: int, n_tail: int, excluded: set
+    ) -> np.ndarray:
+        """Sample distinct tail slots avoiding the hot set."""
+        if n_tail <= 0:
+            return np.zeros(0, dtype=np.int64)
+        # Oversample and deduplicate; footprints are sparse relative to
+        # the slot grid so a couple of rounds always suffice.
+        chosen: List[int] = []
+        seen = set(excluded)
+        while len(chosen) < n_tail:
+            need = n_tail - len(chosen)
+            candidates = rng.integers(0, total_slots, size=max(need * 2, 16))
+            for c in candidates:
+                ci = int(c)
+                if ci not in seen:
+                    seen.add(ci)
+                    chosen.append(ci)
+                    if len(chosen) == n_tail:
+                        break
+        return np.asarray(chosen, dtype=np.int64)
+
+    def _extent_geometry(
+        self, rng: np.random.Generator, n_extents: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-extent (offset-within-slot, block length, 4K-aligned flag).
+
+        ~94% of extents are 4-KB aligned with lengths of 8 or 16 blocks;
+        the rest start at odd in-slot offsets with short odd lengths,
+        reproducing the paper's ~6% of non-4KB-aligned I/O.
+        """
+        unaligned = rng.random(n_extents) < self.config.unaligned_fraction
+        lengths = np.where(
+            rng.random(n_extents) < 0.8, 8, 16
+        ).astype(np.int64)
+        offsets = np.zeros(n_extents, dtype=np.int64)
+        n_unaligned = int(unaligned.sum())
+        if n_unaligned:
+            odd_lengths = rng.choice([1, 3, 5, 7], size=n_unaligned)
+            odd_offsets = rng.integers(1, 8, size=n_unaligned)
+            lengths[unaligned] = odd_lengths
+            offsets[unaligned] = odd_offsets
+        return offsets, lengths, ~unaligned
+
+
+def generate_ensemble_trace(config: Optional[SyntheticTraceConfig] = None) -> Trace:
+    """Convenience wrapper: generate the full ensemble trace."""
+    return EnsembleTraceGenerator(config or SyntheticTraceConfig()).generate()

@@ -1,0 +1,52 @@
+"""Shared low-level utilities: byte/block units, hashing, time intervals.
+
+These helpers encode the two accounting granularities the paper uses
+throughout its methodology (Section 4):
+
+* **512-byte blocks** for all hit/miss/allocation counting, and
+* **4-KB I/O units** for SSD IOPS costing (sub-4KB I/O is charged as a
+  full 4-KB unit when assessing drive needs).
+"""
+
+from repro.util.units import (
+    BLOCK_BYTES,
+    IO_UNIT_BYTES,
+    KIB,
+    MIB,
+    GIB,
+    TIB,
+    blocks_to_bytes,
+    bytes_to_blocks,
+    blocks_to_io_units,
+    format_bytes,
+)
+from repro.util.hashing import mix64, stable_bucket
+from repro.util.intervals import (
+    SECONDS_PER_MINUTE,
+    SECONDS_PER_HOUR,
+    SECONDS_PER_DAY,
+    minute_of,
+    day_of,
+    hour_of,
+)
+
+__all__ = [
+    "BLOCK_BYTES",
+    "IO_UNIT_BYTES",
+    "KIB",
+    "MIB",
+    "GIB",
+    "TIB",
+    "blocks_to_bytes",
+    "bytes_to_blocks",
+    "blocks_to_io_units",
+    "format_bytes",
+    "mix64",
+    "stable_bucket",
+    "SECONDS_PER_MINUTE",
+    "SECONDS_PER_HOUR",
+    "SECONDS_PER_DAY",
+    "minute_of",
+    "day_of",
+    "hour_of",
+]

@@ -1,0 +1,36 @@
+"""Deterministic integer hashing used by the imprecise miss-count table.
+
+The IMCT (Section 3.3) maps the large block-address space onto a
+fixed-size table, so it needs a hash that (a) is stable across runs and
+Python processes (unlike the builtin ``hash`` under PYTHONHASHSEED) and
+(b) scrambles the low bits well, because block addresses are strongly
+clustered (sequential I/O).  We use the SplitMix64 finalizer, a
+well-studied 64-bit mixing function.
+"""
+
+from __future__ import annotations
+
+_MASK64 = (1 << 64) - 1
+
+
+def mix64(value: int) -> int:
+    """Mix a 64-bit integer with the SplitMix64 finalizer.
+
+    Returns a value in ``[0, 2**64)``.  Negative inputs are first reduced
+    modulo 2**64 so the function is total over Python ints.
+    """
+    z = (value + 0x9E3779B97F4A7C15) & _MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return z ^ (z >> 31)
+
+
+def stable_bucket(value: int, buckets: int, salt: int = 0) -> int:
+    """Map ``value`` onto ``[0, buckets)`` deterministically.
+
+    ``salt`` lets independent tables (e.g. the IMCT and the offline log
+    partitioner) use decorrelated mappings of the same address space.
+    """
+    if buckets <= 0:
+        raise ValueError(f"buckets must be positive, got {buckets}")
+    return mix64(value ^ mix64(salt)) % buckets

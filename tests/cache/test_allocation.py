@@ -1,0 +1,54 @@
+"""Unsieved allocation policies (Table 3)."""
+
+import pytest
+
+from repro.cache.allocation import (
+    AllocateOnDemand,
+    NeverAllocate,
+    StaticSet,
+    WriteMissNoAllocate,
+)
+
+
+class TestAOD:
+    def test_allocates_every_miss(self):
+        policy = AllocateOnDemand()
+        assert policy.wants(1, is_write=False, time=0.0)
+        assert policy.wants(1, is_write=True, time=0.0)
+
+    def test_no_epoch_batches(self):
+        assert AllocateOnDemand().epoch_boundary(0) is None
+
+
+class TestWMNA:
+    def test_allocates_read_misses_only(self):
+        # Table 3: WMNA allocates "on a read-miss".
+        policy = WriteMissNoAllocate()
+        assert policy.wants(1, is_write=False, time=0.0)
+        assert not policy.wants(1, is_write=True, time=0.0)
+
+
+class TestNeverAllocate:
+    def test_never(self):
+        policy = NeverAllocate()
+        assert not policy.wants(1, is_write=False, time=0.0)
+        assert not policy.wants(1, is_write=True, time=0.0)
+
+
+class TestStaticSet:
+    def test_installs_once(self):
+        policy = StaticSet({1, 2, 3})
+        assert set(policy.epoch_boundary(0)) == {1, 2, 3}
+        assert policy.epoch_boundary(1) is None
+        assert policy.epoch_boundary(2) is None
+
+    def test_never_allocates_continuously(self):
+        policy = StaticSet({1})
+        policy.epoch_boundary(0)
+        assert not policy.wants(9, is_write=False, time=0.0)
+
+    def test_constructor_copies_input(self):
+        blocks = {1, 2}
+        policy = StaticSet(blocks)
+        blocks.add(3)  # caller mutates after construction
+        assert set(policy.epoch_boundary(0)) == {1, 2}

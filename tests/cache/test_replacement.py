@@ -1,0 +1,217 @@
+"""Replacement policies: LRU (the paper's default) and ablation variants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.replacement import (
+    ClockReplacement,
+    FIFOReplacement,
+    LFUReplacement,
+    LRUReplacement,
+    RandomReplacement,
+    make_replacement,
+)
+
+
+class TestLRU:
+    def test_victim_is_least_recent(self):
+        lru = LRUReplacement()
+        for a in (1, 2, 3):
+            lru.on_insert(a)
+        assert lru.choose_victim() == 1
+
+    def test_access_refreshes(self):
+        lru = LRUReplacement()
+        for a in (1, 2, 3):
+            lru.on_insert(a)
+        lru.on_access(1)
+        assert lru.choose_victim() == 2
+
+    def test_remove(self):
+        lru = LRUReplacement()
+        lru.on_insert(1)
+        lru.on_insert(2)
+        lru.on_remove(1)
+        assert lru.choose_victim() == 2
+        assert len(lru) == 1
+
+    def test_empty_victim_raises(self):
+        with pytest.raises(LookupError):
+            LRUReplacement().choose_victim()
+
+    def test_recency_order(self):
+        lru = LRUReplacement()
+        for a in (1, 2, 3):
+            lru.on_insert(a)
+        lru.on_access(2)
+        assert list(lru.recency_order()) == [1, 3, 2]
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=9), min_size=1, max_size=100))
+    def test_matches_reference_model(self, accesses):
+        """LRU victim always equals a brute-force recency list's head."""
+        lru = LRUReplacement()
+        reference = []
+        for a in accesses:
+            if a in reference:
+                lru.on_access(a)
+                reference.remove(a)
+            else:
+                lru.on_insert(a)
+            reference.append(a)
+        assert lru.choose_victim() == reference[0]
+
+
+class TestFIFO:
+    def test_ignores_access(self):
+        fifo = FIFOReplacement()
+        fifo.on_insert(1)
+        fifo.on_insert(2)
+        fifo.on_access(1)
+        assert fifo.choose_victim() == 1
+
+    def test_remove(self):
+        fifo = FIFOReplacement()
+        fifo.on_insert(1)
+        fifo.on_insert(2)
+        fifo.on_remove(1)
+        assert fifo.choose_victim() == 2
+
+
+class TestRandom:
+    def test_deterministic_with_seed(self):
+        def build():
+            policy = RandomReplacement(seed=7)
+            for a in range(10):
+                policy.on_insert(a)
+            return [policy.choose_victim() for _ in range(5)]
+
+        assert build() == build()
+
+    def test_victim_is_resident(self):
+        policy = RandomReplacement(seed=1)
+        for a in range(5):
+            policy.on_insert(a)
+        for _ in range(20):
+            assert 0 <= policy.choose_victim() < 5
+
+    def test_remove_keeps_index_consistent(self):
+        policy = RandomReplacement(seed=3)
+        for a in range(6):
+            policy.on_insert(a)
+        policy.on_remove(2)
+        policy.on_remove(5)
+        assert len(policy) == 4
+        for _ in range(20):
+            assert policy.choose_victim() in {0, 1, 3, 4}
+
+
+class TestLFU:
+    def test_victim_is_least_frequent(self):
+        lfu = LFUReplacement()
+        lfu.on_insert(1)
+        lfu.on_insert(2)
+        lfu.on_access(1)
+        assert lfu.choose_victim() == 2
+
+    def test_tie_broken_by_insertion_order(self):
+        lfu = LFUReplacement()
+        lfu.on_insert(1)
+        lfu.on_insert(2)
+        assert lfu.choose_victim() == 1
+
+    def test_remove_updates_min_class(self):
+        lfu = LFUReplacement()
+        lfu.on_insert(1)
+        lfu.on_insert(2)
+        lfu.on_access(2)
+        lfu.on_remove(1)
+        assert lfu.choose_victim() == 2
+
+    def test_frequency_accumulates(self):
+        lfu = LFUReplacement()
+        for a in (1, 2, 3):
+            lfu.on_insert(a)
+        for _ in range(3):
+            lfu.on_access(1)
+        lfu.on_access(2)
+        assert lfu.choose_victim() == 3
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=6), max_size=80))
+    def test_victim_minimizes_frequency(self, accesses):
+        lfu = LFUReplacement()
+        freq = {}
+        for a in accesses:
+            if a in freq:
+                lfu.on_access(a)
+                freq[a] += 1
+            else:
+                lfu.on_insert(a)
+                freq[a] = 1
+        if freq:
+            assert freq[lfu.choose_victim()] == min(freq.values())
+
+
+class TestClock:
+    def test_unreferenced_head_is_victim(self):
+        clock = ClockReplacement()
+        clock.on_insert(1)
+        clock.on_insert(2)
+        assert clock.choose_victim() == 1
+
+    def test_second_chance(self):
+        clock = ClockReplacement()
+        clock.on_insert(1)
+        clock.on_insert(2)
+        clock.on_access(1)  # 1 gets a second chance
+        assert clock.choose_victim() == 2
+
+    def test_hand_clears_bits(self):
+        clock = ClockReplacement()
+        for a in (1, 2, 3):
+            clock.on_insert(a)
+            clock.on_access(a)
+        # All referenced: the hand clears 1, 2, 3 and comes back to 1.
+        assert clock.choose_victim() == 1
+
+    def test_remove(self):
+        clock = ClockReplacement()
+        clock.on_insert(1)
+        clock.on_insert(2)
+        clock.on_remove(1)
+        assert clock.choose_victim() == 2
+        assert len(clock) == 1
+
+    def test_empty_raises(self):
+        with pytest.raises(LookupError):
+            ClockReplacement().choose_victim()
+
+    def test_approximates_lru_on_skewed_stream(self):
+        """CLOCK must protect a continually re-referenced block."""
+        from repro.cache import BlockCache
+
+        cache = BlockCache(3, replacement=ClockReplacement())
+        cache.insert(0)
+        for i in range(1, 50):
+            cache.access(0)  # keep 0 hot
+            if i not in cache:
+                cache.insert(i)
+        assert 0 in cache
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [
+        ("lru", LRUReplacement),
+        ("fifo", FIFOReplacement),
+        ("lfu", LFUReplacement),
+        ("random", RandomReplacement),
+        ("clock", ClockReplacement),
+        ("LRU", LRUReplacement),
+    ])
+    def test_constructs_by_name(self, name, cls):
+        assert isinstance(make_replacement(name), cls)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_replacement("arc")

@@ -1,0 +1,89 @@
+"""Cache statistics accounting (per-day and per-minute)."""
+
+import pytest
+
+from repro.cache.stats import CacheStats, DayStats
+from repro.util.intervals import SECONDS_PER_DAY
+
+
+class TestDayStats:
+    def test_hit_ratio(self):
+        day = DayStats(accesses=10, read_hits=3, write_hits=2,
+                       read_misses=4, write_misses=1)
+        assert day.hit_ratio == 0.5
+
+    def test_hit_ratio_idle_day(self):
+        assert DayStats().hit_ratio == 0.0
+
+    def test_ssd_operations_include_allocation_writes(self):
+        # Figure 7: SSD ops = read hits + write hits + allocation-writes.
+        day = DayStats(accesses=10, read_hits=4, write_hits=2,
+                       read_misses=3, write_misses=1, allocation_writes=7)
+        assert day.ssd_operations == 13
+        assert day.ssd_writes == 9
+
+
+class TestCacheStats:
+    def test_rejects_zero_days(self):
+        with pytest.raises(ValueError):
+            CacheStats(days=0)
+
+    def test_records_per_day(self):
+        stats = CacheStats(days=2)
+        stats.record_hit(10.0, is_write=False)
+        stats.record_miss(SECONDS_PER_DAY + 5.0, is_write=True)
+        assert stats.per_day[0].read_hits == 1
+        assert stats.per_day[1].write_misses == 1
+
+    def test_overflow_day_clamped_to_last(self):
+        stats = CacheStats(days=2)
+        stats.record_hit(5 * SECONDS_PER_DAY, is_write=False)
+        assert stats.per_day[1].read_hits == 1
+
+    def test_allocation_writes_not_accesses(self):
+        stats = CacheStats(days=1)
+        stats.record_allocation_write(0.0, blocks=3)
+        assert stats.per_day[0].allocation_writes == 3
+        assert stats.per_day[0].accesses == 0
+        stats.check_consistency()
+
+    def test_consistency_check_fires(self):
+        stats = CacheStats(days=1)
+        stats.per_day[0].accesses = 5  # corrupt
+        with pytest.raises(AssertionError):
+            stats.check_consistency()
+
+    def test_total_aggregates(self):
+        stats = CacheStats(days=2)
+        stats.record_hit(0.0, is_write=False, blocks=2)
+        stats.record_miss(SECONDS_PER_DAY + 1, is_write=False, blocks=3)
+        total = stats.total
+        assert total.accesses == 5
+        assert total.read_hits == 2
+        assert total.read_misses == 3
+
+
+class TestMinuteTracking:
+    def test_records_io_units_per_minute(self):
+        stats = CacheStats(days=1)
+        stats.record_ssd_io(61.0, 4, is_write=False)
+        stats.record_ssd_io(65.0, 2, is_write=True)
+        assert stats.per_minute[1].reads == 4
+        assert stats.per_minute[1].writes == 2
+
+    def test_disabled_tracking_records_nothing(self):
+        stats = CacheStats(days=1, track_minutes=False)
+        stats.record_ssd_io(61.0, 4, is_write=False)
+        assert stats.per_minute == {}
+
+    def test_zero_units_ignored(self):
+        stats = CacheStats(days=1)
+        stats.record_ssd_io(0.0, 0, is_write=False)
+        assert stats.per_minute == {}
+
+    def test_minute_series_sorted(self):
+        stats = CacheStats(days=1)
+        stats.record_ssd_io(600.0, 1, is_write=False)
+        stats.record_ssd_io(60.0, 1, is_write=False)
+        minutes = [m for m, _ in stats.minute_series()]
+        assert minutes == sorted(minutes)

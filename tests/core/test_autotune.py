@@ -1,0 +1,131 @@
+"""Self-tuning sieves (Section 7 extensions)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.autotune import (
+    AdaptiveSieveStoreC,
+    AdmissionBudget,
+    AutoThresholdSieveStoreD,
+)
+from repro.core.sievestore_c import SieveStoreCConfig
+from repro.core.windows import WindowSpec
+
+
+class TestAutoThresholdD:
+    def test_fills_to_target(self):
+        policy = AutoThresholdSieveStoreD(capacity_blocks=10, fill_target=0.5)
+        counts = Counter({i: 100 - i for i in range(50)})
+        selected = policy.select_allocation(counts)
+        assert len(selected) == 5
+        assert selected == {0, 1, 2, 3, 4}  # the hottest blocks
+
+    def test_respects_floor(self):
+        # A near-idle epoch must not drag junk in just to fill the cache.
+        policy = AutoThresholdSieveStoreD(
+            capacity_blocks=100, fill_target=1.0, floor_threshold=4
+        )
+        counts = Counter({1: 10, 2: 4, 3: 1})
+        assert policy.select_allocation(counts) == {1}
+
+    def test_records_chosen_threshold(self):
+        policy = AutoThresholdSieveStoreD(capacity_blocks=2, fill_target=1.0)
+        policy.select_allocation(Counter({1: 50, 2: 30, 3: 20}))
+        assert policy.chosen_thresholds == [30]
+
+    def test_threshold_adapts_to_intensity(self):
+        """Busier epochs produce higher effective thresholds."""
+        policy = AutoThresholdSieveStoreD(capacity_blocks=3, fill_target=1.0)
+        light = Counter({i: 5 + i for i in range(5)})
+        heavy = Counter({i: 50 + i for i in range(50)})
+        policy.select_allocation(light)
+        policy.select_allocation(heavy)
+        assert policy.chosen_thresholds[1] > policy.chosen_thresholds[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AutoThresholdSieveStoreD(capacity_blocks=8, fill_target=0.0)
+
+    def test_epoch_boundary_integration(self):
+        policy = AutoThresholdSieveStoreD(capacity_blocks=4, fill_target=1.0)
+        for _ in range(20):
+            policy.observe(1, is_write=False, time=0.0, hit=False)
+        for _ in range(6):
+            policy.observe(2, is_write=False, time=0.0, hit=False)
+        assert policy.epoch_boundary(1) == {1, 2}
+
+
+def adaptive(budget_per_day, t2=2, interval=100.0, bounds=(1, 8)):
+    return AdaptiveSieveStoreC(
+        SieveStoreCConfig(
+            imct_slots=1 << 12, t1=1, t2=t2, window=WindowSpec(1e9, 4)
+        ),
+        budget=AdmissionBudget(per_day=budget_per_day),
+        adjust_interval=interval,
+        t2_bounds=bounds,
+    )
+
+
+class TestAdaptiveC:
+    def test_budget_from_turnovers(self):
+        budget = AdmissionBudget.cache_turnovers(1000, turnovers_per_day=2.0)
+        assert budget.per_day == 2000
+
+    def test_turnovers_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionBudget.cache_turnovers(10, turnovers_per_day=0)
+
+    def test_t2_rises_under_admission_storm(self):
+        sieve = adaptive(budget_per_day=1.0)
+        # Hammer distinct blocks so each passes tier 1 (t1=1) and then
+        # t2; every admission counts against a tiny budget.
+        time = 0.0
+        for address in range(3000):
+            for _ in range(10):
+                time += 1.0
+                sieve.wants(address, is_write=False, time=time)
+        assert sieve.current_t2 > 2
+
+    def test_t2_falls_when_idle(self):
+        sieve = adaptive(budget_per_day=1e9, t2=6)
+        time = 0.0
+        # Sparse misses: far below budget -> controller relaxes t2.
+        for address in range(200):
+            time += 200.0
+            sieve.wants(address, is_write=False, time=time)
+        assert sieve.current_t2 < 6
+
+    def test_t2_respects_bounds(self):
+        sieve = adaptive(budget_per_day=1.0, bounds=(1, 3))
+        time = 0.0
+        for address in range(5000):
+            for _ in range(6):
+                time += 1.0
+                sieve.wants(address, is_write=False, time=time)
+        assert sieve.current_t2 <= 3
+
+    def test_history_records_changes(self):
+        sieve = adaptive(budget_per_day=1e9, t2=6)
+        time = 0.0
+        for address in range(200):
+            time += 200.0
+            sieve.wants(address, is_write=False, time=time)
+        assert len(sieve.t2_history) >= 2
+        times = [t for t, _ in sieve.t2_history]
+        assert times == sorted(times)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveSieveStoreC(adjust_interval=0)
+        with pytest.raises(ValueError):
+            AdaptiveSieveStoreC(t2_bounds=(0, 4))
+
+    def test_still_sieves(self):
+        """Whatever the controller does, singles are never admitted."""
+        sieve = adaptive(budget_per_day=100.0)
+        admitted = [
+            sieve.wants(address, is_write=False, time=float(address))
+            for address in range(5000, 6000)
+        ]
+        assert not any(admitted)

@@ -1,0 +1,132 @@
+"""Belady MIN, selective allocation, and the Section 3.1 counterexample."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.belady import (
+    belady_min,
+    belady_selective,
+    counterexample_stream,
+    fixed_allocation,
+    min_compulsory_allocation_bound,
+)
+
+
+class TestBeladyMin:
+    def test_simple_stream(self):
+        # capacity 1: a b a -> miss, miss, miss (b evicts a).
+        result = belady_min([1, 2, 1], capacity=1)
+        assert result.hits == 0
+        assert result.allocation_writes == 3
+
+    def test_optimal_on_classic_example(self):
+        stream = [1, 2, 3, 4, 1, 2, 5, 1, 2, 3, 4, 5]
+        result = belady_min(stream, capacity=3)
+        # Known MIN result for this classic sequence: 7 misses.
+        assert result.misses == 7
+
+    def test_every_miss_allocates(self):
+        stream = [1, 2, 3, 1, 2, 3]
+        result = belady_min(stream, capacity=2)
+        assert result.allocation_writes == result.misses
+
+    def test_all_hits_when_capacity_sufficient(self):
+        result = belady_min([1, 2, 1, 2], capacity=2)
+        assert result.hits == 2
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            belady_min([1], capacity=0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        stream=st.lists(st.integers(min_value=0, max_value=8), min_size=1, max_size=120),
+        capacity=st.integers(min_value=1, max_value=4),
+    )
+    def test_min_beats_lru(self, stream, capacity):
+        """MIN's hit count upper-bounds any demand-fill policy (LRU here)."""
+        from collections import OrderedDict
+
+        lru = OrderedDict()
+        lru_hits = 0
+        for address in stream:
+            if address in lru:
+                lru_hits += 1
+                lru.move_to_end(address)
+            else:
+                lru[address] = None
+                if len(lru) > capacity:
+                    lru.popitem(last=False)
+        assert belady_min(stream, capacity).hits >= lru_hits
+
+
+class TestBeladySelective:
+    def test_same_hits_as_min_on_counterexample(self):
+        stream = counterexample_stream(50)
+        selective = belady_selective(stream, capacity=1)
+        demand = belady_min(stream, capacity=1)
+        assert selective.hits >= demand.hits
+
+    def test_skips_never_reused_blocks(self):
+        # b never recurs: selective allocation must not insert it.
+        result = belady_selective([1, 2, 1], capacity=1)
+        assert result.allocation_writes == 1
+        assert result.hits == 1
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        stream=st.lists(st.integers(min_value=0, max_value=8), min_size=1, max_size=120),
+        capacity=st.integers(min_value=1, max_value=4),
+    )
+    def test_selective_dominates_demand_min(self, stream, capacity):
+        """Bypassing is strictly more powerful than demand fill: the
+        selective extension never hits less than MIN and never
+        allocates more (e.g. on [a, b, a] with one frame, MIN must
+        insert b and lose a, while selective bypasses b)."""
+        selective = belady_selective(stream, capacity)
+        demand = belady_min(stream, capacity)
+        assert selective.hits >= demand.hits
+        assert selective.allocation_writes <= demand.allocation_writes
+
+
+class TestCounterexample:
+    """The paper's a,a,b,b,a,a,c,c,... stream (Section 3.1)."""
+
+    def test_stream_shape(self):
+        assert counterexample_stream(2) == [0, 0, 1, 1, 0, 0, 2, 2]
+
+    def test_selective_allocation_writes_half_of_accesses(self):
+        stream = counterexample_stream(200)
+        result = belady_selective(stream, capacity=1)
+        # "each miss causes an allocation ... 50% of accesses causing
+        # allocation-writes"; hit ratio converges to 50%.
+        assert result.allocation_write_ratio == pytest.approx(0.5, abs=0.02)
+        assert result.hit_ratio == pytest.approx(0.5, abs=0.02)
+
+    def test_fixed_allocation_needs_exactly_one_write(self):
+        stream = counterexample_stream(200)
+        result = fixed_allocation(stream, blocks=[0])
+        assert result.allocation_writes == 1
+        # "nearly the same number of hits in the long-term (nearly 50%)".
+        assert result.hit_ratio == pytest.approx(0.5, abs=0.02)
+
+    def test_rejects_bad_cycles(self):
+        with pytest.raises(ValueError):
+            counterexample_stream(0)
+
+
+class TestCompulsoryBound:
+    def test_paper_arithmetic(self):
+        # 50% + 47%/4 = 61.75% of blocks incur compulsory allocation-writes.
+        assert min_compulsory_allocation_bound() == pytest.approx(0.6175)
+
+    def test_custom_values(self):
+        assert min_compulsory_allocation_bound(0.4, 0.4, 2) == pytest.approx(0.6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            min_compulsory_allocation_bound(fraction_single_use=1.5)
+        with pytest.raises(ValueError):
+            min_compulsory_allocation_bound(low_reuse_max_accesses=0)

@@ -1,0 +1,85 @@
+"""Ideal day-by-day top-1% sieve (Figure 5's oracle)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.ideal import (
+    IdealDailySieve,
+    ideal_capture_shares,
+    top_fraction_blocks,
+)
+
+
+class TestTopFractionBlocks:
+    def test_picks_most_accessed(self):
+        counts = Counter({i: i for i in range(1, 201)})
+        top = top_fraction_blocks(counts, 0.01)
+        assert top == {199, 200}
+
+    def test_at_least_one_block(self):
+        counts = Counter({1: 5, 2: 3})
+        assert len(top_fraction_blocks(counts, 0.01)) == 1
+
+    def test_empty_counter(self):
+        assert top_fraction_blocks(Counter(), 0.01) == set()
+
+    def test_ties_broken_deterministically(self):
+        counts = Counter({10: 5, 20: 5, 30: 5})
+        a = top_fraction_blocks(counts, 0.34)
+        b = top_fraction_blocks(counts, 0.34)
+        assert a == b
+        assert len(a) == 2
+
+    def test_fraction_one_takes_everything(self):
+        counts = Counter({1: 1, 2: 2})
+        assert top_fraction_blocks(counts, 1.0) == {1, 2}
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            top_fraction_blocks(Counter({1: 1}), 0.0)
+
+
+class TestIdealDailySieve:
+    def test_installs_days_top_set(self):
+        daily = [Counter({1: 100, 2: 1}), Counter({3: 100, 1: 1})]
+        sieve = IdealDailySieve(daily, fraction=0.5)
+        assert set(sieve.epoch_boundary(0)) == {1}
+        assert set(sieve.epoch_boundary(1)) == {3}
+
+    def test_past_last_day_installs_nothing(self):
+        sieve = IdealDailySieve([Counter({1: 1})])
+        assert set(sieve.epoch_boundary(5)) == set()
+
+    def test_capacity_truncation(self):
+        daily = [Counter({1: 10, 2: 9, 3: 8, 4: 7})]
+        sieve = IdealDailySieve(daily, fraction=1.0, capacity_blocks=2)
+        assert set(sieve.epoch_boundary(0)) == {1, 2}
+
+    def test_never_allocates_continuously(self):
+        sieve = IdealDailySieve([Counter()])
+        assert not sieve.wants(1, is_write=False, time=0.0)
+
+
+class TestIdealCaptureShares:
+    def test_closed_form(self):
+        # 100 blocks; block 0 has 99 accesses, the rest one each:
+        # top 1% = {0} captures 99 / 198.
+        counts = Counter({0: 99})
+        counts.update({i: 1 for i in range(1, 100)})
+        (share,) = ideal_capture_shares([counts], fraction=0.01)
+        assert share == pytest.approx(99 / 198)
+
+    def test_empty_day(self):
+        assert ideal_capture_shares([Counter()]) == [0.0]
+
+    def test_matches_simulated_ideal(self, tiny_context):
+        """The closed form equals running the oracle through the engine."""
+        from repro.sim import run_policy
+
+        shares = ideal_capture_shares(tiny_context.daily_counts)
+        result = run_policy("ideal", tiny_context, track_minutes=False)
+        for day, (analytic, simulated) in enumerate(
+            zip(shares, result.daily_capture())
+        ):
+            assert simulated == pytest.approx(analytic, abs=0.02), f"day {day}"

@@ -1,0 +1,91 @@
+"""IMCT: the imprecise (aliased) first sieve tier."""
+
+import pytest
+
+from repro.core.imct import ImpreciseMissCountTable
+from repro.core.windows import WindowSpec
+
+
+def make_imct(slots=64, window_seconds=80.0, subwindows=4):
+    return ImpreciseMissCountTable(
+        slots=slots, window=WindowSpec(window_seconds, subwindows)
+    )
+
+
+class TestBasics:
+    def test_counts_misses(self):
+        imct = make_imct()
+        assert imct.record_miss(1, 0.0) == 1
+        assert imct.record_miss(1, 1.0) == 2
+
+    def test_count_is_read_only(self):
+        imct = make_imct()
+        imct.record_miss(5, 0.0)
+        assert imct.count(5, 0.0) == 1
+        assert imct.count(5, 0.0) == 1
+
+    def test_rejects_zero_slots(self):
+        with pytest.raises(ValueError):
+            make_imct(slots=0)
+
+    def test_records_tracked(self):
+        imct = make_imct()
+        for i in range(10):
+            imct.record_miss(i, 0.0)
+        assert imct.recorded_misses == 10
+
+
+class TestAliasing:
+    """Many-to-one mapping is the IMCT's defining (mis)feature."""
+
+    def find_aliases(self, imct, count=2):
+        by_slot = {}
+        address = 0
+        while True:
+            slot = imct.slot_of(address)
+            by_slot.setdefault(slot, []).append(address)
+            if len(by_slot[slot]) >= count:
+                return by_slot[slot][:count]
+            address += 1
+
+    def test_aliased_addresses_share_counts(self):
+        imct = make_imct(slots=4)
+        a, b = self.find_aliases(imct)
+        imct.record_miss(a, 0.0)
+        # b inherits a's count: the piggy-backing the paper observed.
+        assert imct.count(b, 0.0) == 1
+
+    def test_distinct_slots_independent(self):
+        imct = make_imct(slots=1024)
+        address_a = 0
+        address_b = next(
+            x for x in range(1, 10000)
+            if imct.slot_of(x) != imct.slot_of(address_a)
+        )
+        imct.record_miss(address_a, 0.0)
+        assert imct.count(address_b, 0.0) == 0
+
+    def test_slot_mapping_stable(self):
+        imct = make_imct()
+        assert imct.slot_of(12345) == imct.slot_of(12345)
+
+
+class TestWindowing:
+    def test_counts_expire(self):
+        imct = make_imct(window_seconds=40.0, subwindows=4)
+        imct.record_miss(1, 0.0)
+        # 40s window, 10s subwindows: by t=50 the count is gone.
+        assert imct.count(1, 50.0) == 0
+
+    def test_reset_slot(self):
+        imct = make_imct()
+        imct.record_miss(1, 0.0)
+        imct.reset_slot(1)
+        assert imct.count(1, 0.0) == 0
+
+
+class TestMemoryEstimate:
+    def test_scales_with_slots(self):
+        small = make_imct(slots=100)
+        large = make_imct(slots=1000)
+        assert large.memory_bytes_estimate() == 10 * small.memory_bytes_estimate()

@@ -1,0 +1,69 @@
+"""Metastate memory budgeting."""
+
+import pytest
+
+from repro.core.metastate import (
+    DEFAULT_BUDGET,
+    MetastateBudget,
+    paper_scale_example,
+)
+from repro.util.units import GIB
+
+
+class TestBudgetArithmetic:
+    def test_imct_linear_in_slots(self):
+        assert DEFAULT_BUDGET.imct_bytes(2000) == 2 * DEFAULT_BUDGET.imct_bytes(1000)
+
+    def test_imct_per_slot_bytes(self):
+        # 4 one-byte counters + 2-byte stamp.
+        assert DEFAULT_BUDGET.imct_bytes(1) == 6
+
+    def test_mct_per_entry_bytes(self):
+        # key 6 + counters 4 + stamp 2 + overhead 10.
+        assert DEFAULT_BUDGET.mct_bytes(1) == 22
+
+    def test_log_raw_vs_compacted(self):
+        raw = DEFAULT_BUDGET.log_bytes(1_000_000, 100_000, compacted=False)
+        compacted = DEFAULT_BUDGET.log_bytes(1_000_000, 100_000, compacted=True)
+        assert raw == 10 * compacted
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DEFAULT_BUDGET.imct_bytes(-1)
+        with pytest.raises(ValueError):
+            DEFAULT_BUDGET.mct_bytes(-1)
+        with pytest.raises(ValueError):
+            DEFAULT_BUDGET.log_bytes(-1, -1, compacted=False)
+
+
+class TestPaperScale:
+    def test_reproduces_eight_gb_figure(self):
+        # "our implementation of IMCT and MCT occupied about 8GB of
+        # memory" (Section 3.3).
+        example = paper_scale_example()
+        assert 6.0 < example["total_gib"] < 10.0
+
+    def test_imct_dominates(self):
+        example = paper_scale_example()
+        assert example["imct_gib"] > example["mct_gib"]
+
+    def test_custom_budget(self):
+        fat = MetastateBudget(counter_bytes=4)
+        assert paper_scale_example(fat)["total_gib"] > paper_scale_example()[
+            "total_gib"
+        ]
+
+
+class TestAgainstSimulatedSieve:
+    def test_simulated_mct_far_below_imct_budget(self, tiny_context):
+        """The two-tier design's point: exact state stays tiny."""
+        from repro.sim import run_policy
+
+        result = run_policy("sievestore-c", tiny_context, track_minutes=False)
+        state = result.policy.metastate_entries()
+        assert state["mct_peak_entries"] < 0.2 * state["imct_slots"]
+        estimated = DEFAULT_BUDGET.sieve_c_bytes(
+            state["imct_slots"], state["mct_peak_entries"]
+        )
+        # Scaled-down state is a few hundred KB, not gigabytes.
+        assert estimated < 0.01 * GIB

@@ -1,0 +1,73 @@
+"""Random sieving baselines (RandSieve-BlkD / RandSieve-C)."""
+
+import pytest
+
+from repro.core.random_sieve import RandSieveBlkD, RandSieveC
+
+
+class TestRandSieveBlkD:
+    def test_selects_one_percent_of_seen_blocks(self):
+        policy = RandSieveBlkD(fraction=0.01, seed=1)
+        for address in range(1000):
+            policy.observe(address, is_write=False, time=0.0, hit=False)
+        batch = set(policy.epoch_boundary(1))
+        assert len(batch) == 10
+        assert batch <= set(range(1000))
+
+    def test_empty_epoch_empty_batch(self):
+        policy = RandSieveBlkD(seed=1)
+        assert set(policy.epoch_boundary(0)) == set()
+
+    def test_seen_set_resets_each_epoch(self):
+        policy = RandSieveBlkD(fraction=1.0, seed=1)
+        policy.observe(1, is_write=False, time=0.0, hit=False)
+        policy.epoch_boundary(1)
+        policy.observe(2, is_write=False, time=0.0, hit=False)
+        assert set(policy.epoch_boundary(2)) == {2}
+
+    def test_capacity_cap(self):
+        policy = RandSieveBlkD(fraction=1.0, capacity_blocks=3, seed=1)
+        for address in range(10):
+            policy.observe(address, is_write=False, time=0.0, hit=False)
+        assert len(set(policy.epoch_boundary(1))) == 3
+
+    def test_deterministic_with_seed(self):
+        def batch(seed):
+            policy = RandSieveBlkD(fraction=0.1, seed=seed)
+            for address in range(100):
+                policy.observe(address, is_write=False, time=0.0, hit=False)
+            return set(policy.epoch_boundary(1))
+
+        assert batch(5) == batch(5)
+        assert batch(5) != batch(6)
+
+    def test_never_allocates_continuously(self):
+        assert not RandSieveBlkD().wants(1, is_write=False, time=0.0)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            RandSieveBlkD(fraction=0.0)
+
+
+class TestRandSieveC:
+    def test_allocation_rate_near_probability(self):
+        policy = RandSieveC(probability=0.01, seed=3)
+        allocated = sum(
+            policy.wants(i, is_write=False, time=0.0) for i in range(20000)
+        )
+        assert 120 <= allocated <= 280  # ~200 expected
+
+    def test_deterministic_with_seed(self):
+        a = [RandSieveC(probability=0.5, seed=9).wants(i, False, 0.0) for i in range(50)]
+        b = [RandSieveC(probability=0.5, seed=9).wants(i, False, 0.0) for i in range(50)]
+        assert a == b
+
+    def test_probability_one_always_allocates(self):
+        policy = RandSieveC(probability=1.0, seed=0)
+        assert all(policy.wants(i, False, 0.0) for i in range(10))
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            RandSieveC(probability=0.0)
+        with pytest.raises(ValueError):
+            RandSieveC(probability=1.5)

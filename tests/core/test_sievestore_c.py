@@ -1,0 +1,142 @@
+"""SieveStore-C: two-tier hysteresis-based lazy allocation."""
+
+import pytest
+
+from repro.core.sievestore_c import SieveStoreC, SieveStoreCConfig
+from repro.core.windows import WindowSpec
+
+
+def make_sieve(t1=3, t2=2, slots=1 << 14, window_seconds=800.0, single_tier=False):
+    """Small thresholds so tests can walk the admission path explicitly."""
+    return SieveStoreC(
+        SieveStoreCConfig(
+            imct_slots=slots,
+            t1=t1,
+            t2=t2,
+            window=WindowSpec(window_seconds, 4),
+            single_tier_admission=single_tier,
+        )
+    )
+
+
+def misses_until_admission(sieve, address, start=0.0, step=1.0, limit=100):
+    for i in range(limit):
+        if sieve.wants(address, is_write=False, time=start + i * step):
+            return i + 1
+    return None
+
+
+class TestAdmissionPath:
+    def test_admits_on_t1_plus_t2_misses(self):
+        # Tier 1 absorbs t1 misses; the block then needs t2 more exact
+        # misses in the MCT.
+        sieve = make_sieve(t1=3, t2=2)
+        assert misses_until_admission(sieve, 42) == 5
+
+    def test_paper_thresholds_give_thirteen(self):
+        sieve = make_sieve(t1=9, t2=4, window_seconds=8 * 3600)
+        assert misses_until_admission(sieve, 42) == 13
+
+    def test_single_miss_not_admitted(self):
+        sieve = make_sieve()
+        assert not sieve.wants(1, is_write=False, time=0.0)
+
+    def test_rejection_counters(self):
+        sieve = make_sieve(t1=3, t2=2)
+        misses_until_admission(sieve, 42)
+        assert sieve.imct_rejections == 2   # misses 1-2 fail tier 1
+        assert sieve.promotions == 1        # miss 3 promotes
+        assert sieve.mct_rejections == 1    # miss 4 fails tier 2
+        assert sieve.admissions == 1        # miss 5 admits
+
+    def test_block_forgotten_after_admission(self):
+        sieve = make_sieve(t1=3, t2=2)
+        misses_until_admission(sieve, 42)
+        assert 42 not in sieve.mct
+
+    def test_low_reuse_blocks_never_admitted(self):
+        sieve = make_sieve(t1=3, t2=2)
+        for address in range(1000, 1100):
+            assert not sieve.wants(address, is_write=False, time=0.0)
+            assert not sieve.wants(address, is_write=False, time=1.0)
+        assert sieve.admissions == 0
+
+    def test_writes_and_reads_count_equally(self):
+        # Section 1/5.1: SieveStore does not differentiate reads/writes.
+        sieve = make_sieve(t1=2, t2=1)
+        sieve.wants(7, is_write=True, time=0.0)
+        sieve.wants(7, is_write=False, time=1.0)
+        assert sieve.wants(7, is_write=True, time=2.0)
+
+
+class TestWindowExpiry:
+    def test_slow_misses_never_qualify(self):
+        # A block missing slower than the window can sustain never passes:
+        # this is the hysteresis that shuts out low-rate blocks.
+        sieve = make_sieve(t1=3, t2=2, window_seconds=100.0)
+        admitted = False
+        for i in range(50):
+            admitted = admitted or sieve.wants(
+                5, is_write=False, time=i * 200.0
+            )
+        assert not admitted
+
+    def test_burst_qualifies(self):
+        sieve = make_sieve(t1=3, t2=2, window_seconds=100.0)
+        assert misses_until_admission(sieve, 5, step=1.0) == 5
+
+
+class TestSingleTierAblation:
+    def test_admits_on_imct_alone(self):
+        sieve = make_sieve(t1=3, t2=2, single_tier=True)
+        assert misses_until_admission(sieve, 42) == 3
+
+    def test_aliased_block_gets_undeserved_admission(self):
+        # The pathology of Section 3.3: with one tier, a cold block
+        # sharing a hot block's slot gets allocated on its first miss.
+        sieve = make_sieve(t1=3, t2=2, slots=4, single_tier=True)
+        imct = sieve.imct
+        hot = 0
+        cold = next(
+            x for x in range(1, 10000) if imct.slot_of(x) == imct.slot_of(hot)
+        )
+        sieve.wants(hot, is_write=False, time=0.0)
+        sieve.wants(hot, is_write=False, time=1.0)
+        assert sieve.wants(cold, is_write=False, time=2.0)
+
+    def test_two_tier_blocks_the_alias(self):
+        sieve = make_sieve(t1=3, t2=2, slots=4, single_tier=False)
+        imct = sieve.imct
+        hot = 0
+        cold = next(
+            x for x in range(1, 10000) if imct.slot_of(x) == imct.slot_of(hot)
+        )
+        sieve.wants(hot, is_write=False, time=0.0)
+        sieve.wants(hot, is_write=False, time=1.0)
+        # The alias passes tier 1 on the hot block's credit but must
+        # still earn t2 exact misses of its own.
+        assert not sieve.wants(cold, is_write=False, time=2.0)
+
+
+class TestConfig:
+    def test_rejects_bad_thresholds(self):
+        with pytest.raises(ValueError):
+            SieveStoreCConfig(t1=0)
+        with pytest.raises(ValueError):
+            SieveStoreCConfig(t2=-1)
+        with pytest.raises(ValueError):
+            SieveStoreCConfig(imct_slots=0)
+
+    def test_paper_defaults(self):
+        config = SieveStoreCConfig()
+        assert config.t1 == 9
+        assert config.t2 == 4
+        assert config.window.window_seconds == 8 * 3600
+        assert config.window.subwindows == 4
+
+    def test_metastate_report(self):
+        sieve = make_sieve()
+        misses_until_admission(sieve, 42)
+        state = sieve.metastate_entries()
+        assert state["imct_slots"] == 1 << 14
+        assert state["mct_peak_entries"] >= 1

@@ -1,0 +1,85 @@
+"""SieveStore-D: access-count-based discrete batch allocation."""
+
+import pytest
+
+from repro.core.sievestore_d import SieveStoreD, SieveStoreDConfig
+
+
+def observe_n(policy, address, n, time=0.0):
+    for _ in range(n):
+        policy.observe(address, is_write=False, time=time, hit=False)
+
+
+class TestSelectionRule:
+    def test_over_threshold_selected(self):
+        policy = SieveStoreD(SieveStoreDConfig(threshold=10))
+        observe_n(policy, 1, 11)
+        observe_n(policy, 2, 10)  # exactly at threshold: NOT selected
+        assert policy.epoch_boundary(1) == {1}
+
+    def test_counts_hits_and_misses_alike(self):
+        # SieveStore-D counts *accesses*, not misses.
+        policy = SieveStoreD(SieveStoreDConfig(threshold=2))
+        policy.observe(1, is_write=False, time=0.0, hit=True)
+        policy.observe(1, is_write=True, time=0.0, hit=False)
+        policy.observe(1, is_write=False, time=0.0, hit=True)
+        assert policy.epoch_boundary(1) == {1}
+
+    def test_counts_reset_each_epoch(self):
+        policy = SieveStoreD(SieveStoreDConfig(threshold=3))
+        observe_n(policy, 1, 2)
+        policy.epoch_boundary(1)
+        observe_n(policy, 1, 2)
+        # 2 + 2 across epochs is NOT 4 within one epoch.
+        assert policy.epoch_boundary(2) == set()
+
+    def test_empty_first_epoch(self):
+        # Day-1 bootstrap: no logs yet, so nothing is allocated.
+        policy = SieveStoreD()
+        assert policy.epoch_boundary(0) == set()
+
+    def test_never_allocates_continuously(self):
+        policy = SieveStoreD()
+        assert not policy.wants(1, is_write=False, time=0.0)
+
+
+class TestCapacityCap:
+    def test_most_accessed_win_when_over_capacity(self):
+        policy = SieveStoreD(SieveStoreDConfig(threshold=1, capacity_blocks=2))
+        observe_n(policy, 1, 10)
+        observe_n(policy, 2, 5)
+        observe_n(policy, 3, 7)
+        assert policy.epoch_boundary(1) == {1, 3}
+
+    def test_under_capacity_all_selected(self):
+        policy = SieveStoreD(SieveStoreDConfig(threshold=1, capacity_blocks=100))
+        observe_n(policy, 1, 2)
+        observe_n(policy, 2, 3)
+        assert policy.epoch_boundary(1) == {1, 2}
+
+
+class TestBookkeeping:
+    def test_epochs_counted(self):
+        policy = SieveStoreD()
+        policy.epoch_boundary(0)
+        policy.epoch_boundary(1)
+        assert policy.epochs_completed == 2
+
+    def test_tracked_blocks(self):
+        policy = SieveStoreD()
+        observe_n(policy, 1, 3)
+        observe_n(policy, 2, 1)
+        assert policy.tracked_blocks == 2
+
+
+class TestConfig:
+    def test_paper_default_threshold(self):
+        assert SieveStoreD().config.threshold == 10
+
+    def test_rejects_negative_threshold(self):
+        with pytest.raises(ValueError):
+            SieveStoreDConfig(threshold=-1)
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            SieveStoreDConfig(capacity_blocks=0)

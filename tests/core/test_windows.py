@@ -1,0 +1,128 @@
+"""Subwindow counters: the paper's k-counter sliding-window scheme."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.windows import (
+    DEFAULT_SUBWINDOWS,
+    DEFAULT_WINDOW_SECONDS,
+    SubwindowCounter,
+    WindowSpec,
+)
+
+
+class TestWindowSpec:
+    def test_paper_defaults(self):
+        # W = 8 hours, k = 4 subwindows of 2 hours (Section 3.3).
+        spec = WindowSpec()
+        assert spec.window_seconds == 8 * 3600
+        assert spec.subwindows == 4
+        assert spec.subwindow_seconds == 2 * 3600
+
+    def test_subwindow_index(self):
+        spec = WindowSpec(window_seconds=40, subwindows=4)
+        assert spec.subwindow_index(0.0) == 0
+        assert spec.subwindow_index(9.99) == 0
+        assert spec.subwindow_index(10.0) == 1
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            WindowSpec(window_seconds=0)
+        with pytest.raises(ValueError):
+            WindowSpec(subwindows=0)
+        with pytest.raises(ValueError):
+            WindowSpec().subwindow_index(-1.0)
+
+
+class TestSubwindowCounter:
+    def test_accumulates_within_subwindow(self):
+        counter = SubwindowCounter(4)
+        assert counter.record(0) == 1
+        assert counter.record(0) == 2
+
+    def test_window_spans_k_subwindows(self):
+        counter = SubwindowCounter(4)
+        counter.record(0)
+        counter.record(1)
+        counter.record(2)
+        counter.record(3)
+        assert counter.total(3) == 4
+
+    def test_oldest_subwindow_expires(self):
+        counter = SubwindowCounter(4)
+        counter.record(0, amount=5)
+        counter.record(4)  # subwindow 0 is now out of the window
+        assert counter.total(4) == 1
+
+    def test_full_staleness_zeroes_everything(self):
+        # "If ... the current time window is larger than the last-updated
+        # counter by k or more, then all counters are inferred to be
+        # stale and zeroed out."
+        counter = SubwindowCounter(4)
+        counter.record(0, amount=9)
+        counter.record(1, amount=9)
+        assert counter.record(10) == 1
+
+    def test_total_is_read_only(self):
+        counter = SubwindowCounter(4)
+        counter.record(0, amount=3)
+        assert counter.total(2) == 3
+        assert counter.total(5) == 0  # would be stale...
+        assert counter.total(2) == 3  # ...but state is unchanged
+
+    def test_time_cannot_move_backwards(self):
+        counter = SubwindowCounter(4)
+        counter.record(5)
+        with pytest.raises(ValueError):
+            counter.record(4)
+        with pytest.raises(ValueError):
+            counter.total(4)
+
+    def test_reset(self):
+        counter = SubwindowCounter(4)
+        counter.record(0, amount=7)
+        counter.reset()
+        assert counter.total(0) == 0
+        assert counter.last_subwindow == -1
+
+    def test_is_stale(self):
+        counter = SubwindowCounter(4)
+        assert counter.is_stale(0)
+        counter.record(0)
+        assert not counter.is_stale(3)
+        assert counter.is_stale(4)
+
+
+class ReferenceWindow:
+    """Brute-force reference: keep every (subwindow, amount) event."""
+
+    def __init__(self, k):
+        self.k = k
+        self.events = []
+
+    def record(self, subwindow, amount=1):
+        self.events.append((subwindow, amount))
+        return self.total(subwindow)
+
+    def total(self, subwindow):
+        return sum(
+            amount
+            for sw, amount in self.events
+            if subwindow - self.k < sw <= subwindow
+        )
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    k=st.integers(min_value=1, max_value=6),
+    deltas=st.lists(st.integers(min_value=0, max_value=7), min_size=1, max_size=60),
+)
+def test_matches_bruteforce_reference(k, deltas):
+    """The lazy k-counter scheme equals an exact event-log window."""
+    counter = SubwindowCounter(k)
+    reference = ReferenceWindow(k)
+    subwindow = 0
+    for delta in deltas:
+        subwindow += delta
+        assert counter.record(subwindow) == reference.record(subwindow)
+        assert counter.total(subwindow) == reference.total(subwindow)

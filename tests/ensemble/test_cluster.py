@@ -1,0 +1,103 @@
+"""K-node appliance clusters (Section 7 extension, simulated)."""
+
+import pytest
+
+from repro.cache.allocation import AllocateOnDemand
+from repro.core.sievestore_c import SieveStoreC, SieveStoreCConfig
+from repro.ensemble.cluster import simulate_cluster
+from repro.sim import run_policy
+from repro.sim.engine import simulate
+
+DAYS = 8
+
+
+def sieve_factory(node):
+    return SieveStoreC(SieveStoreCConfig(imct_slots=1 << 13))
+
+
+class TestClusterSimulation:
+    @pytest.fixture(scope="class")
+    def one_node(self, tiny_trace, tiny_context):
+        return simulate_cluster(
+            tiny_trace,
+            sieve_factory,
+            total_capacity_blocks=tiny_context.sieved_capacity,
+            days=DAYS,
+            nodes=1,
+        )
+
+    @pytest.fixture(scope="class")
+    def four_nodes(self, tiny_trace, tiny_context):
+        return simulate_cluster(
+            tiny_trace,
+            sieve_factory,
+            total_capacity_blocks=tiny_context.sieved_capacity,
+            days=DAYS,
+            nodes=4,
+        )
+
+    def test_single_node_matches_flat_simulation(
+        self, one_node, tiny_trace, tiny_context
+    ):
+        flat = simulate(
+            tiny_trace,
+            sieve_factory(0),
+            tiny_context.sieved_capacity,
+            DAYS,
+            track_minutes=False,
+        )
+        assert one_node.total.accesses == flat.stats.total.accesses
+        assert one_node.total.hits == flat.stats.total.hits
+
+    def test_cluster_sees_every_access(self, four_nodes, tiny_trace):
+        assert four_nodes.total.accesses == tiny_trace.total_blocks()
+
+    def test_partitions_cover_all_servers(self, four_nodes):
+        covered = sorted(s for p in four_nodes.partitions for s in p)
+        assert covered == list(range(13))
+
+    def test_load_spreads_across_nodes(self, four_nodes):
+        shares = four_nodes.node_access_shares()
+        assert len(shares) == 4
+        assert sum(shares) == pytest.approx(1.0)
+        assert max(shares) < 0.75
+
+    def test_capture_close_to_single_node(self, one_node, four_nodes):
+        # Moderate partitioning keeps most of the sharing benefit.
+        assert four_nodes.mean_capture > 0.7 * one_node.mean_capture
+
+    def test_daily_capture_length(self, four_nodes):
+        assert len(four_nodes.daily_capture()) == DAYS
+
+    def test_validation(self, tiny_trace):
+        with pytest.raises(ValueError):
+            simulate_cluster(tiny_trace, sieve_factory, 100, DAYS, nodes=0)
+
+    def test_restricted_server_set(self, tiny_trace):
+        result = simulate_cluster(
+            tiny_trace,
+            lambda node: AllocateOnDemand(),
+            total_capacity_blocks=128,
+            days=DAYS,
+            nodes=2,
+            server_ids=[0, 5],
+        )
+        in_scope = sum(
+            r.block_count for r in tiny_trace if r.server_id in (0, 5)
+        )
+        assert result.total.accesses == in_scope
+
+    def test_independent_sieve_state(self, tiny_trace, tiny_context):
+        """Each node owns its sieve — admissions are node-local."""
+        policies = {}
+
+        def recording_factory(node):
+            policies[node] = SieveStoreC(SieveStoreCConfig(imct_slots=1 << 12))
+            return policies[node]
+
+        simulate_cluster(
+            tiny_trace, recording_factory,
+            tiny_context.sieved_capacity, DAYS, nodes=3,
+        )
+        assert len(policies) == 3
+        assert sum(p.admissions for p in policies.values()) > 0

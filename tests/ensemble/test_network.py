@@ -1,0 +1,62 @@
+"""Section 3.3 network feasibility arithmetic."""
+
+import pytest
+
+from repro.cache.stats import CacheStats
+from repro.ensemble.network import (
+    NetworkBudget,
+    network_report,
+    worst_case_ssd_utilization,
+)
+from repro.ssd.device import INTEL_X25E
+
+
+class TestBudget:
+    def test_four_gbe_default(self):
+        budget = NetworkBudget()
+        assert budget.total_bytes_per_second == pytest.approx(500e6)
+
+    def test_utilization(self):
+        budget = NetworkBudget()
+        assert budget.utilization(250e6) == pytest.approx(0.5)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            NetworkBudget().utilization(-1)
+
+
+class TestWorstCase:
+    def test_paper_fifty_percent_claim(self):
+        # "Even the maximum SSD access throughput (100% sequential
+        # reads, 250MB/s) accounts for approximately 50% of the network
+        # bandwidth."
+        utilization = worst_case_ssd_utilization(INTEL_X25E, NetworkBudget())
+        assert utilization == pytest.approx(0.5, abs=0.01)
+
+
+class TestMeasuredReport:
+    def test_report_from_stats(self):
+        stats = CacheStats(days=1)
+        stats.record_ssd_io(0.0, 1000, is_write=False)
+        stats.record_ssd_io(30.0, 500, is_write=True)
+        report = network_report(stats, INTEL_X25E, device_scale=1.0)
+        assert 0 < report.measured_peak_utilization < 1
+        assert report.write_share_of_traffic == pytest.approx(1 / 3)
+
+    def test_device_scale_rescales_traffic(self):
+        stats = CacheStats(days=1)
+        stats.record_ssd_io(0.0, 100, is_write=False)
+        small = network_report(stats, INTEL_X25E, device_scale=1.0)
+        scaled = network_report(stats, INTEL_X25E, device_scale=0.01)
+        assert scaled.measured_peak_utilization == pytest.approx(
+            100 * small.measured_peak_utilization
+        )
+
+    def test_empty_stats(self):
+        report = network_report(CacheStats(days=1), INTEL_X25E)
+        assert report.measured_peak_utilization == 0.0
+        assert report.write_share_of_traffic == 0.0
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            network_report(CacheStats(days=1), INTEL_X25E, device_scale=0)

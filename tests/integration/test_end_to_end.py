@@ -1,0 +1,166 @@
+"""End-to-end: the paper's qualitative results on the shared tiny trace.
+
+These tests run the full Figure-5 policy suite once (module-scoped) and
+assert the *shape* claims of Section 5 — orderings and magnitude
+classes, not absolute numbers.
+"""
+
+import pytest
+
+from repro.sim import (
+    context_for_trace,
+    mean_capture,
+    run_policy_suite,
+    total_allocation_writes,
+)
+from repro.ssd.device import INTEL_X25E
+from repro.ssd.occupancy import occupancy_from_stats
+
+DAYS = 8
+
+
+@pytest.fixture(scope="module")
+def suite(tiny_context):
+    return run_policy_suite(tiny_context)
+
+
+def capture(suite, name):
+    skip = (0,) if name in ("sievestore-d", "randsieve-blkd") else ()
+    return mean_capture(suite[name], skip_days=skip)
+
+
+class TestFigure5Shape:
+    def test_sievestore_c_close_to_ideal(self, suite):
+        # Paper: SieveStore-C within ~4% of the day-by-day ideal.
+        assert capture(suite, "sievestore-c") > 0.90 * capture(suite, "ideal")
+
+    def test_sievestore_d_close_to_ideal(self, suite):
+        # Paper: SieveStore-D within ~14% of ideal (excluding day 1).
+        assert capture(suite, "sievestore-d") > 0.75 * capture(suite, "ideal")
+
+    def test_sieves_beat_same_size_unsieved(self, suite):
+        # At equal (16 GB-scaled) capacity, sieving wins decisively.
+        same_size = max(capture(suite, "aod-16"), capture(suite, "wmna-16"))
+        assert capture(suite, "sievestore-c") > same_size
+        assert capture(suite, "sievestore-d") > 0.95 * same_size
+
+    def test_sievestore_c_beats_best_unsieved(self, suite):
+        best_unsieved = max(
+            capture(suite, name)
+            for name in ("aod-16", "wmna-16", "aod-32", "wmna-32")
+        )
+        assert capture(suite, "sievestore-c") > best_unsieved
+
+    def test_day1_bootstrap_zero_for_d(self, suite):
+        # Figure 5: SieveStore-D shows zero accesses on day 1.
+        assert suite["sievestore-d"].daily_capture()[0] == 0.0
+
+    def test_d_weak_on_day2(self, suite):
+        # Day 1's partial logs qualify few blocks, so day 2 lags ideal.
+        d_day2 = suite["sievestore-d"].daily_capture()[1]
+        ideal_day2 = suite["ideal"].daily_capture()[1]
+        assert d_day2 < 0.8 * ideal_day2
+
+    def test_random_blkd_near_useless(self, suite):
+        # "The extremely poor hit ratio of RandSieve-BlkD is to be
+        # expected because of the low likelihood of randomly selecting
+        # the hot blocks."
+        assert capture(suite, "randsieve-blkd") < 0.1 * capture(suite, "ideal")
+
+    def test_random_c_below_sievestore_c(self, suite):
+        # RandSieve-C mostly allocates low-reuse blocks (~60% of misses).
+        assert capture(suite, "randsieve-c") < capture(suite, "sievestore-c")
+
+    def test_bigger_unsieved_cache_helps_but_not_enough(self, suite):
+        assert capture(suite, "aod-32") > capture(suite, "aod-16")
+        assert capture(suite, "wmna-32") > capture(suite, "wmna-16")
+        assert capture(suite, "sievestore-c") > min(
+            capture(suite, "aod-32"), capture(suite, "wmna-32")
+        )
+
+
+class TestFigure6Shape:
+    def test_sieving_cuts_allocation_writes_by_orders_of_magnitude(self, suite):
+        # Paper: "more than two orders of magnitude smaller".
+        for sieve in ("sievestore-c", "sievestore-d"):
+            for unsieved in ("aod-32", "wmna-32"):
+                ratio = total_allocation_writes(suite[unsieved]) / max(
+                    1, total_allocation_writes(suite[sieve])
+                )
+                assert ratio > 100, (sieve, unsieved, ratio)
+
+    def test_random_sieves_between(self, suite):
+        # Random sieving helps vs unsieved but is ~an order of magnitude
+        # worse than true sieving (paper: 8.5x on average).
+        rand = total_allocation_writes(suite["randsieve-c"])
+        sieve = total_allocation_writes(suite["sievestore-c"])
+        unsieved = total_allocation_writes(suite["wmna-32"])
+        assert sieve < rand < unsieved
+        assert rand / sieve > 3
+
+    def test_wmna_allocates_less_than_aod(self, suite):
+        assert total_allocation_writes(suite["wmna-32"]) < total_allocation_writes(
+            suite["aod-32"]
+        )
+
+
+class TestFigure7Shape:
+    def test_allocation_writes_dominate_unsieved_ssd_ops(self, suite):
+        # "Without sieving, the allocation-writes constitute the
+        # dominant fraction of all SSD accesses."
+        total = suite["aod-32"].stats.total
+        assert total.allocation_writes > total.hits
+
+    def test_allocation_writes_negligible_for_sievestore(self, suite):
+        # "the bars for the allocation-writes are ... nearly-invisible".
+        for name in ("sievestore-c", "sievestore-d"):
+            total = suite[name].stats.total
+            assert total.allocation_writes < 0.05 * total.hits
+
+
+class TestFigure8and9Shape:
+    #: Aggregation window for scaled-trace occupancy: wide enough that
+    #: the expected I/O-unit count per window leaves the small-number
+    #: noise regime (see occupancy_from_stats docs).
+    WINDOW = 60
+
+    def test_sievestore_needs_fewer_drives_than_unsieved(
+        self, suite, tiny_trace_config
+    ):
+        device = INTEL_X25E.scaled(tiny_trace_config.scale)
+        minutes = DAYS * 1440
+        drives = {}
+        for name in ("sievestore-c", "sievestore-d", "wmna-32"):
+            series = occupancy_from_stats(
+                suite[name].stats, device, minutes, window_minutes=self.WINDOW
+            )
+            drives[name] = series.drives_for_coverage(0.999)
+        assert drives["sievestore-c"] <= 2
+        assert drives["sievestore-d"] <= 2
+        assert drives["wmna-32"] > drives["sievestore-c"]
+
+    def test_sievestore_occupancy_mostly_under_one(
+        self, suite, tiny_trace_config
+    ):
+        device = INTEL_X25E.scaled(tiny_trace_config.scale)
+        series = occupancy_from_stats(
+            suite["sievestore-c"].stats,
+            device,
+            DAYS * 1440,
+            window_minutes=self.WINDOW,
+        )
+        assert series.fraction_within(1) > 0.95
+
+
+class TestAccountingInvariants:
+    def test_all_policies_see_the_same_accesses(self, suite):
+        totals = {name: r.stats.total.accesses for name, r in suite.items()}
+        assert len(set(totals.values())) == 1
+
+    def test_hits_plus_misses_equals_accesses(self, suite):
+        for result in suite.values():
+            result.stats.check_consistency()
+
+    def test_capacity_respected(self, suite, tiny_context):
+        for name, result in suite.items():
+            result.cache.check_invariants()

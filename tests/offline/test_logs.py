@@ -1,0 +1,86 @@
+"""Hash-partitioned access logs (SieveStore-D metastate)."""
+
+import pytest
+
+from repro.offline.logs import AccessLog
+
+
+class TestLifecycle:
+    def test_context_manager_opens_and_closes(self, tmp_path):
+        with AccessLog(tmp_path, partitions=4) as log:
+            log.append(1)
+        assert log.records_written == 1
+
+    def test_append_without_open_raises(self, tmp_path):
+        log = AccessLog(tmp_path)
+        with pytest.raises(RuntimeError):
+            log.append(1)
+
+    def test_rejects_nonpositive_partitions(self, tmp_path):
+        with pytest.raises(ValueError):
+            AccessLog(tmp_path, partitions=0)
+
+    def test_creates_directory(self, tmp_path):
+        target = tmp_path / "nested" / "logs"
+        with AccessLog(target, partitions=2) as log:
+            log.append(5)
+        assert target.exists()
+
+
+class TestPartitioning:
+    def test_partition_stable(self, tmp_path):
+        log = AccessLog(tmp_path, partitions=8)
+        assert log.partition_of(42) == log.partition_of(42)
+
+    def test_record_lands_in_its_partition(self, tmp_path):
+        with AccessLog(tmp_path, partitions=8) as log:
+            log.append(42, count=3)
+        partition = log.partition_of(42)
+        assert list(log.read_partition(partition)) == [(42, 3)]
+        for other in range(8):
+            if other != partition:
+                assert list(log.read_partition(other)) == []
+
+    def test_spread_across_partitions(self, tmp_path):
+        with AccessLog(tmp_path, partitions=8) as log:
+            for address in range(400):
+                log.append(address)
+        sizes = [sum(1 for _ in log.read_partition(i)) for i in range(8)]
+        assert min(sizes) > 10  # roughly uniform
+
+
+class TestReadWrite:
+    def test_append_rejects_bad_count(self, tmp_path):
+        with AccessLog(tmp_path) as log:
+            with pytest.raises(ValueError):
+                log.append(1, count=0)
+
+    def test_missing_partition_reads_empty(self, tmp_path):
+        log = AccessLog(tmp_path, partitions=2)
+        assert list(log.read_partition(0)) == []
+
+    def test_appending_twice_accumulates_lines(self, tmp_path):
+        with AccessLog(tmp_path, partitions=1) as log:
+            log.append(7)
+        with AccessLog(tmp_path, partitions=1) as log:
+            log.append(7)
+        assert list(log.read_partition(0)) == [(7, 1), (7, 1)]
+
+    def test_partition_sizes(self, tmp_path):
+        with AccessLog(tmp_path, partitions=2) as log:
+            log.append(1)
+        assert sum(log.partition_sizes()) > 0
+
+    def test_clear(self, tmp_path):
+        with AccessLog(tmp_path, partitions=2) as log:
+            log.append(1)
+        log.clear()
+        assert sum(log.partition_sizes()) == 0
+        assert log.records_written == 0
+
+    def test_clear_while_open_raises(self, tmp_path):
+        log = AccessLog(tmp_path)
+        log.open()
+        with pytest.raises(RuntimeError):
+            log.clear()
+        log.close()

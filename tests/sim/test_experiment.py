@@ -1,0 +1,91 @@
+"""Experiment registry: configuration keys and scaled sizing."""
+
+import pytest
+
+from repro.cache.allocation import AllocateOnDemand, WriteMissNoAllocate
+from repro.core.ideal import IdealDailySieve
+from repro.core.random_sieve import RandSieveBlkD, RandSieveC
+from repro.core.sievestore_c import SieveStoreC
+from repro.core.sievestore_d import SieveStoreD
+from repro.sim.experiment import (
+    FIGURE5_POLICIES,
+    build_policy,
+    run_policy,
+    sievestore_c_with_window,
+    sievestore_d_with_threshold,
+)
+from repro.util.units import GIB
+
+
+class TestContextSizing:
+    def test_sieved_capacity_is_scaled_16gb(self, tiny_context):
+        expected = int(16 * GIB / 512 * tiny_context.scale)
+        assert tiny_context.sieved_capacity == max(expected, 64)
+
+    def test_unsieved_large_is_double(self, tiny_context):
+        assert tiny_context.unsieved_large_capacity == pytest.approx(
+            2 * tiny_context.sieved_capacity, rel=0.02
+        )
+
+    def test_daily_counts_cover_all_days(self, tiny_context):
+        assert len(tiny_context.daily_counts) == tiny_context.days
+
+    def test_imct_scaled(self, tiny_context):
+        assert tiny_context.imct_slots >= 1024
+
+
+class TestBuildPolicy:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("ideal", IdealDailySieve),
+            ("sievestore-d", SieveStoreD),
+            ("sievestore-c", SieveStoreC),
+            ("randsieve-blkd", RandSieveBlkD),
+            ("randsieve-c", RandSieveC),
+            ("aod-16", AllocateOnDemand),
+            ("wmna-32", WriteMissNoAllocate),
+        ],
+    )
+    def test_constructs_expected_type(self, tiny_context, name, cls):
+        policy, capacity = build_policy(name, tiny_context)
+        assert isinstance(policy, cls)
+        assert capacity > 0
+
+    def test_unsieved_32_gets_double_capacity(self, tiny_context):
+        _, cap16 = build_policy("aod-16", tiny_context)
+        _, cap32 = build_policy("aod-32", tiny_context)
+        assert cap32 == tiny_context.unsieved_large_capacity
+        assert cap16 == tiny_context.sieved_capacity
+
+    def test_unknown_name_rejected(self, tiny_context):
+        with pytest.raises(ValueError):
+            build_policy("lru-magic", tiny_context)
+
+    def test_figure5_list_is_buildable(self, tiny_context):
+        for name in FIGURE5_POLICIES:
+            build_policy(name, tiny_context)
+
+
+class TestRunners:
+    def test_run_policy_renames_result(self, tiny_context):
+        result = run_policy("wmna-16", tiny_context, track_minutes=False)
+        assert result.policy_name == "wmna-16"
+        assert result.stats.total.accesses > 0
+
+    def test_threshold_sweep_runner(self, tiny_context):
+        result = sievestore_d_with_threshold(tiny_context, threshold=15)
+        assert "t=15" in result.policy_name
+        assert isinstance(result.policy, SieveStoreD)
+        assert result.policy.config.threshold == 15
+
+    def test_window_sweep_runner(self, tiny_context):
+        result = sievestore_c_with_window(tiny_context, window_hours=2.0)
+        assert result.policy.config.window.window_seconds == 2 * 3600
+
+    def test_single_tier_ablation_runner(self, tiny_context):
+        result = sievestore_c_with_window(
+            tiny_context, window_hours=8.0, single_tier=True
+        )
+        assert result.policy.config.single_tier_admission
+        assert "single-tier" in result.policy_name

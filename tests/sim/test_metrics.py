@@ -1,0 +1,85 @@
+"""Figure-series builders."""
+
+import pytest
+
+from repro.cache.stats import CacheStats
+from repro.sim.engine import SimulationResult
+from repro.sim.metrics import (
+    allocation_write_series,
+    capture_breakdown,
+    capture_improvement,
+    capture_series,
+    mean_capture,
+    ssd_operation_series,
+    total_allocation_writes,
+)
+
+
+def make_result(name, per_day):
+    """per_day: list of (read_hits, write_hits, read_misses, write_misses, allocs)."""
+    stats = CacheStats(days=len(per_day), track_minutes=False)
+    for day, (rh, wh, rm, wm, alloc) in enumerate(per_day):
+        d = stats.per_day[day]
+        d.read_hits, d.write_hits = rh, wh
+        d.read_misses, d.write_misses = rm, wm
+        d.allocation_writes = alloc
+        d.accesses = rh + wh + rm + wm
+    return SimulationResult(
+        policy_name=name, stats=stats, cache=None, policy=None, wall_seconds=0.0
+    )
+
+
+@pytest.fixture
+def results():
+    return {
+        "a": make_result("a", [(6, 2, 1, 1, 3), (3, 1, 5, 1, 2)]),
+        "b": make_result("b", [(1, 1, 4, 4, 8), (2, 0, 6, 2, 7)]),
+    }
+
+
+class TestSeries:
+    def test_capture_series(self, results):
+        series = capture_series(results)
+        assert series["a"][0] == pytest.approx(0.8)
+        assert series["b"][0] == pytest.approx(0.2)
+
+    def test_allocation_series(self, results):
+        assert allocation_write_series(results)["b"] == [8, 7]
+
+    def test_breakdown_sums_to_capture(self, results):
+        breakdown = capture_breakdown(results)
+        for name in results:
+            for day in breakdown[name]:
+                assert day["read_hits"] + day["write_hits"] == pytest.approx(
+                    day["captured"]
+                )
+
+    def test_ssd_operation_series(self, results):
+        ops = ssd_operation_series(results)["a"][0]
+        assert ops == {
+            "read_hits": 6,
+            "write_hits": 2,
+            "allocation_writes": 3,
+            "total": 11,
+        }
+
+
+class TestAggregates:
+    def test_mean_capture(self, results):
+        assert mean_capture(results["a"]) == pytest.approx((0.8 + 0.4) / 2)
+
+    def test_mean_capture_skips_days(self, results):
+        # SieveStore-D's average excludes the bootstrap day (paper 5.1).
+        assert mean_capture(results["a"], skip_days=(0,)) == pytest.approx(0.4)
+
+    def test_total_allocation_writes(self, results):
+        assert total_allocation_writes(results["b"]) == 15
+
+    def test_capture_improvement(self, results):
+        improvement = capture_improvement(results["a"], results["b"])
+        assert improvement == pytest.approx((0.6 / 0.2) - 1)
+
+    def test_improvement_against_zero_baseline(self):
+        zero = make_result("z", [(0, 0, 1, 1, 0)])
+        other = make_result("o", [(1, 0, 1, 0, 0)])
+        assert capture_improvement(other, zero) == float("inf")

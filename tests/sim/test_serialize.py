@@ -1,0 +1,100 @@
+"""JSON result serialization round-tripping."""
+
+import json
+
+import pytest
+
+from repro.cache.stats import CacheStats
+from repro.sim.engine import SimulationResult
+from repro.sim.serialize import (
+    SCHEMA_VERSION,
+    load_result,
+    result_from_dict,
+    result_to_dict,
+    save_result,
+    stats_from_dict,
+    stats_to_dict,
+)
+
+
+def sample_stats():
+    stats = CacheStats(days=2)
+    stats.record_hit(10.0, is_write=False, blocks=3)
+    stats.record_miss(20.0, is_write=True, blocks=2)
+    stats.record_allocation_write(20.5, blocks=2)
+    stats.record_backing_write(21.0, blocks=1, is_writeback=True)
+    stats.record_ssd_io(10.0, 4, is_write=False)
+    stats.record_ssd_io(86401.0, 2, is_write=True)
+    return stats
+
+
+def sample_result():
+    return SimulationResult(
+        policy_name="sievestore-c",
+        stats=sample_stats(),
+        cache=None,
+        policy=None,
+        wall_seconds=1.25,
+    )
+
+
+class TestStatsRoundTrip:
+    def test_per_day_preserved(self):
+        original = sample_stats()
+        restored = stats_from_dict(stats_to_dict(original))
+        for a, b in zip(original.per_day, restored.per_day):
+            assert a == b
+
+    def test_per_minute_preserved(self):
+        original = sample_stats()
+        restored = stats_from_dict(stats_to_dict(original))
+        assert restored.per_minute.keys() == original.per_minute.keys()
+        for minute in original.per_minute:
+            assert restored.per_minute[minute].reads == original.per_minute[minute].reads
+            assert restored.per_minute[minute].writes == original.per_minute[minute].writes
+
+    def test_json_serializable(self):
+        json.dumps(stats_to_dict(sample_stats()))
+
+
+class TestResultRoundTrip:
+    def test_dict_round_trip(self):
+        original = sample_result()
+        restored = result_from_dict(result_to_dict(original))
+        assert restored.policy_name == original.policy_name
+        assert restored.wall_seconds == original.wall_seconds
+        assert restored.stats.total == original.stats.total
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "result.json"
+        save_result(sample_result(), path)
+        restored = load_result(path)
+        assert restored.daily_capture() == sample_result().daily_capture()
+
+    def test_schema_version_written(self):
+        assert result_to_dict(sample_result())["schema_version"] == SCHEMA_VERSION
+
+    def test_unknown_schema_rejected(self):
+        payload = result_to_dict(sample_result())
+        payload["schema_version"] = 999
+        with pytest.raises(ValueError):
+            result_from_dict(payload)
+
+    def test_loaded_result_feeds_metrics(self, tmp_path):
+        from repro.sim.metrics import mean_capture, total_allocation_writes
+
+        path = tmp_path / "r.json"
+        save_result(sample_result(), path)
+        restored = load_result(path)
+        assert total_allocation_writes(restored) == 2
+        assert mean_capture(restored) >= 0.0
+
+    def test_simulation_round_trip(self, tiny_context, tmp_path):
+        from repro.sim import run_policy
+
+        original = run_policy("wmna-16", tiny_context, track_minutes=True)
+        path = tmp_path / "wmna.json"
+        save_result(original, path)
+        restored = load_result(path)
+        assert restored.daily_capture() == original.daily_capture()
+        assert len(restored.stats.per_minute) == len(original.stats.per_minute)

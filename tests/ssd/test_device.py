@@ -1,0 +1,78 @@
+"""SSD parameter model (Intel X25-E)."""
+
+import pytest
+
+from repro.ssd.device import INTEL_X25E, SSDModel
+from repro.util.units import GIB
+
+
+class TestX25EParameters:
+    """Section 4's published device ratings."""
+
+    def test_read_iops(self):
+        assert INTEL_X25E.read_iops == 35_000
+
+    def test_write_iops(self):
+        assert INTEL_X25E.write_iops == 3_300
+
+    def test_sequential_bandwidths(self):
+        assert INTEL_X25E.seq_read_mbps == 250
+        assert INTEL_X25E.seq_write_mbps == 170
+
+    def test_endurance_one_petabyte(self):
+        assert INTEL_X25E.endurance_bytes == 1e15
+
+    def test_random_bandwidth_tighter_than_sequential(self):
+        # "The random bandwidth ... is 140MB/s and 13.2MB/s which is a
+        # tighter constraint than sequential bandwidth."
+        assert INTEL_X25E.random_read_mbps == pytest.approx(143.4, abs=1)
+        assert INTEL_X25E.random_write_mbps == pytest.approx(13.5, abs=0.5)
+        assert INTEL_X25E.random_read_mbps < INTEL_X25E.seq_read_mbps
+        assert INTEL_X25E.random_write_mbps < INTEL_X25E.seq_write_mbps
+
+
+class TestServiceTimes:
+    def test_read_occupancy(self):
+        # Each 4KB read occupies the drive for 1/35000 s (Section 4).
+        assert INTEL_X25E.read_service_time == pytest.approx(1 / 35000)
+
+    def test_write_occupancy(self):
+        assert INTEL_X25E.write_service_time == pytest.approx(1 / 3300)
+
+    def test_occupancy_seconds(self):
+        seconds = INTEL_X25E.occupancy_seconds(35000, 3300)
+        assert seconds == pytest.approx(2.0)
+
+    def test_writes_cost_more_than_reads(self):
+        assert INTEL_X25E.write_service_time > 10 * INTEL_X25E.read_service_time
+
+
+class TestScaling:
+    def test_scaled_preserves_service_ratio(self):
+        scaled = INTEL_X25E.scaled(1e-3)
+        ratio = scaled.write_service_time / scaled.read_service_time
+        full = INTEL_X25E.write_service_time / INTEL_X25E.read_service_time
+        assert ratio == pytest.approx(full)
+
+    def test_scaled_occupancy_matches_scaled_load(self):
+        # drives-needed invariance: load/throughput ratio is preserved.
+        scaled = INTEL_X25E.scaled(0.01)
+        full_occ = INTEL_X25E.occupancy_seconds(10000, 1000)
+        scaled_occ = scaled.occupancy_seconds(100, 10)
+        assert scaled_occ == pytest.approx(full_occ)
+
+    def test_scaled_rejects_bad_factor(self):
+        with pytest.raises(ValueError):
+            INTEL_X25E.scaled(0.0)
+        with pytest.raises(ValueError):
+            INTEL_X25E.scaled(2.0)
+
+
+class TestValidation:
+    def test_rejects_nonpositive_iops(self):
+        with pytest.raises(ValueError):
+            SSDModel("bad", 0, 1, 1, 1, GIB, 1e15)
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            SSDModel("bad", 1, 1, 1, 1, 0, 1e15)

@@ -1,0 +1,51 @@
+"""SSD endurance / lifetime arithmetic (Section 5.1)."""
+
+import pytest
+
+from repro.cache.stats import CacheStats
+from repro.ssd.device import INTEL_X25E
+from repro.ssd.endurance import (
+    endurance_report,
+    lifetime_years,
+    paper_endurance_example,
+)
+from repro.util.intervals import SECONDS_PER_DAY
+
+
+class TestLifetimeYears:
+    def test_paper_example_exceeds_ten_years(self):
+        # "the disk's endurance is over 10 years
+        #  = (10^15 / (5 x 10^8 x 512 x 365))"
+        years = paper_endurance_example(INTEL_X25E)
+        assert years == pytest.approx(1e15 / (5e8 * 512 * 365), rel=1e-9)
+        assert years > 10
+
+    def test_zero_writes_is_infinite(self):
+        assert lifetime_years(INTEL_X25E, 0) == float("inf")
+
+    def test_scales_inversely_with_write_rate(self):
+        assert lifetime_years(INTEL_X25E, 1e8) == pytest.approx(
+            5 * lifetime_years(INTEL_X25E, 5e8)
+        )
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            lifetime_years(INTEL_X25E, -1)
+
+
+class TestEnduranceReport:
+    def test_report_from_stats(self):
+        stats = CacheStats(days=2, track_minutes=False)
+        stats.record_hit(0.0, is_write=True, blocks=1000)
+        stats.record_allocation_write(0.0, blocks=500)
+        stats.record_hit(SECONDS_PER_DAY + 1, is_write=True, blocks=3000)
+        report = endurance_report(INTEL_X25E, stats)
+        assert report.peak_daily_write_blocks == 3000
+        assert report.mean_daily_write_blocks == pytest.approx(2250)
+        assert report.lifetime_years_at_peak < report.lifetime_years_at_mean
+
+    def test_idle_days_excluded_from_mean(self):
+        stats = CacheStats(days=3, track_minutes=False)
+        stats.record_hit(0.0, is_write=True, blocks=100)
+        report = endurance_report(INTEL_X25E, stats)
+        assert report.mean_daily_write_blocks == 100

@@ -1,0 +1,91 @@
+"""Per-minute drive occupancy and drives-needed (Figures 8/9 machinery)."""
+
+import pytest
+
+from repro.cache.stats import CacheStats
+from repro.ssd.device import INTEL_X25E
+from repro.ssd.occupancy import (
+    OccupancySeries,
+    coverage_table,
+    occupancy_from_stats,
+    sorted_drive_requirements,
+)
+
+
+def series(values):
+    return OccupancySeries(
+        minutes=tuple(range(len(values))), values=tuple(values)
+    )
+
+
+class TestOccupancySeries:
+    def test_drives_needed_is_ceiling(self):
+        s = series([0.0, 0.4, 1.0, 1.3, 2.0])
+        assert s.drives_needed() == [0, 1, 1, 2, 2]
+
+    def test_max_occupancy(self):
+        assert series([0.2, 0.9, 0.5]).max_occupancy() == 0.9
+
+    def test_full_coverage_is_worst_case(self):
+        s = series([0.5] * 99 + [6.3])
+        assert s.drives_for_coverage(1.0) == 7
+
+    def test_dilluted_coverage_ignores_peaks(self):
+        # 999 quiet minutes, one 7-drive peak: 99.9% coverage needs 1.
+        s = series([0.5] * 999 + [6.3])
+        assert s.drives_for_coverage(0.999) == 1
+
+    def test_fraction_within(self):
+        s = series([0.5] * 90 + [1.5] * 10)
+        assert s.fraction_within(1) == pytest.approx(0.9)
+        assert s.fraction_within(2) == 1.0
+
+    def test_invalid_coverage(self):
+        with pytest.raises(ValueError):
+            series([0.1]).drives_for_coverage(0.0)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            OccupancySeries(minutes=(0, 1), values=(0.1,))
+
+
+class TestOccupancyFromStats:
+    def test_reads_and_writes_weighted_by_service_time(self):
+        stats = CacheStats(days=1)
+        # One minute of 35000 reads = 1 second busy = occupancy 1/60.
+        stats.record_ssd_io(30.0, 35000, is_write=False)
+        s = occupancy_from_stats(stats, INTEL_X25E, total_minutes=2)
+        assert s.values[0] == pytest.approx(1 / 60)
+        assert s.values[1] == 0.0
+
+    def test_writes_dominate(self):
+        stats = CacheStats(days=1)
+        stats.record_ssd_io(0.0, 3300, is_write=True)  # 1 busy second
+        stats.record_ssd_io(60.0, 3300, is_write=False)  # ~0.094 s
+        s = occupancy_from_stats(stats, INTEL_X25E, total_minutes=2)
+        assert s.values[0] > 10 * s.values[1]
+
+    def test_quiet_minutes_zero_filled(self):
+        # Coverage statistics span the whole trace, as in the paper's
+        # 10,080-minute analysis.
+        stats = CacheStats(days=1)
+        stats.record_ssd_io(0.0, 100, is_write=False)
+        s = occupancy_from_stats(stats, INTEL_X25E, total_minutes=100)
+        assert len(s) == 100
+        assert s.fraction_within(0) == pytest.approx(0.99)
+
+    def test_rejects_nonpositive_minutes(self):
+        with pytest.raises(ValueError):
+            occupancy_from_stats(CacheStats(days=1), INTEL_X25E, 0)
+
+
+class TestHelpers:
+    def test_sorted_requirements(self):
+        s = series([2.5, 0.1, 1.0])
+        assert sorted_drive_requirements(s) == [1, 1, 3]
+
+    def test_coverage_table(self):
+        s = series([0.5] * 999 + [6.3])
+        table = coverage_table(s, coverages=(1.0, 0.999))
+        assert table[1.0] == 7
+        assert table[0.999] == 1

@@ -1,0 +1,123 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+TINY = ["--scale", "4e-6", "--days", "3"]
+
+
+class TestTable2Command:
+    def test_prints_paper_numbers(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "aod" in out and "wmna" in out and "isa" in out
+        assert "0.738" in out  # 73.75% SSD writes for AOD (3 d.p.)
+        assert "0.575" in out
+
+    def test_custom_parameters(self, capsys):
+        assert main(["table2", "--hit-rate", "0.5", "--read-fraction", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "hit rate 50%" in out
+
+
+class TestSimulateCommand:
+    def test_runs_sievestore_c(self, capsys):
+        assert main(["simulate", "--policy", "sievestore-c", *TINY]) == 0
+        out = capsys.readouterr().out
+        assert "sievestore-c" in out
+        assert "allocation-writes" in out
+        assert "all" in out
+
+    def test_runs_unsieved(self, capsys):
+        assert main(["simulate", "--policy", "aod-16", *TINY]) == 0
+        assert "aod-16" in capsys.readouterr().out
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--policy", "belady"])
+
+    def test_deterministic_across_runs(self, capsys):
+        main(["simulate", *TINY, "--seed", "5"])
+        first = capsys.readouterr().out
+        main(["simulate", *TINY, "--seed", "5"])
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_seed_changes_output(self, capsys):
+        main(["simulate", *TINY, "--seed", "5"])
+        first = capsys.readouterr().out
+        main(["simulate", *TINY, "--seed", "6"])
+        second = capsys.readouterr().out
+        assert first != second
+
+
+class TestSkewCommand:
+    def test_prints_o1_statistics(self, capsys):
+        assert main(["skew", *TINY]) == 0
+        out = capsys.readouterr().out
+        assert "top-1% share" in out
+        assert "single-access" in out
+
+
+class TestDrivesCommand:
+    def test_prints_coverage(self, capsys):
+        assert main(["drives", *TINY, "--window-minutes", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "drives @99.9% coverage" in out
+        assert "Intel X25-E" in out
+
+
+class TestSummarizeCommand:
+    def test_prints_inventory(self, capsys):
+        assert main(["summarize", *TINY]) == 0
+        out = capsys.readouterr().out
+        assert "read fraction" in out
+        assert "request sizes" in out
+
+
+class TestValidateCommand:
+    def test_synthetic_trace_validates(self, capsys):
+        assert main(["validate", *TINY]) == 0
+        out = capsys.readouterr().out
+        assert "all checks passed" in out
+
+    def test_reports_band_columns(self, capsys):
+        main(["validate", *TINY])
+        out = capsys.readouterr().out
+        assert "accepted band" in out
+        assert "O1" in out and "O2" in out
+
+
+class TestJsonOutput:
+    def test_simulate_writes_json(self, tmp_path, capsys):
+        from repro.sim.serialize import load_result
+
+        target = tmp_path / "run.json"
+        assert main([
+            "simulate", *TINY, "--policy", "wmna-16", "--json", str(target)
+        ]) == 0
+        restored = load_result(target)
+        assert restored.policy_name == "wmna-16"
+        assert restored.stats.total.accesses > 0
+
+
+class TestMsrReplay:
+    def test_simulate_from_csv(self, tmp_path, capsys):
+        from repro.traces import (
+            EnsembleTraceGenerator,
+            write_msr_csv,
+        )
+        from repro.traces.synthetic import SyntheticTraceConfig
+
+        trace = EnsembleTraceGenerator(
+            SyntheticTraceConfig(scale=4e-6, days=2)
+        ).generate()
+        csv = tmp_path / "t.csv"
+        write_msr_csv(trace, csv)
+        assert main([
+            "simulate", "--msr-csv", str(csv), "--days", "2",
+            "--policy", "aod-16",
+        ]) == 0
+        assert "aod-16" in capsys.readouterr().out

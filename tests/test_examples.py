@@ -1,0 +1,52 @@
+"""Smoke tests: every shipped example must run end to end."""
+
+import runpy
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=600):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        result = run_example("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "served from the SSD" in result.stdout
+        assert "the sieve at work" in result.stdout
+
+    def test_compare_policies_with_small_scale(self):
+        result = run_example("compare_policies.py", "4e-6")
+        assert result.returncode == 0, result.stderr
+        assert "fewer with sieving" in result.stdout
+        assert "sievestore-c" in result.stdout
+
+    def test_replay_msr_trace(self):
+        result = run_example("replay_msr_trace.py")
+        assert result.returncode == 0, result.stderr
+        assert "batch allocation" in result.stdout
+
+    @pytest.mark.slow
+    def test_scale_out(self):
+        result = run_example("scale_out.py")
+        assert result.returncode == 0, result.stderr
+        assert "cluster capture" in result.stdout
+        assert "t2 trajectory" in result.stdout
+
+    @pytest.mark.slow
+    def test_capacity_planning(self):
+        result = run_example("capacity_planning.py")
+        assert result.returncode == 0, result.stderr
+        assert "Drive requirements" in result.stdout
+        assert "per-server" in result.stdout

@@ -1,0 +1,99 @@
+"""MSR-Cambridge CSV trace I/O round-tripping."""
+
+import pytest
+
+from repro.traces import IOKind, IORequest, Trace, read_msr_csv, write_msr_csv
+from repro.traces.msr import TICKS_PER_SECOND
+
+
+@pytest.fixture
+def sample_csv(tmp_path):
+    path = tmp_path / "trace.csv"
+    rows = [
+        # ts(ticks), host, disk, type, offset(bytes), size(bytes), response(ticks)
+        f"{10 * TICKS_PER_SECOND},web0,0,Read,8192,4096,{TICKS_PER_SECOND // 100}",
+        f"{11 * TICKS_PER_SECOND},web0,1,Write,512,1024,{TICKS_PER_SECOND // 50}",
+        f"{12 * TICKS_PER_SECOND},db1,0,Read,0,513,{TICKS_PER_SECOND // 100}",
+    ]
+    path.write_text("\n".join(rows) + "\n")
+    return path
+
+
+class TestReadMsrCsv:
+    def test_reads_all_rows(self, sample_csv):
+        trace = read_msr_csv(sample_csv)
+        assert len(trace) == 3
+
+    def test_time_rebased_to_first_record(self, sample_csv):
+        trace = read_msr_csv(sample_csv)
+        assert trace.requests[0].issue_time == 0.0
+        assert trace.requests[1].issue_time == pytest.approx(1.0)
+
+    def test_hostnames_numbered_in_order(self, sample_csv):
+        trace = read_msr_csv(sample_csv)
+        assert trace.requests[0].server_id == 0  # web0
+        assert trace.requests[2].server_id == 1  # db1
+
+    def test_explicit_server_ids(self, sample_csv):
+        trace = read_msr_csv(sample_csv, server_ids={"db1": 7})
+        assert trace.requests[2].server_id == 7
+
+    def test_offset_and_size_in_blocks(self, sample_csv):
+        first = read_msr_csv(sample_csv).requests[0]
+        assert first.block_offset == 16  # 8192 / 512
+        assert first.block_count == 8  # 4096 / 512
+
+    def test_sub_block_size_rounds_up(self, sample_csv):
+        third = read_msr_csv(sample_csv).requests[2]
+        assert third.block_count == 2  # 513 bytes -> 2 blocks
+
+    def test_alignment_detected(self, sample_csv):
+        trace = read_msr_csv(sample_csv)
+        assert trace.requests[0].aligned_4k
+        assert not trace.requests[1].aligned_4k
+
+    def test_kinds(self, sample_csv):
+        trace = read_msr_csv(sample_csv)
+        assert trace.requests[0].is_read
+        assert trace.requests[1].is_write
+
+    def test_response_time(self, sample_csv):
+        first = read_msr_csv(sample_csv).requests[0]
+        assert first.completion_time - first.issue_time == pytest.approx(0.01)
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, tmp_path):
+        original = Trace(
+            [
+                IORequest(
+                    issue_time=0.0,
+                    completion_time=0.02,
+                    server_id=0,
+                    volume_id=2,
+                    block_offset=64,
+                    block_count=8,
+                    kind=IOKind.WRITE,
+                ),
+                IORequest(
+                    issue_time=5.5,
+                    completion_time=5.51,
+                    server_id=1,
+                    volume_id=0,
+                    block_offset=1,
+                    block_count=3,
+                    kind=IOKind.READ,
+                    aligned_4k=False,
+                ),
+            ]
+        )
+        path = tmp_path / "out.csv"
+        write_msr_csv(original, path)
+        loaded = read_msr_csv(path)
+        assert len(loaded) == len(original)
+        for a, b in zip(original, loaded):
+            assert a.block_offset == b.block_offset
+            assert a.block_count == b.block_count
+            assert a.kind == b.kind
+            assert a.issue_time == pytest.approx(b.issue_time, abs=1e-6)
+            assert a.completion_time == pytest.approx(b.completion_time, abs=1e-6)

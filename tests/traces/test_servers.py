@@ -1,0 +1,116 @@
+"""Table 1 server inventory fidelity."""
+
+import pytest
+
+from repro.traces.servers import (
+    PAPER_SERVERS,
+    ServerProfile,
+    VolumeProfile,
+    paper_ensemble,
+    table1_rows,
+)
+
+
+class TestTable1Fidelity:
+    """The published Table 1 numbers, row by row."""
+
+    def test_thirteen_servers(self):
+        assert len(PAPER_SERVERS) == 13
+
+    def test_total_volumes(self):
+        assert sum(s.volume_count for s in PAPER_SERVERS) == 36
+
+    def test_total_spindles(self):
+        assert sum(s.spindles for s in PAPER_SERVERS) == 179
+
+    def test_total_size(self):
+        assert round(sum(s.size_gb for s in PAPER_SERVERS)) == 6449
+
+    @pytest.mark.parametrize(
+        "key,volumes,spindles,size_gb",
+        [
+            ("usr", 3, 16, 1367),
+            ("proj", 5, 44, 2094),
+            ("prn", 2, 6, 452),
+            ("hm", 2, 6, 39),
+            ("rsrch", 3, 24, 277),
+            ("prxy", 2, 4, 89),
+            ("src1", 3, 12, 555),
+            ("src2", 3, 14, 355),
+            ("stg", 2, 6, 113),
+            ("ts", 1, 2, 22),
+            ("web", 4, 17, 441),
+            ("mds", 2, 16, 509),
+            ("wdev", 4, 12, 136),
+        ],
+    )
+    def test_row(self, key, volumes, spindles, size_gb):
+        server = next(s for s in PAPER_SERVERS if s.key == key)
+        assert server.volume_count == volumes
+        assert server.spindles == spindles
+        assert round(server.size_gb) == size_gb
+
+
+class TestSkewPersonalities:
+    def test_proxy_most_skewed(self):
+        # Figure 3(a): Prxy exhibits extreme skew.
+        prxy = next(s for s in PAPER_SERVERS if s.key == "prxy")
+        assert prxy.skew == max(s.skew for s in PAPER_SERVERS)
+
+    def test_source_control_least_skewed(self):
+        # Figure 3(a): Src1 is near-linear.
+        src1 = next(s for s in PAPER_SERVERS if s.key == "src1")
+        assert src1.skew == min(s.skew for s in PAPER_SERVERS)
+
+    def test_staging_wobbles_most(self):
+        # Figure 3(c): Stg's skew swings between days.
+        stg = next(s for s in PAPER_SERVERS if s.key == "stg")
+        assert stg.daily_wobble == max(s.daily_wobble for s in PAPER_SERVERS)
+
+    def test_web_volumes_differ_in_skew(self):
+        # Figure 3(b): Web volumes 0 and 1 have different skew.
+        web = next(s for s in PAPER_SERVERS if s.key == "web")
+        assert web.volumes[0].skew_scale != web.volumes[1].skew_scale
+
+    def test_activity_shares_roughly_normalized(self):
+        total = sum(s.activity_share for s in PAPER_SERVERS)
+        assert total == pytest.approx(1.0, abs=0.05)
+
+
+class TestProfileValidation:
+    def test_rejects_empty_volumes(self):
+        with pytest.raises(ValueError):
+            ServerProfile(
+                0, "x", "X", 1, tuple(), skew=1.0, activity_share=0.1
+            )
+
+    def test_rejects_bad_read_fraction(self):
+        with pytest.raises(ValueError):
+            ServerProfile(
+                0,
+                "x",
+                "X",
+                1,
+                (VolumeProfile(0, 10.0),),
+                skew=1.0,
+                activity_share=0.1,
+                read_fraction=1.5,
+            )
+
+    def test_volume_access_shares_sum_to_one(self):
+        for server in PAPER_SERVERS:
+            assert sum(v.access_share for v in server.volumes) == pytest.approx(1.0)
+
+
+class TestTable1Rows:
+    def test_has_total_row(self):
+        rows = table1_rows()
+        assert rows[-1]["key"] == "Total"
+        assert rows[-1]["volumes"] == 36
+        assert rows[-1]["spindles"] == 179
+        assert rows[-1]["size_gb"] == 6449
+
+    def test_paper_ensemble_returns_fresh_list(self):
+        a, b = paper_ensemble(), paper_ensemble()
+        assert a == b
+        assert a is not b

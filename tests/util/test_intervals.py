@@ -1,0 +1,62 @@
+"""Calendar bucketing of trace timestamps."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.intervals import (
+    SECONDS_PER_DAY,
+    SECONDS_PER_HOUR,
+    SECONDS_PER_MINUTE,
+    day_of,
+    hour_of,
+    minute_of,
+)
+
+
+class TestConstants:
+    def test_day_length(self):
+        assert SECONDS_PER_DAY == 24 * SECONDS_PER_HOUR == 1440 * SECONDS_PER_MINUTE
+
+
+class TestMinuteOf:
+    def test_zero(self):
+        assert minute_of(0.0) == 0
+
+    def test_boundary(self):
+        assert minute_of(59.999) == 0
+        assert minute_of(60.0) == 1
+
+    def test_week_trace_has_10080_minutes(self):
+        # The paper's 7-day occupancy analysis covers 10,080 minutes.
+        assert minute_of(7 * SECONDS_PER_DAY - 1) == 10079
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            minute_of(-0.1)
+
+
+class TestDayOf:
+    def test_calendar_partition(self):
+        assert day_of(0.0) == 0
+        assert day_of(SECONDS_PER_DAY - 0.001) == 0
+        assert day_of(SECONDS_PER_DAY) == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            day_of(-1.0)
+
+
+class TestHourOf:
+    def test_paper_window(self):
+        # SieveStore-C's W = 8 hours spans hours 0..7.
+        assert hour_of(8 * SECONDS_PER_HOUR - 1) == 7
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            hour_of(-1.0)
+
+
+@given(st.floats(min_value=0, max_value=1e9, allow_nan=False))
+def test_buckets_consistent(t):
+    assert minute_of(t) // 60 == hour_of(t)
+    assert hour_of(t) // 24 == day_of(t)

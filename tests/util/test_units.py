@@ -1,0 +1,106 @@
+"""Unit conversions: 512-byte blocks and 4-KB I/O costing units."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.units import (
+    BLOCK_BYTES,
+    BLOCKS_PER_IO_UNIT,
+    GIB,
+    IO_UNIT_BYTES,
+    blocks_to_bytes,
+    blocks_to_io_units,
+    bytes_to_blocks,
+    format_bytes,
+)
+
+
+class TestConstants:
+    def test_block_is_512_bytes(self):
+        assert BLOCK_BYTES == 512
+
+    def test_io_unit_is_4kib(self):
+        assert IO_UNIT_BYTES == 4096
+
+    def test_blocks_per_io_unit(self):
+        assert BLOCKS_PER_IO_UNIT == 8
+
+
+class TestBlocksToBytes:
+    def test_zero(self):
+        assert blocks_to_bytes(0) == 0
+
+    def test_one_block(self):
+        assert blocks_to_bytes(1) == 512
+
+    def test_gigabyte_cache(self):
+        # The paper's 16 GB cache in blocks.
+        assert blocks_to_bytes(16 * GIB // 512) == 16 * GIB
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            blocks_to_bytes(-1)
+
+
+class TestBytesToBlocks:
+    def test_exact(self):
+        assert bytes_to_blocks(1024) == 2
+
+    def test_rounds_up(self):
+        assert bytes_to_blocks(513) == 2
+
+    def test_sub_block_io_costs_one_block(self):
+        assert bytes_to_blocks(1) == 1
+
+    def test_zero(self):
+        assert bytes_to_blocks(0) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bytes_to_blocks(-5)
+
+    @given(st.integers(min_value=0, max_value=10**12))
+    def test_roundtrip_dominates(self, nbytes):
+        blocks = bytes_to_blocks(nbytes)
+        assert blocks_to_bytes(blocks) >= nbytes
+        assert blocks_to_bytes(blocks) - nbytes < BLOCK_BYTES
+
+
+class TestBlocksToIoUnits:
+    def test_sub_4k_charged_as_full_unit(self):
+        # Section 4: "we conservatively assessed the same cost for a
+        # sub-4KB I/O as that of a 4KB I/O".
+        for blocks in range(1, 9):
+            assert blocks_to_io_units(blocks) == 1
+
+    def test_nine_blocks_costs_two_units(self):
+        assert blocks_to_io_units(9) == 2
+
+    def test_exact_multiple(self):
+        assert blocks_to_io_units(16) == 2
+
+    def test_zero(self):
+        assert blocks_to_io_units(0) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            blocks_to_io_units(-1)
+
+    @given(st.integers(min_value=1, max_value=10**9))
+    def test_ceiling_semantics(self, blocks):
+        units = blocks_to_io_units(blocks)
+        assert (units - 1) * BLOCKS_PER_IO_UNIT < blocks <= units * BLOCKS_PER_IO_UNIT
+
+
+class TestFormatBytes:
+    def test_bytes(self):
+        assert format_bytes(100) == "100 B"
+
+    def test_kib(self):
+        assert format_bytes(1536) == "1.5 KiB"
+
+    def test_gib(self):
+        assert format_bytes(16 * GIB) == "16.0 GiB"
+
+    def test_large_stays_tib(self):
+        assert "TiB" in format_bytes(5000 * GIB)
