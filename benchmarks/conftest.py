@@ -10,17 +10,35 @@ Scale: the benches run the ``small`` preset (~1/10,000 linear scale,
 a few million block accesses over 8 days).  Set the environment
 variable ``SIEVESTORE_BENCH_SCALE`` to override (e.g. 1e-5 for a quick
 smoke run, 1e-3 for a heavier one).
+
+Performance knobs (all read once at session start):
+
+* ``SIEVESTORE_BENCH_FAST``  — ``0`` runs the suite through the
+  reference object-trace path instead of the columnar fast path
+  (default: fast path on; the two are bit-identical);
+* ``SIEVESTORE_BENCH_JOBS``  — worker processes for the policy suite
+  (default 1 = serial in-process, 0 = all cores);
+* ``SIEVESTORE_TRACE_CACHE`` — trace-cache directory override (the
+  harness defaults to ``.sievestore-trace-cache`` at the repo root, so
+  repeated bench sessions skip trace synthesis entirely).
+
+The session also writes ``BENCH_perf.json`` at the repo root: one entry
+per simulated policy configuration with its wall-clock seconds and
+block-simulation throughput, so perf regressions show up in review
+diffs rather than anecdotes.
 """
 
 from __future__ import annotations
 
+import json
 import os
+from pathlib import Path
 
 import pytest
 
 from repro.sim import context_for_trace, run_policy_suite
 from repro.ssd.device import INTEL_X25E
-from repro.traces import EnsembleTraceGenerator, SyntheticTraceConfig
+from repro.traces import SyntheticTraceConfig, load_or_generate_columnar
 
 DAYS = 8
 
@@ -28,9 +46,47 @@ DAYS = 8
 #: repro.ssd.occupancy.occupancy_from_stats.
 OCCUPANCY_WINDOW_MINUTES = 30
 
+REPO_ROOT = Path(__file__).resolve().parent.parent
+PERF_REPORT_PATH = REPO_ROOT / "BENCH_perf.json"
+
+#: policy name -> {"wall_seconds", "blocks_per_sec", "scale"}; filled by
+#: record_perf() as results become available, dumped at session end.
+_PERF_RECORDS: dict = {}
+
 
 def bench_scale() -> float:
     return float(os.environ.get("SIEVESTORE_BENCH_SCALE", "1e-4"))
+
+
+def bench_fast_path() -> bool:
+    return os.environ.get("SIEVESTORE_BENCH_FAST", "1") != "0"
+
+
+def bench_jobs():
+    jobs = int(os.environ.get("SIEVESTORE_BENCH_JOBS", "1"))
+    return None if jobs == 0 else jobs
+
+
+def record_perf(name: str, result, scale: float) -> None:
+    """Log one simulation's wall time / throughput for BENCH_perf.json."""
+    total_blocks = result.stats.total.accesses
+    wall = result.wall_seconds
+    _PERF_RECORDS[name] = {
+        "wall_seconds": round(wall, 6),
+        "blocks_per_sec": round(total_blocks / wall, 1) if wall > 0 else 0.0,
+        "scale": scale,
+    }
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _PERF_RECORDS:
+        return
+    try:
+        PERF_REPORT_PATH.write_text(
+            json.dumps(_PERF_RECORDS, indent=2, sort_keys=True) + "\n"
+        )
+    except OSError:
+        pass
 
 
 @pytest.fixture(scope="session")
@@ -39,26 +95,39 @@ def bench_config():
 
 
 @pytest.fixture(scope="session")
-def bench_generator(bench_config):
-    return EnsembleTraceGenerator(bench_config)
+def bench_columnar(bench_config):
+    """The shared ensemble trace in columnar form, via the trace cache."""
+    if os.environ.get("SIEVESTORE_TRACE_CACHE") is not None:
+        cache_dir = None  # honour the user's override (or opt-out)
+    else:
+        cache_dir = REPO_ROOT / ".sievestore-trace-cache"
+    return load_or_generate_columnar(bench_config, cache_dir)
 
 
 @pytest.fixture(scope="session")
-def bench_trace(bench_generator):
-    return bench_generator.generate()
+def bench_trace(bench_columnar):
+    return bench_columnar.to_trace()
 
 
 @pytest.fixture(scope="session")
-def bench_context(bench_trace, bench_config):
+def bench_context(bench_trace, bench_columnar, bench_config):
     return context_for_trace(
-        bench_trace, days=bench_config.days, scale=bench_config.scale
+        bench_trace,
+        days=bench_config.days,
+        scale=bench_config.scale,
+        columnar=bench_columnar,
     )
 
 
 @pytest.fixture(scope="session")
-def bench_suite(bench_context):
+def bench_suite(bench_context, bench_config):
     """The Figure-5 policy suite, run once for the whole bench session."""
-    return run_policy_suite(bench_context)
+    results = run_policy_suite(
+        bench_context, fast_path=bench_fast_path(), jobs=bench_jobs()
+    )
+    for name, result in results.items():
+        record_perf(name, result, bench_config.scale)
+    return results
 
 
 @pytest.fixture(scope="session")

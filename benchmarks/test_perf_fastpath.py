@@ -1,0 +1,61 @@
+"""Perf regression harness — columnar fast path vs the object reference.
+
+Runs one engine-bound configuration (AOD at 16 GB: every block goes
+through the hit/miss/allocate machinery, no sieve-policy overhead) over
+the shared bench trace through both simulation paths, records both in
+``BENCH_perf.json``, and asserts:
+
+* the two paths produce bit-identical statistics (the fast path is an
+  optimization, not an approximation);
+* at the default ``small`` preset the fast path clears a minimum
+  throughput multiple over the object path.  The guard is skipped at
+  smoke scales (trace too small for stable timing) and can be tuned
+  with ``SIEVESTORE_FASTPATH_MIN_SPEEDUP``.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.sim import run_policy
+
+from benchmarks.conftest import bench_scale, record_perf
+
+#: Engine-bound configuration used for the throughput measurement.
+PERF_POLICY = "aod-16"
+
+#: Below this scale the trace is a smoke run — timings are noise.
+MIN_SCALE_FOR_GUARD = 1e-4
+
+
+def min_speedup() -> float:
+    return float(os.environ.get("SIEVESTORE_FASTPATH_MIN_SPEEDUP", "2.0"))
+
+
+def test_perf_fastpath_speedup(benchmark, bench_context, bench_config):
+    slow = run_policy(PERF_POLICY, bench_context, fast_path=False)
+    fast = benchmark.pedantic(
+        lambda: run_policy(PERF_POLICY, bench_context, fast_path=True),
+        iterations=1,
+        rounds=1,
+    )
+
+    record_perf(f"{PERF_POLICY}-object", slow, bench_config.scale)
+    record_perf(f"{PERF_POLICY}-fast", fast, bench_config.scale)
+
+    # Equivalence first: identical per-day and per-minute statistics.
+    assert fast.stats.per_day == slow.stats.per_day
+    assert fast.stats.per_minute == slow.stats.per_minute
+
+    speedup = slow.wall_seconds / fast.wall_seconds
+    blocks = fast.stats.total.accesses
+    print(
+        f"\n{PERF_POLICY}: object {slow.wall_seconds:.2f}s, "
+        f"fast {fast.wall_seconds:.2f}s ({speedup:.2f}x) over "
+        f"{blocks:,} block accesses"
+    )
+    if bench_scale() >= MIN_SCALE_FOR_GUARD:
+        assert speedup >= min_speedup(), (
+            f"fast path regressed: {speedup:.2f}x < {min_speedup():.1f}x "
+            f"minimum over the object path"
+        )

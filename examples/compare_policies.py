@@ -7,10 +7,14 @@ comparisons ("how much more does SieveStore capture than the best
 unsieved cache, at what allocation-write cost?").
 
 Run:
-    python examples/compare_policies.py [scale]
+    python examples/compare_policies.py [scale] [jobs]
 
 ``scale`` defaults to 2e-5 (seconds of runtime); the benchmarks use
-1e-4 (minutes).
+1e-4 (minutes).  ``jobs`` fans the nine configurations across worker
+processes (0 = all cores).  The generated trace is memoized in
+``.sievestore-trace-cache/`` so re-runs skip synthesis, and the runs
+use the columnar fast path (statistics are bit-identical to the
+reference engine).
 """
 
 import sys
@@ -24,19 +28,23 @@ from repro.sim import (
     total_allocation_writes,
 )
 from repro.sim.experiment import FIGURE5_POLICIES
-from repro.traces import EnsembleTraceGenerator, SyntheticTraceConfig
+from repro.traces import SyntheticTraceConfig, load_or_generate_columnar
 
 
 def main() -> None:
     scale = float(sys.argv[1]) if len(sys.argv) > 1 else 2e-5
+    jobs = int(sys.argv[2]) if len(sys.argv) > 2 else 1
     config = SyntheticTraceConfig(scale=scale, days=8)
-    print(f"generating trace at scale {scale:g} ...")
-    trace = EnsembleTraceGenerator(config).generate()
-    ctx = context_for_trace(trace, days=config.days, scale=scale)
+    print(f"loading trace at scale {scale:g} ...")
+    columns = load_or_generate_columnar(config)
+    ctx = context_for_trace(columns, days=config.days, scale=scale)
 
     print(f"simulating {len(FIGURE5_POLICIES)} configurations over "
-          f"{trace.total_blocks():,} block accesses ...")
-    suite = run_policy_suite(ctx, track_minutes=False)
+          f"{columns.total_blocks():,} block accesses ...")
+    suite = run_policy_suite(
+        ctx, track_minutes=False, fast_path=True,
+        jobs=None if jobs == 0 else jobs,
+    )
 
     print()
     print(render_series(capture_series(suite), x_label="day",

@@ -14,16 +14,17 @@ Run:
 from repro.cache import BlockCache
 from repro.cache.stats import CacheStats
 from repro.core import SieveStoreAppliance, SieveStoreC, SieveStoreCConfig
-from repro.traces import EnsembleTraceGenerator, SyntheticTraceConfig
+from repro.traces import SyntheticTraceConfig, load_or_generate_trace
 from repro.util.intervals import SECONDS_PER_DAY
 from repro.util.units import format_bytes
 
 
 def main() -> None:
     # 1. A week of block traffic from a 13-server ensemble, at 1/50,000
-    #    linear scale so this demo runs in seconds.
+    #    linear scale so this demo runs in seconds.  The generated trace
+    #    is memoized on disk, so re-runs start immediately.
     config = SyntheticTraceConfig(scale=2e-5, days=8)
-    trace = EnsembleTraceGenerator(config).generate()
+    trace = load_or_generate_trace(config)
     print(
         f"trace: {len(trace):,} requests, {trace.total_blocks():,} "
         f"512-byte block accesses over {config.days} days"

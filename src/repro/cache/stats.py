@@ -138,6 +138,51 @@ class CacheStats:
         else:
             entry.reads += io_units
 
+    # -- merging ------------------------------------------------------------
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        """Accumulate another run's counters into this one, in place.
+
+        Both operands must cover the same number of days.  Per-day
+        counters add field-wise; per-minute I/O entries add read/write
+        unit counts.  This is what lets sharded or worker-partitioned
+        simulations (one trace shard per process) combine their
+        statistics into one run-level :class:`CacheStats`.
+
+        Returns ``self`` for chaining.
+        """
+        if other.days != self.days:
+            raise ValueError(
+                f"cannot merge stats over {other.days} days into stats "
+                f"over {self.days} days"
+            )
+        for mine, theirs in zip(self.per_day, other.per_day):
+            mine.accesses += theirs.accesses
+            mine.read_hits += theirs.read_hits
+            mine.write_hits += theirs.write_hits
+            mine.read_misses += theirs.read_misses
+            mine.write_misses += theirs.write_misses
+            mine.allocation_writes += theirs.allocation_writes
+            mine.backing_writes += theirs.backing_writes
+            mine.writebacks += theirs.writebacks
+        for minute, entry in other.per_minute.items():
+            mine_entry = self.per_minute.setdefault(minute, MinuteIO())
+            mine_entry.reads += entry.reads
+            mine_entry.writes += entry.writes
+        return self
+
+    @classmethod
+    def merged(cls, parts: "List[CacheStats]") -> "CacheStats":
+        """Merge a non-empty sequence of stats into a fresh instance."""
+        if not parts:
+            raise ValueError("cannot merge an empty sequence of stats")
+        result = cls(
+            days=parts[0].days,
+            track_minutes=any(p.track_minutes for p in parts),
+        )
+        for part in parts:
+            result.merge(part)
+        return result
+
     # -- aggregation --------------------------------------------------------
     @property
     def total(self) -> DayStats:

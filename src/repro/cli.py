@@ -25,14 +25,14 @@ from repro.analysis.report import render_table
 from repro.analysis.skew import access_count_quantiles
 from repro.analysis.tables import table2_rows
 from repro.sim import context_for_trace, run_policy
-from repro.sim.experiment import FIGURE5_POLICIES
+from repro.sim.experiment import FIGURE5_POLICIES, run_policy_suite
 from repro.ssd.device import INTEL_X25E
 from repro.ssd.occupancy import coverage_table, occupancy_from_stats
 from repro.traces import (
-    EnsembleTraceGenerator,
     SyntheticTraceConfig,
     read_msr_csv,
 )
+from repro.traces.store import load_or_generate_columnar
 from repro.traces.streams import daily_block_counts
 
 
@@ -54,15 +54,34 @@ def _build_parser() -> argparse.ArgumentParser:
             "--msr-csv", metavar="FILE", default=None,
             help="replay an MSR-Cambridge CSV instead of synthesizing",
         )
+        p.add_argument(
+            "--no-trace-cache", action="store_true",
+            help="regenerate the synthetic trace instead of using the "
+            "on-disk trace cache (see SIEVESTORE_TRACE_CACHE)",
+        )
 
-    sim = sub.add_parser("simulate", help="run one cache configuration")
+    sim = sub.add_parser("simulate", help="run cache configurations")
     add_trace_options(sim)
     sim.add_argument(
-        "--policy", choices=sorted(FIGURE5_POLICIES), default="sievestore-c"
+        "--policy", choices=sorted(FIGURE5_POLICIES),
+        action="append", dest="policies", metavar="POLICY",
+        help="configuration to simulate; repeat for several "
+        "(default: sievestore-c)",
+    )
+    sim.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="run the policies across N worker processes sharing one "
+        "serialized columnar trace (0 = all cores)",
+    )
+    sim.add_argument(
+        "--fast", action="store_true",
+        help="use the columnar fast simulation path (bit-identical "
+        "statistics, several times faster)",
     )
     sim.add_argument(
         "--json", metavar="FILE", default=None,
-        help="also write the result (stats + policy name) as JSON",
+        help="also write the result (stats + policy name) as JSON; "
+        "with several policies, FILE gains a per-policy suffix",
     )
 
     skew = sub.add_parser("skew", help="Figure-2 popularity analysis")
@@ -96,19 +115,28 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _load_trace(args):
+    """Returns ``(object_trace, days, columnar_or_None)``.
+
+    Synthetic traces go through the on-disk trace cache (columnar
+    ``.npz`` keyed by a config content hash) unless ``--no-trace-cache``
+    or the ``SIEVESTORE_TRACE_CACHE`` environment variable disables it.
+    """
     if args.msr_csv:
         trace = read_msr_csv(args.msr_csv)
-        return trace, args.days
+        return trace, args.days, None
     config = SyntheticTraceConfig(
         scale=args.scale, days=args.days, seed=args.seed
     )
-    return EnsembleTraceGenerator(config).generate(), config.days
+    if args.no_trace_cache:
+        from repro.traces.synthetic import EnsembleTraceGenerator
+
+        columns = EnsembleTraceGenerator(config).generate_columnar()
+    else:
+        columns = load_or_generate_columnar(config)
+    return columns.to_trace(), config.days, columns
 
 
-def _cmd_simulate(args) -> int:
-    trace, days = _load_trace(args)
-    ctx = context_for_trace(trace, days=days, scale=args.scale)
-    result = run_policy(args.policy, ctx, track_minutes=False)
+def _print_simulation_report(name: str, result, requests: int) -> None:
     rows = [
         [day, d.accesses, round(d.hit_ratio, 3), d.allocation_writes]
         for day, d in enumerate(result.stats.per_day)
@@ -121,20 +149,50 @@ def _cmd_simulate(args) -> int:
     print(render_table(
         ["day", "block accesses", "capture", "allocation-writes"],
         rows,
-        title=f"{args.policy} over {len(trace):,} requests",
+        title=f"{name} over {requests:,} requests",
     ))
+    blocks_per_sec = (
+        total.accesses / result.wall_seconds if result.wall_seconds > 0 else 0.0
+    )
+    print(
+        f"simulated in {result.wall_seconds:.2f}s "
+        f"({blocks_per_sec:,.0f} blocks/sec)\n"
+    )
+
+
+def _cmd_simulate(args) -> int:
+    trace, days, columns = _load_trace(args)
+    names = args.policies or ["sievestore-c"]
+    ctx = context_for_trace(
+        trace, days=days, scale=args.scale, columnar=columns
+    )
+    jobs = None if args.jobs == 0 else args.jobs
+    results = run_policy_suite(
+        ctx, names, track_minutes=False, fast_path=args.fast, jobs=jobs
+    )
+    for name in names:
+        _print_simulation_report(name, results[name], len(trace))
     if args.json:
         from repro.sim.serialize import save_result
 
-        save_result(result, args.json)
-        print(f"result written to {args.json}")
+        if len(names) == 1:
+            save_result(results[names[0]], args.json)
+            print(f"result written to {args.json}")
+        else:
+            import os
+
+            root, ext = os.path.splitext(args.json)
+            for name in names:
+                path = f"{root}-{name}{ext or '.json'}"
+                save_result(results[name], path)
+                print(f"result written to {path}")
     return 0
 
 
 def _cmd_summarize(args) -> int:
     from repro.analysis.summary import summarize_trace, summary_rows
 
-    trace, _days = _load_trace(args)
+    trace, _days, _columns = _load_trace(args)
     summary = summarize_trace(trace)
     print(render_table(
         ["server", "requests", "blocks", "traffic share", "read fraction"],
@@ -155,7 +213,7 @@ def _cmd_summarize(args) -> int:
 def _cmd_validate(args) -> int:
     from repro.traces.validation import validate_trace
 
-    trace, days = _load_trace(args)
+    trace, days, _columns = _load_trace(args)
     report = validate_trace(trace, days=days)
     print(render_table(
         ["check", "measured", "accepted band", "status"],
@@ -170,8 +228,12 @@ def _cmd_validate(args) -> int:
 
 
 def _cmd_skew(args) -> int:
-    trace, days = _load_trace(args)
-    counts = daily_block_counts(trace, days)
+    trace, days, columns = _load_trace(args)
+    counts = (
+        columns.daily_block_counts(days)
+        if columns is not None
+        else daily_block_counts(trace, days)
+    )
     rows = []
     for day, table in enumerate(counts):
         q = access_count_quantiles(table)
@@ -189,8 +251,8 @@ def _cmd_skew(args) -> int:
 
 
 def _cmd_drives(args) -> int:
-    trace, days = _load_trace(args)
-    ctx = context_for_trace(trace, days=days, scale=args.scale)
+    trace, days, columns = _load_trace(args)
+    ctx = context_for_trace(trace, days=days, scale=args.scale, columnar=columns)
     result = run_policy(args.policy, ctx, track_minutes=True)
     device = INTEL_X25E.scaled(args.scale)
     series = occupancy_from_stats(

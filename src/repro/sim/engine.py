@@ -9,13 +9,26 @@ The engine "faithfully model[s] the cache operation including
 allocation-writes" (Section 4): every 512-byte block of every request
 is individually looked up, counted, and — if the sieve admits it —
 allocated at its interpolated completion time.
+
+Two execution paths produce identical results:
+
+* the **object path** (default) walks :class:`~repro.traces.model.Trace`
+  request objects through the appliance — the readable reference
+  implementation;
+* the **fast path** (``fast_path=True``) replays the columnar form of
+  the trace through :mod:`repro.sim.fast_engine`'s flat loop, several
+  times faster.  It covers LRU replacement with write-through
+  accounting (every figure's configuration); other configurations
+  silently use the object path, so ``fast_path=True`` is always safe.
 """
 
 from __future__ import annotations
 
+import math
 import time as _time
 from dataclasses import dataclass
-from typing import Optional
+from fractions import Fraction
+from typing import List, Union
 
 from repro.cache.allocation import AllocationPolicy
 from repro.cache.block_cache import BlockCache
@@ -23,6 +36,7 @@ from repro.cache.replacement import make_replacement
 from repro.cache.stats import CacheStats
 from repro.cache.write_policy import WriteMode
 from repro.core.appliance import SieveStoreAppliance
+from repro.traces.columnar import ColumnarTrace, as_columnar, as_object_trace
 from repro.traces.model import Trace
 from repro.util.intervals import SECONDS_PER_DAY
 
@@ -42,17 +56,33 @@ class SimulationResult:
         """Number of calendar days covered by the run."""
         return self.stats.days
 
-    def daily_capture(self) -> list:
+    def daily_capture(self) -> List[float]:
         """Per-day fraction of block accesses captured (hit) by the cache."""
         return [day.hit_ratio for day in self.stats.per_day]
 
-    def daily_allocation_writes(self) -> list:
+    def daily_allocation_writes(self) -> List[int]:
         """Per-day allocation-write counts (512-byte blocks)."""
         return [day.allocation_writes for day in self.stats.per_day]
 
 
+def total_epoch_count(days: int, epoch_seconds: float) -> int:
+    """Number of epoch boundaries covering ``days`` calendar days.
+
+    Computed on exact rationals: ``int(days * 86400 / epoch_seconds)``
+    both truncates partial trailing epochs and, worse, can lose a whole
+    epoch to float rounding when ``epoch_seconds`` does not divide the
+    day evenly (e.g. 7 h over 8 days is exactly 27.43 epochs, but a
+    float quotient landing at 27.999... would truncate to 27 — one
+    boundary short).  ``Fraction(float)`` is exact, so the ceiling here
+    is exact for every representable epoch length.
+    """
+    return max(
+        1, math.ceil(Fraction(days * SECONDS_PER_DAY) / Fraction(epoch_seconds))
+    )
+
+
 def simulate(
-    trace: Trace,
+    trace: Union[Trace, ColumnarTrace],
     policy: AllocationPolicy,
     capacity_blocks: int,
     days: int,
@@ -62,11 +92,14 @@ def simulate(
     replacement_seed: int = 0,
     write_mode: WriteMode = WriteMode.WRITE_THROUGH,
     epoch_seconds: float = float(SECONDS_PER_DAY),
+    fast_path: bool = False,
 ) -> SimulationResult:
     """Run one allocation policy over a trace.
 
     Args:
-        trace: chronological ensemble trace.
+        trace: chronological ensemble trace, in either representation
+            (object :class:`Trace` or :class:`ColumnarTrace`); it is
+            converted as the execution path requires.
         policy: the allocation policy / sieve under test.
         capacity_blocks: cache capacity in 512-byte frames.
         days: calendar days covered by the trace.
@@ -86,9 +119,46 @@ def simulate(
             or longer epochs drive the Section 5.1 epoch-length
             sensitivity analysis.  Statistics stay calendar-day
             bucketed regardless.
+        fast_path: replay the columnar trace through the flat fast
+            loop (bit-identical statistics).  Configurations the fast
+            path does not cover — non-LRU replacement, write-back —
+            transparently fall back to the object path.
     """
     if epoch_seconds <= 0:
         raise ValueError(f"epoch_seconds must be positive, got {epoch_seconds}")
+    total_epochs = total_epoch_count(days, epoch_seconds)
+
+    use_fast = (
+        fast_path
+        and replacement == "lru"
+        and write_mode is WriteMode.WRITE_THROUGH
+    )
+    if use_fast:
+        from repro.sim.fast_engine import simulate_fast
+
+        columns = as_columnar(trace)
+        started = _time.perf_counter()
+        stats, cache = simulate_fast(
+            columns,
+            policy,
+            capacity_blocks=capacity_blocks,
+            days=days,
+            track_minutes=track_minutes,
+            batch_moves_staggered=batch_moves_staggered,
+            epoch_seconds=epoch_seconds,
+            total_epochs=total_epochs,
+        )
+        wall = _time.perf_counter() - started
+        stats.check_consistency()
+        return SimulationResult(
+            policy_name=policy.name,
+            stats=stats,
+            cache=cache,
+            policy=policy,
+            wall_seconds=wall,
+        )
+
+    object_trace = as_object_trace(trace)
     stats = CacheStats(days=days, track_minutes=track_minutes)
     cache = BlockCache(
         capacity_blocks, replacement=make_replacement(replacement, seed=replacement_seed)
@@ -102,9 +172,8 @@ def simulate(
     )
 
     started = _time.perf_counter()
-    total_epochs = max(1, int(days * SECONDS_PER_DAY / epoch_seconds))
     current_epoch = -1
-    for request in trace:
+    for request in object_trace:
         request_epoch = int(request.issue_time // epoch_seconds)
         while current_epoch < request_epoch:
             current_epoch += 1

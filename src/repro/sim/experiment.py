@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.cache.allocation import (
     AllocateOnDemand,
@@ -29,6 +29,7 @@ from repro.core.sievestore_c import SieveStoreC, SieveStoreCConfig
 from repro.core.sievestore_d import SieveStoreD, SieveStoreDConfig
 from repro.core.windows import WindowSpec
 from repro.sim.engine import SimulationResult, simulate
+from repro.traces.columnar import ColumnarTrace
 from repro.traces.model import Trace
 from repro.traces.streams import daily_block_counts
 from repro.traces.synthetic import SyntheticTraceConfig
@@ -61,13 +62,39 @@ class ExperimentContext:
     ``daily_counts`` (per-day per-block access counts) doubles as the
     ideal sieve's oracle knowledge and as the popularity analysis input;
     compute it once per trace with :func:`context_for_trace`.
+
+    ``trace`` may be held in either representation; use
+    :meth:`object_trace` / :meth:`columnar_trace` to get the form a
+    consumer needs (conversions are cached).
     """
 
-    trace: Trace
+    trace: Union[Trace, ColumnarTrace]
     days: int
     scale: float
     daily_counts: List[Counter]
     seed: int = 0
+    columnar: Optional[ColumnarTrace] = field(
+        default=None, repr=False, compare=False
+    )
+    _object_cache: Optional[Trace] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def object_trace(self) -> Trace:
+        """The trace in object form (converted from columns if needed)."""
+        if isinstance(self.trace, Trace):
+            return self.trace
+        if self._object_cache is None:
+            self._object_cache = self.trace.to_trace()
+        return self._object_cache
+
+    def columnar_trace(self) -> ColumnarTrace:
+        """The trace in columnar form (converted from objects if needed)."""
+        if isinstance(self.trace, ColumnarTrace):
+            return self.trace
+        if self.columnar is None:
+            self.columnar = ColumnarTrace.from_trace(self.trace)
+        return self.columnar
 
     def cache_blocks(self, full_scale_gib: float) -> int:
         """Scaled frame count for a full-scale cache size in GiB."""
@@ -91,15 +118,37 @@ class ExperimentContext:
 
 
 def context_for_trace(
-    trace: Trace, days: int, scale: float, seed: int = 0
+    trace: Union[Trace, ColumnarTrace],
+    days: int,
+    scale: float,
+    seed: int = 0,
+    columnar: Optional[ColumnarTrace] = None,
 ) -> ExperimentContext:
-    """Build the shared context (computes daily block counts once)."""
+    """Build the shared context (computes daily block counts once).
+
+    Accepts either trace representation; pass ``columnar`` alongside an
+    object ``trace`` when both forms already exist so neither gets
+    re-derived.  The per-day counts are computed from whichever
+    columnar form is available (vectorized), falling back to the
+    reference per-block walk for object-only input — the two are
+    asserted identical by the test suite.
+    """
+    if isinstance(trace, ColumnarTrace):
+        columns: Optional[ColumnarTrace] = trace
+    else:
+        columns = columnar
+    daily = (
+        columns.daily_block_counts(days)
+        if columns is not None
+        else daily_block_counts(trace, days)
+    )
     return ExperimentContext(
         trace=trace,
         days=days,
         scale=scale,
-        daily_counts=daily_block_counts(trace, days),
+        daily_counts=daily,
         seed=seed,
+        columnar=columns,
     )
 
 
@@ -147,15 +196,18 @@ def run_policy(
     name: str,
     ctx: ExperimentContext,
     track_minutes: bool = True,
+    fast_path: bool = False,
 ) -> SimulationResult:
     """Build and simulate one configuration; result is renamed to ``name``."""
     policy, capacity = build_policy(name, ctx)
+    trace = ctx.columnar_trace() if fast_path else ctx.object_trace()
     result = simulate(
-        ctx.trace,
+        trace,
         policy,
         capacity_blocks=capacity,
         days=ctx.days,
         track_minutes=track_minutes,
+        fast_path=fast_path,
     )
     result.policy_name = name
     return result
@@ -165,9 +217,26 @@ def run_policy_suite(
     ctx: ExperimentContext,
     names: Sequence[str] = FIGURE5_POLICIES,
     track_minutes: bool = True,
+    fast_path: bool = False,
+    jobs: Optional[int] = 1,
 ) -> Dict[str, SimulationResult]:
-    """Simulate a set of configurations over the same trace."""
-    return {name: run_policy(name, ctx, track_minutes=track_minutes) for name in names}
+    """Simulate a set of configurations over the same trace.
+
+    ``jobs`` fans the (independent) policy runs across worker processes
+    sharing one serialized columnar trace: ``1`` (default) runs
+    serially in-process, ``N > 1`` uses N workers, ``None`` uses all
+    cores.  Results are identical to a serial run in every mode.
+    """
+    if jobs is None or jobs > 1:
+        from repro.sim.parallel import run_suite_parallel
+
+        return run_suite_parallel(
+            ctx, names, track_minutes=track_minutes, fast_path=fast_path, jobs=jobs
+        )
+    return {
+        name: run_policy(name, ctx, track_minutes=track_minutes, fast_path=fast_path)
+        for name in names
+    }
 
 
 def sievestore_d_with_threshold(
@@ -178,7 +247,7 @@ def sievestore_d_with_threshold(
         SieveStoreDConfig(threshold=threshold, capacity_blocks=ctx.sieved_capacity)
     )
     result = simulate(
-        ctx.trace, policy, ctx.sieved_capacity, ctx.days, track_minutes=False
+        ctx.object_trace(), policy, ctx.sieved_capacity, ctx.days, track_minutes=False
     )
     result.policy_name = f"sievestore-d(t={threshold})"
     return result
@@ -202,7 +271,7 @@ def sievestore_d_with_epoch(
         )
     )
     result = _simulate(
-        ctx.trace,
+        ctx.object_trace(),
         policy,
         ctx.sieved_capacity,
         ctx.days,
@@ -232,7 +301,7 @@ def sievestore_c_with_window(
     )
     policy = SieveStoreC(config)
     result = simulate(
-        ctx.trace, policy, ctx.sieved_capacity, ctx.days, track_minutes=False
+        ctx.object_trace(), policy, ctx.sieved_capacity, ctx.days, track_minutes=False
     )
     label = f"sievestore-c(W={window_hours}h,t1={config.t1},t2={config.t2}"
     if single_tier:

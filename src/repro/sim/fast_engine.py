@@ -1,0 +1,315 @@
+"""Columnar fast path for the trace-driven simulation engine.
+
+:func:`repro.sim.engine.simulate` is the reference implementation: one
+:class:`~repro.core.appliance.SieveStoreAppliance` method call per
+request, one cache/policy/stats call per 512-byte block.  That chain of
+small Python calls dominates simulation wall-clock.  This module
+replays the same semantics as one flat loop over the columnar trace:
+
+* the LRU metastate is driven directly through the cache's
+  ``OrderedDict`` (membership test + ``move_to_end`` +
+  ``popitem(last=False)``), with the cache's resident *set* resynced
+  only at epoch boundaries and at the end of the run;
+* per-day hit/miss/backing counters are bumped once per request
+  (every block of a request shares the request's issue time, so the
+  per-block recording of the reference path lands in the same bucket);
+* allocation-writes are counted in one step when the whole request
+  completes within one calendar day — the per-block interpolated
+  completion times are only materialized for the rare requests that
+  straddle a day boundary;
+* the policy's ``wants``/``observe`` hooks are specialized by *method
+  identity*: a policy whose ``wants`` is literally
+  ``AllocateOnDemand.wants`` allocates every miss without a Python
+  call, while any override (including subclasses that re-define the
+  method) falls back to per-miss calls in exactly the reference order.
+
+The fast path covers the configuration every figure uses — LRU
+replacement and write-through accounting.  Anything else (write-back,
+ablation replacement policies) is routed to the reference path by
+:func:`repro.sim.engine.simulate`; the equivalence suite asserts the
+two paths produce bit-identical :class:`~repro.cache.stats.CacheStats`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.cache.allocation import (
+    AllocateOnDemand,
+    AllocationPolicy,
+    NeverAllocate,
+    StaticSet,
+    WriteMissNoAllocate,
+)
+from repro.cache.block_cache import BlockCache
+from repro.cache.replacement import LRUReplacement
+from repro.cache.stats import CacheStats
+from repro.core.ideal import IdealDailySieve
+from repro.core.random_sieve import RandSieveBlkD
+from repro.core.sievestore_d import SieveStoreD
+from repro.traces.columnar import ColumnarTrace
+from repro.util.intervals import SECONDS_PER_DAY
+
+# wants() specializations, resolved once per run by method identity.
+_W_TRUE = 0  # allocate every miss (AOD)
+_W_FALSE = 1  # never allocate continuously (discrete sieves, oracles)
+_W_NOT_WRITE = 2  # allocate read misses only (WMNA)
+_W_CALL = 3  # stateful/unknown: call policy.wants per miss
+
+# observe() specializations.
+_O_NONE = 0  # the base-class no-op
+_O_COUNTER = 1  # SieveStoreD: Counter increment per access
+_O_SET = 2  # RandSieveBlkD: set.add per access
+_O_CALL = 3  # unknown override: call policy.observe per block
+
+#: ``wants`` implementations known to return a constant.
+_CONSTANT_FALSE_WANTS = (
+    NeverAllocate.wants,
+    StaticSet.wants,
+    SieveStoreD.wants,
+    IdealDailySieve.wants,
+    RandSieveBlkD.wants,
+)
+
+
+def _wants_mode(policy: AllocationPolicy) -> int:
+    wants = type(policy).wants
+    if wants is AllocateOnDemand.wants:
+        return _W_TRUE
+    if wants is WriteMissNoAllocate.wants:
+        return _W_NOT_WRITE
+    if any(wants is known for known in _CONSTANT_FALSE_WANTS):
+        return _W_FALSE
+    return _W_CALL
+
+
+def _observe_mode(policy: AllocationPolicy) -> int:
+    observe = type(policy).observe
+    if observe is AllocationPolicy.observe:
+        return _O_NONE
+    if observe is SieveStoreD.observe:
+        return _O_COUNTER
+    if observe is RandSieveBlkD.observe:
+        return _O_SET
+    return _O_CALL
+
+
+def simulate_fast(
+    columns: ColumnarTrace,
+    policy: AllocationPolicy,
+    capacity_blocks: int,
+    days: int,
+    track_minutes: bool,
+    batch_moves_staggered: bool,
+    epoch_seconds: float,
+    total_epochs: int,
+) -> Tuple[CacheStats, BlockCache]:
+    """Replay ``columns`` through ``policy``; LRU + write-through only.
+
+    Returns ``(stats, cache)`` exactly as the reference path would have
+    left them (same counters, same resident set, same LRU order).
+    """
+    stats = CacheStats(days=days, track_minutes=track_minutes)
+    replacement = LRUReplacement()
+    cache = BlockCache(capacity_blocks, replacement=replacement)
+
+    od = replacement._order
+    od_move = od.move_to_end
+    od_pop = od.popitem
+    per_day = stats.per_day
+    record_ssd_io = stats.record_ssd_io
+    capacity = capacity_blocks
+    last_day = days - 1
+    day_seconds = float(SECONDS_PER_DAY)
+
+    wmode = _wants_mode(policy)
+    omode = _observe_mode(policy)
+    wants = policy.wants
+    observe = policy.observe
+    # Specialized observe targets; these containers are *replaced* by
+    # their policies at epoch boundaries, so they are rebound after
+    # every boundary below.
+    counts = policy._epoch_counts if omode == _O_COUNTER else None
+    seen = policy._seen_this_epoch if omode == _O_SET else None
+    # Discrete/constant-False policies never allocate inside an epoch,
+    # and hits do not change the resident *set* — only its recency — so
+    # their cache._resident stays valid between boundaries.  Allocating
+    # modes mutate the OrderedDict only; resync before batches/at end.
+    may_allocate = wmode != _W_FALSE
+
+    def apply_boundary(epoch: int) -> None:
+        batch = policy.epoch_boundary(epoch)
+        if batch is None:
+            return
+        if may_allocate:
+            cache._resident = set(od)
+        new_set = set(batch)
+        inserted, _removed = cache.replace_contents(new_set)
+        if inserted:
+            # The reference path attributes batch allocation-writes to
+            # float(epoch) * 86400 even for sub-day epochs; replicated
+            # verbatim for bit-identity.
+            boundary_time = float(epoch) * day_seconds
+            day = epoch if epoch < days else last_day
+            per_day[day].allocation_writes += inserted
+            if not batch_moves_staggered:
+                record_ssd_io(boundary_time, (inserted + 7) >> 3, True)
+
+    issue_l = columns.issue_time.tolist()
+    rct_l = columns.completion_time.tolist()
+    addr_l = columns.address.tolist()
+    count_l = columns.block_count.tolist()
+    write_l = columns.is_write.tolist()
+    n_requests = len(issue_l)
+
+    current_epoch = -1
+    general = wmode == _W_CALL or omode == _O_CALL
+    for j in range(n_requests):
+        issue = issue_l[j]
+        epoch = int(issue // epoch_seconds)
+        if epoch > current_epoch:
+            while current_epoch < epoch:
+                current_epoch += 1
+                apply_boundary(current_epoch)
+            if omode == _O_COUNTER:
+                counts = policy._epoch_counts
+            elif omode == _O_SET:
+                seen = policy._seen_this_epoch
+
+        addr = addr_l[j]
+        k = count_l[j]
+        w = write_l[j]
+        end = addr + k
+        hit = 0
+        allocated = 0
+        alloc_offsets: List[int] = ()  # type: ignore[assignment]
+
+        d_issue = int(issue // day_seconds)
+        if d_issue > last_day:
+            d_issue = last_day
+
+        if general:
+            # Reference-order general body: observe every block, ask
+            # wants() on every miss (stateful sieves consume the miss
+            # stream in exactly this order).
+            rct = rct_l[j]
+            d_rct = int(rct // day_seconds)
+            if d_rct > last_day:
+                d_rct = last_day
+            same_day = d_rct == d_issue
+            do_observe = omode != _O_NONE
+            alloc_offsets = []
+            for off in range(k):
+                a = addr + off
+                if a in od:
+                    od_move(a)
+                    if do_observe:
+                        observe(a, w, issue, True)
+                    hit += 1
+                else:
+                    if do_observe:
+                        observe(a, w, issue, False)
+                    if (
+                        wmode == _W_TRUE
+                        or (wmode == _W_NOT_WRITE and not w)
+                        or (wmode == _W_CALL and wants(a, w, issue))
+                    ):
+                        if len(od) >= capacity:
+                            od_pop(False)
+                        od[a] = None
+                        if same_day:
+                            allocated += 1
+                        else:
+                            alloc_offsets.append(off)
+        elif wmode == _W_FALSE:
+            if omode == _O_COUNTER:
+                for a in range(addr, end):
+                    counts[a] += 1
+                    if a in od:
+                        od_move(a)
+                        hit += 1
+            elif omode == _O_SET:
+                for a in range(addr, end):
+                    seen.add(a)
+                    if a in od:
+                        od_move(a)
+                        hit += 1
+            else:
+                for a in range(addr, end):
+                    if a in od:
+                        od_move(a)
+                        hit += 1
+        else:
+            # Allocating specializations (wants is a known constant and
+            # observe is the no-op).
+            rct = rct_l[j]
+            d_rct = int(rct // day_seconds)
+            if d_rct > last_day:
+                d_rct = last_day
+            if wmode == _W_NOT_WRITE and w:
+                for a in range(addr, end):
+                    if a in od:
+                        od_move(a)
+                        hit += 1
+            elif d_rct == d_issue:
+                for a in range(addr, end):
+                    if a in od:
+                        od_move(a)
+                        hit += 1
+                    else:
+                        if len(od) >= capacity:
+                            od_pop(False)
+                        od[a] = None
+                allocated = k - hit
+            else:
+                alloc_offsets = []
+                for off in range(k):
+                    a = addr + off
+                    if a in od:
+                        od_move(a)
+                        hit += 1
+                    else:
+                        if len(od) >= capacity:
+                            od_pop(False)
+                        od[a] = None
+                        alloc_offsets.append(off)
+
+        # -- per-request statistics (identical bucketing to the
+        # reference path: all blocks of a request share its issue time).
+        ds = per_day[d_issue]
+        ds.accesses += k
+        if w:
+            ds.write_hits += hit
+            ds.write_misses += k - hit
+            ds.backing_writes += k  # write-through: every write block
+        else:
+            ds.read_hits += hit
+            ds.read_misses += k - hit
+
+        if allocated:
+            ds.allocation_writes += allocated
+        elif alloc_offsets:
+            # Day-straddling request: interpolate each allocated
+            # block's completion, as the reference per-block loop does.
+            span = rct - issue
+            for off in alloc_offsets:
+                completion = issue + span * ((off + 1) / k)
+                day = int(completion // day_seconds)
+                if day > last_day:
+                    day = last_day
+                per_day[day].allocation_writes += 1
+            allocated = len(alloc_offsets)
+
+        if track_minutes:
+            if allocated:
+                record_ssd_io(rct_l[j], (allocated + 7) >> 3, True)
+            if hit:
+                record_ssd_io(issue, (hit + 7) >> 3, w)
+
+    # Trailing epoch boundaries (discrete policies close their books).
+    while current_epoch < total_epochs - 1:
+        current_epoch += 1
+        apply_boundary(current_epoch)
+    if may_allocate:
+        cache._resident = set(od)
+    return stats, cache

@@ -7,6 +7,11 @@ times, plus a seeded synthetic generator calibrated to the published
 ensemble characteristics (see :mod:`repro.traces.synthetic`).
 """
 
+from repro.traces.columnar import (
+    ColumnarTrace,
+    as_columnar,
+    as_object_trace,
+)
 from repro.traces.model import (
     BlockAccess,
     IOKind,
@@ -28,9 +33,16 @@ from repro.traces.servers import (
 from repro.traces.synthetic import (
     EnsembleTraceGenerator,
     SyntheticTraceConfig,
+    generate_columnar_trace,
     generate_ensemble_trace,
     small_config,
     tiny_config,
+)
+from repro.traces.store import (
+    config_fingerprint,
+    load_or_generate_columnar,
+    load_or_generate_trace,
+    trace_cache_dir,
 )
 from repro.traces.streams import (
     daily_access_totals,
@@ -45,6 +57,14 @@ from repro.traces.validation import Check, ValidationReport, validate_trace
 
 __all__ = [
     "BlockAccess",
+    "ColumnarTrace",
+    "as_columnar",
+    "as_object_trace",
+    "config_fingerprint",
+    "load_or_generate_columnar",
+    "load_or_generate_trace",
+    "trace_cache_dir",
+    "generate_columnar_trace",
     "IOKind",
     "IORequest",
     "Trace",

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Sequence
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 from repro.util.units import BLOCK_BYTES
 
@@ -68,7 +68,7 @@ def pack_address(server_id: int, volume_id: int, block_offset: int) -> int:
     )
 
 
-def unpack_address(address: int) -> tuple:
+def unpack_address(address: int) -> Tuple[int, int, int]:
     """Invert :func:`pack_address`; returns (server_id, volume_id, offset)."""
     if address < 0:
         raise ValueError(f"address must be non-negative, got {address}")

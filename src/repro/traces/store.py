@@ -1,0 +1,138 @@
+"""On-disk trace cache keyed by a ``SyntheticTraceConfig`` content hash.
+
+Every bench session, example, and CLI invocation that replays the
+synthetic ensemble used to regenerate it from scratch — tens of seconds
+at bench scale, repeated identically across processes.  The generator
+is fully deterministic given its config, so the trace is a pure
+function of the config's field values: this module fingerprints those
+values and memoizes the generated columns as an ``.npz`` file.
+
+Cache location, in precedence order:
+
+1. ``SIEVESTORE_TRACE_CACHE`` environment variable — a directory path,
+   or ``""``/``"0"``/``"off"`` to disable caching entirely;
+2. otherwise ``.sievestore-trace-cache/`` under the current working
+   directory.
+
+Entries are written atomically (temp file + ``os.replace``) so
+concurrent processes generating the same config can race harmlessly;
+unreadable or version-mismatched entries are regenerated and
+overwritten rather than trusted.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.traces.columnar import ColumnarTrace
+from repro.traces.model import Trace
+from repro.traces.synthetic import EnsembleTraceGenerator, SyntheticTraceConfig
+
+#: Bump to invalidate every cached trace (e.g. when the generator's
+#: output changes for identical configs).
+TRACE_CACHE_VERSION = 1
+
+#: Environment variable overriding (or disabling) the cache directory.
+CACHE_ENV_VAR = "SIEVESTORE_TRACE_CACHE"
+
+#: Default cache directory, relative to the current working directory.
+DEFAULT_CACHE_DIRNAME = ".sievestore-trace-cache"
+
+_DISABLED_VALUES = {"", "0", "off", "none"}
+
+
+def config_fingerprint(config: SyntheticTraceConfig) -> str:
+    """Deterministic content hash of every generator-relevant field.
+
+    Hashes the JSON form of ``dataclasses.asdict(config)`` (which
+    recurses into the server/volume profiles) plus the cache version,
+    so any config change — including the ensemble inventory — yields a
+    different fingerprint.
+    """
+    payload = {
+        "version": TRACE_CACHE_VERSION,
+        "config": dataclasses.asdict(config),
+    }
+    encoded = json.dumps(payload, sort_keys=True, default=repr).encode()
+    return hashlib.sha256(encoded).hexdigest()
+
+
+def trace_cache_dir(
+    cache_dir: Optional[Union[str, Path]] = None,
+) -> Optional[Path]:
+    """Resolve the cache directory; ``None`` means caching is disabled.
+
+    An explicit ``cache_dir`` argument wins over the environment.
+    """
+    if cache_dir is not None:
+        return Path(cache_dir)
+    env = os.environ.get(CACHE_ENV_VAR)
+    if env is not None:
+        if env.strip().lower() in _DISABLED_VALUES:
+            return None
+        return Path(env)
+    return Path.cwd() / DEFAULT_CACHE_DIRNAME
+
+
+def cache_path_for(
+    config: SyntheticTraceConfig,
+    cache_dir: Optional[Union[str, Path]] = None,
+) -> Optional[Path]:
+    """Cache file path for a config, or ``None`` if caching is disabled."""
+    directory = trace_cache_dir(cache_dir)
+    if directory is None:
+        return None
+    return directory / f"trace-{config_fingerprint(config)}.npz"
+
+
+def load_or_generate_columnar(
+    config: SyntheticTraceConfig,
+    cache_dir: Optional[Union[str, Path]] = None,
+) -> ColumnarTrace:
+    """Return the columnar ensemble trace for ``config``, cached on disk.
+
+    Falls back to plain generation when caching is disabled; a corrupt
+    or stale cache entry is silently regenerated and replaced.
+    """
+    path = cache_path_for(config, cache_dir)
+    if path is not None and path.exists():
+        try:
+            return ColumnarTrace.load_npz(path)
+        except (OSError, ValueError, KeyError):
+            pass  # regenerate below and overwrite the bad entry
+    columns = EnsembleTraceGenerator(config).generate_columnar()
+    if path is not None:
+        _atomic_save(columns, path)
+    return columns
+
+
+def load_or_generate_trace(
+    config: SyntheticTraceConfig,
+    cache_dir: Optional[Union[str, Path]] = None,
+) -> Trace:
+    """Object-trace convenience over :func:`load_or_generate_columnar`."""
+    return load_or_generate_columnar(config, cache_dir).to_trace()
+
+
+def _atomic_save(columns: ColumnarTrace, path: Path) -> None:
+    """Write the entry so concurrent writers never expose partial files."""
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=path.name, suffix=".tmp"
+        )
+        os.close(fd)
+        try:
+            columns.save_npz(tmp_name)
+            os.replace(tmp_name, path)
+        finally:
+            if os.path.exists(tmp_name):
+                os.unlink(tmp_name)
+    except OSError:
+        pass  # caching is best-effort; the generated trace is still returned

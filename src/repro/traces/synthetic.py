@@ -46,7 +46,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.traces.model import IOKind, IORequest, Trace, merge_traces
+from repro.traces.columnar import ColumnarTrace
+from repro.traces.model import (
+    MAX_BLOCK_OFFSET,
+    MAX_VOLUME_ID,
+    Trace,
+    _OFFSET_BITS,
+    _VOLUME_BITS,
+)
 from repro.traces.servers import ServerProfile, VolumeProfile, paper_ensemble
 from repro.util.intervals import SECONDS_PER_DAY, SECONDS_PER_MINUTE
 from repro.util.units import BLOCK_BYTES, GIB
@@ -204,7 +211,13 @@ class EnsembleTraceGenerator:
 
         gen = EnsembleTraceGenerator(SyntheticTraceConfig(scale=1e-4))
         trace = gen.generate()            # full chronological ensemble trace
+        columns = gen.generate_columnar() # same trace as parallel arrays
         per_server = gen.per_server_traces()  # same requests, split by server
+
+    The generator produces columns natively (one
+    :class:`~repro.traces.columnar.ColumnarTrace` chunk per volume-day);
+    the object representations are materialized from those columns on
+    demand, so both views describe bit-for-bit the same requests.
     """
 
     def __init__(self, config: SyntheticTraceConfig):
@@ -212,17 +225,30 @@ class EnsembleTraceGenerator:
         self._rng = np.random.default_rng(config.seed)
         self._hot_pools: Dict[Tuple[int, int], _VolumeHotPool] = {}
         self._trace: Optional[Trace] = None
+        self._columnar: Optional[ColumnarTrace] = None
+        self._per_server_columns: Optional[Dict[int, ColumnarTrace]] = None
         self._per_server: Optional[Dict[int, Trace]] = None
 
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
     def generate(self) -> Trace:
-        """Generate (and cache) the full ensemble trace."""
+        """Generate (and cache) the full ensemble trace (object form)."""
         if self._trace is None:
-            per_server = self._generate_all()
-            self._per_server = per_server
-            self._trace = merge_traces(
+            self._trace = self.generate_columnar().to_trace()
+        return self._trace
+
+    def generate_columnar(self) -> ColumnarTrace:
+        """Generate (and cache) the full ensemble trace as columns.
+
+        The ensemble ordering matches :func:`merge_traces` on the
+        per-server traces: per-server chunks are concatenated in server
+        order and stable-sorted by issue time, so simultaneous requests
+        keep their per-server order.
+        """
+        if self._columnar is None:
+            per_server = self._per_server_columnar()
+            merged = ColumnarTrace.concatenate(
                 list(per_server.values()),
                 description=(
                     f"synthetic ensemble: {len(self.config.servers)} servers, "
@@ -230,21 +256,35 @@ class EnsembleTraceGenerator:
                     f"seed={self.config.seed}"
                 ),
             )
-        return self._trace
+            self._columnar = merged.sorted_by_issue()
+        return self._columnar
 
     def per_server_traces(self) -> Dict[int, Trace]:
         """Per-server traces (server_id -> Trace), generating if needed."""
-        self.generate()
-        assert self._per_server is not None
+        if self._per_server is None:
+            self._per_server = {
+                server_id: columns.to_trace()
+                for server_id, columns in self._per_server_columnar().items()
+            }
         return self._per_server
 
     # ------------------------------------------------------------------
     # generation internals
     # ------------------------------------------------------------------
-    def _generate_all(self) -> Dict[int, Trace]:
+    def _per_server_columnar(self) -> Dict[int, ColumnarTrace]:
+        """Per-server columnar traces, generated exactly once.
+
+        Generation is stateful (the hot pools drift day over day), so
+        this must not run twice for one generator instance.
+        """
+        if self._per_server_columns is None:
+            self._per_server_columns = self._generate_all()
+        return self._per_server_columns
+
+    def _generate_all(self) -> Dict[int, ColumnarTrace]:
         cfg = self.config
         day_footprints = self._daily_footprint_blocks()
-        per_server_requests: Dict[int, List[IORequest]] = {
+        per_server_chunks: Dict[int, List[ColumnarTrace]] = {
             s.server_id: [] for s in cfg.servers
         }
         for day in range(cfg.days):
@@ -257,7 +297,7 @@ class EnsembleTraceGenerator:
                 server_mean = mean_blocks * server.activity_share
                 minute_weights = self._minute_weights(server, day)
                 for volume in server.volumes:
-                    requests = self._generate_volume_day(
+                    chunk = self._generate_volume_day(
                         server=server,
                         volume=volume,
                         day=day,
@@ -266,15 +306,14 @@ class EnsembleTraceGenerator:
                         day_factor=day_factor,
                         minute_weights=minute_weights,
                     )
-                    per_server_requests[server.server_id].extend(requests)
+                    per_server_chunks[server.server_id].append(chunk)
         traces = {}
         for server in cfg.servers:
-            reqs = sorted(
-                per_server_requests[server.server_id], key=lambda r: r.issue_time
+            combined = ColumnarTrace.concatenate(
+                per_server_chunks[server.server_id],
+                description=f"synthetic server {server.key}",
             )
-            traces[server.server_id] = Trace(
-                reqs, description=f"synthetic server {server.key}"
-            )
+            traces[server.server_id] = combined.sorted_by_issue()
         return traces
 
     def _daily_footprint_blocks(self) -> List[float]:
@@ -391,8 +430,8 @@ class EnsembleTraceGenerator:
         mean_footprint_blocks: float,
         day_factor: float,
         minute_weights: np.ndarray,
-    ) -> List[IORequest]:
-        """Generate all requests for one (server, volume, day)."""
+    ) -> ColumnarTrace:
+        """Generate all requests for one (server, volume, day) as columns."""
         cfg = self.config
         rng = np.random.default_rng(
             cfg.seed ^ (server.server_id << 24) ^ (volume.volume_id << 16) ^ (day << 2)
@@ -529,27 +568,30 @@ class EnsembleTraceGenerator:
         is_read = rng.random(n_requests) < extent_read_p[extent_idx]
         latency = 0.005 + rng.exponential(0.003, size=n_requests)
 
-        requests = []
+        # Column assembly.  The completion-time expression keeps the
+        # same left-to-right float association the scalar reference used
+        # (``(issue + latency) + transfer``), so the columnar and object
+        # pipelines agree bit for bit.
         base_offsets = slots * SLOT_BLOCKS
-        for i in range(n_requests):
-            e = extent_idx[i]
-            block_count = int(lengths[e])
-            issue = float(times[i])
-            requests.append(
-                IORequest(
-                    issue_time=issue,
-                    completion_time=issue
-                    + float(latency[i])
-                    + block_count * BLOCK_BYTES / 80e6,
-                    server_id=server.server_id,
-                    volume_id=volume.volume_id,
-                    block_offset=int(base_offsets[e] + offsets[e]),
-                    block_count=block_count,
-                    kind=IOKind.READ if is_read[i] else IOKind.WRITE,
-                    aligned_4k=bool(aligned[e]),
-                )
-            )
-        return requests
+        block_offset = (base_offsets + offsets)[extent_idx].astype(np.int64)
+        lengths_req = lengths[extent_idx].astype(np.int64)
+        completion = times + latency + lengths_req * BLOCK_BYTES / 80e6
+        if not 0 <= volume.volume_id <= MAX_VOLUME_ID:
+            raise ValueError(f"volume_id out of range: {volume.volume_id}")
+        if n_requests and int(block_offset.max()) > MAX_BLOCK_OFFSET:
+            raise ValueError("block offset exceeds packed-address capacity")
+        address_base = (server.server_id << (_VOLUME_BITS + _OFFSET_BITS)) | (
+            volume.volume_id << _OFFSET_BITS
+        )
+        return ColumnarTrace(
+            issue_time=times,
+            completion_time=completion,
+            address=address_base + block_offset,
+            block_count=lengths_req,
+            is_write=~is_read,
+            aligned_4k=aligned[extent_idx],
+            description=f"synthetic {server.key} vol{volume.volume_id} day{day}",
+        )
 
     def _clustered_hot_times(
         self,
@@ -774,3 +816,10 @@ class EnsembleTraceGenerator:
 def generate_ensemble_trace(config: Optional[SyntheticTraceConfig] = None) -> Trace:
     """Convenience wrapper: generate the full ensemble trace."""
     return EnsembleTraceGenerator(config or SyntheticTraceConfig()).generate()
+
+
+def generate_columnar_trace(
+    config: Optional[SyntheticTraceConfig] = None,
+) -> ColumnarTrace:
+    """Convenience wrapper: generate the full ensemble trace as columns."""
+    return EnsembleTraceGenerator(config or SyntheticTraceConfig()).generate_columnar()

@@ -87,3 +87,58 @@ class TestMinuteTracking:
         stats.record_ssd_io(60.0, 1, is_write=False)
         minutes = [m for m, _ in stats.minute_series()]
         assert minutes == sorted(minutes)
+
+
+class TestMerge:
+    def shard(self, day_time, hits, misses, io_units):
+        stats = CacheStats(days=2)
+        stats.record_hit(day_time, is_write=False, blocks=hits)
+        stats.record_miss(day_time, is_write=True, blocks=misses)
+        stats.record_allocation_write(day_time, blocks=misses)
+        stats.record_backing_write(day_time, blocks=misses)
+        stats.record_ssd_io(day_time, io_units, is_write=True)
+        return stats
+
+    def test_merge_adds_per_day_counters(self):
+        a = self.shard(10.0, hits=3, misses=2, io_units=1)
+        b = self.shard(SECONDS_PER_DAY + 10.0, hits=5, misses=1, io_units=2)
+        merged = a.merge(b)
+        assert merged is a
+        assert a.per_day[0].read_hits == 3
+        assert a.per_day[1].read_hits == 5
+        assert a.total.accesses == 11
+        assert a.total.allocation_writes == 3
+        assert a.total.backing_writes == 3
+        a.check_consistency()
+
+    def test_merge_adds_minute_io(self):
+        a = self.shard(10.0, hits=1, misses=1, io_units=4)
+        b = self.shard(10.0, hits=1, misses=1, io_units=6)
+        a.merge(b)
+        assert a.per_minute[0].writes == 10
+
+    def test_merge_rejects_day_mismatch(self):
+        with pytest.raises(ValueError):
+            CacheStats(days=2).merge(CacheStats(days=3))
+
+    def test_merged_classmethod(self):
+        parts = [
+            self.shard(10.0, hits=2, misses=1, io_units=1),
+            self.shard(10.0, hits=4, misses=3, io_units=2),
+        ]
+        combined = CacheStats.merged(parts)
+        assert combined.total.accesses == 10
+        assert combined.per_minute[0].writes == 3
+        # The inputs are left untouched.
+        assert parts[0].total.accesses == 3
+
+    def test_merged_rejects_empty(self):
+        with pytest.raises(ValueError):
+            CacheStats.merged([])
+
+    def test_merged_tracks_minutes_if_any_part_does(self):
+        silent = CacheStats(days=1, track_minutes=False)
+        loud = CacheStats(days=1, track_minutes=True)
+        loud.record_ssd_io(0.0, 2, is_write=False)
+        assert CacheStats.merged([silent, loud]).per_minute[0].reads == 2
+        assert not CacheStats.merged([silent, silent]).track_minutes

@@ -1,0 +1,128 @@
+"""The fast path's contract: bit-identical statistics, or silent fallback.
+
+``simulate(..., fast_path=True)`` is an optimization, not an
+approximation — for every supported configuration it must produce the
+very same :class:`CacheStats` (per-day counters AND per-minute I/O
+units) and the same final cache contents as the reference object-model
+engine.  These tests pin that contract over the shared synthetic
+ensemble trace for a representative slice of the Figure-5 policies:
+discrete sieves (epoch-batched installs), continuous sieves (stateful
+per-miss admission and RNG consumption order), and the unsieved
+allocate-on-demand baselines.
+"""
+
+import pytest
+
+from repro.cache.write_policy import WriteMode
+from repro.sim.engine import simulate
+from repro.sim.experiment import build_policy, context_for_trace
+from repro.traces.columnar import ColumnarTrace
+
+#: One representative per policy family (plus ideal's oracle batching).
+EQUIVALENCE_POLICIES = (
+    "ideal",
+    "sievestore-d",
+    "sievestore-c",
+    "randsieve-c",
+    "aod-16",
+    "wmna-16",
+)
+
+
+def run_both(name, ctx, **kwargs):
+    policy_slow, capacity = build_policy(name, ctx)
+    policy_fast, _ = build_policy(name, ctx)
+    slow = simulate(
+        ctx.object_trace(), policy_slow, capacity, ctx.days,
+        fast_path=False, **kwargs,
+    )
+    fast = simulate(
+        ctx.columnar_trace(), policy_fast, capacity, ctx.days,
+        fast_path=True, **kwargs,
+    )
+    return slow, fast
+
+
+def assert_identical(slow, fast):
+    assert fast.stats.per_day == slow.stats.per_day
+    assert fast.stats.per_minute == slow.stats.per_minute
+    assert fast.cache.resident_set() == slow.cache.resident_set()
+
+
+@pytest.mark.parametrize("name", EQUIVALENCE_POLICIES)
+def test_fast_path_bit_identical(name, tiny_context):
+    slow, fast = run_both(name, tiny_context)
+    assert_identical(slow, fast)
+
+
+def test_fast_path_identical_with_sub_day_epochs(tiny_context):
+    slow, fast = run_both(
+        "sievestore-d", tiny_context, epoch_seconds=7 * 3600.0
+    )
+    assert_identical(slow, fast)
+
+
+def test_fast_path_accepts_object_trace(tiny_context):
+    # Callers can pass either representation; coercion happens inside.
+    policy, capacity = build_policy("aod-16", tiny_context)
+    via_object = simulate(
+        tiny_context.object_trace(), policy, capacity, tiny_context.days,
+        fast_path=True,
+    )
+    policy2, _ = build_policy("aod-16", tiny_context)
+    via_columns = simulate(
+        tiny_context.columnar_trace(), policy2, capacity, tiny_context.days,
+        fast_path=True,
+    )
+    assert via_object.stats.per_day == via_columns.stats.per_day
+
+
+def test_object_path_accepts_columnar_trace(tiny_context):
+    policy, capacity = build_policy("aod-16", tiny_context)
+    result = simulate(
+        tiny_context.columnar_trace(), policy, capacity, tiny_context.days,
+        fast_path=False,
+    )
+    policy2, _ = build_policy("aod-16", tiny_context)
+    reference = simulate(
+        tiny_context.object_trace(), policy2, capacity, tiny_context.days,
+    )
+    assert result.stats.per_day == reference.stats.per_day
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"replacement": "fifo"},
+        {"write_mode": WriteMode.WRITE_BACK},
+    ],
+    ids=["fifo", "write-back"],
+)
+def test_unsupported_configs_fall_back(kwargs, tiny_context):
+    # fast_path=True must silently use the reference engine for
+    # configurations the fast loop does not specialize — same stats.
+    policy_slow, capacity = build_policy("aod-16", tiny_context)
+    policy_fast, _ = build_policy("aod-16", tiny_context)
+    reference = simulate(
+        tiny_context.object_trace(), policy_slow, capacity,
+        tiny_context.days, **kwargs,
+    )
+    fallback = simulate(
+        tiny_context.columnar_trace(), policy_fast, capacity,
+        tiny_context.days, fast_path=True, **kwargs,
+    )
+    assert fallback.stats.per_day == reference.stats.per_day
+    assert fallback.stats.per_minute == reference.stats.per_minute
+
+
+def test_context_daily_counts_from_columns(tiny_trace, tiny_trace_config):
+    # A columnar-seeded context computes the oracle counts vectorized;
+    # they must equal the reference context's per-block walk.
+    columns = ColumnarTrace.from_trace(tiny_trace)
+    reference = context_for_trace(
+        tiny_trace, days=tiny_trace_config.days, scale=tiny_trace_config.scale
+    )
+    columnar = context_for_trace(
+        columns, days=tiny_trace_config.days, scale=tiny_trace_config.scale
+    )
+    assert columnar.daily_counts == reference.daily_counts

@@ -4,7 +4,7 @@ import pytest
 
 from repro.cache.allocation import AllocateOnDemand, NeverAllocate, StaticSet
 from repro.core.sievestore_d import SieveStoreD, SieveStoreDConfig
-from repro.sim.engine import simulate
+from repro.sim.engine import simulate, total_epoch_count
 from repro.traces.model import IOKind, IORequest, Trace
 from repro.util.intervals import SECONDS_PER_DAY
 
@@ -101,6 +101,34 @@ class TestCustomEpochs:
         policy = SieveStoreD()
         simulate(Trace([req(0, 1.0)]), policy, 16, days=2)
         assert policy.epochs_completed == 2
+
+
+class TestEpochCount:
+    def test_daily_epochs(self):
+        assert total_epoch_count(8, SECONDS_PER_DAY) == 8
+
+    def test_non_dividing_epoch_rounds_up(self):
+        # 8 days / 7 hours = 27.43 epochs; the partial 28th still fires.
+        assert total_epoch_count(8, 7 * 3600.0) == 28
+
+    def test_epoch_longer_than_trace_still_fires_once(self):
+        assert total_epoch_count(1, 7 * SECONDS_PER_DAY) == 1
+
+    def test_exact_division_not_overcounted(self):
+        assert total_epoch_count(1, 86400.0 / 900000 * 1000) == 900
+
+    def test_float_quotient_rounding_caught(self):
+        # 3 days / (3 days / 7): the float epoch is a hair below the
+        # real seventh, so the true quotient exceeds 7 and an eighth
+        # (partial) epoch fires — but the float quotient rounds to
+        # exactly 7.0 and math.ceil over it would undercount.
+        assert total_epoch_count(3, 3 * SECONDS_PER_DAY / 7) == 8
+
+    def test_seven_hour_epochs_over_eight_days(self):
+        policy = SieveStoreD(SieveStoreDConfig(threshold=0))
+        trace = Trace([req(0, 1.0), req(7, 1.0)])
+        simulate(trace, policy, 16, days=8, epoch_seconds=7 * 3600.0)
+        assert policy.epochs_completed == 28
 
 
 class TestDailyCapture:

@@ -1,0 +1,70 @@
+"""Parallel policy-suite execution equals the serial reference run."""
+
+import pytest
+
+from repro.sim.experiment import run_policy_suite
+from repro.sim.parallel import default_jobs, run_suite_parallel
+
+#: A small but representative slice: oracle, discrete sieve, unsieved.
+SUITE = ("ideal", "sievestore-d", "aod-16")
+
+
+@pytest.fixture(scope="module")
+def serial_results(tiny_context):
+    return run_policy_suite(
+        tiny_context, SUITE, track_minutes=True, fast_path=True, jobs=1
+    )
+
+
+def assert_suites_equal(parallel, serial):
+    assert set(parallel) == set(serial)
+    for name in serial:
+        assert parallel[name].policy_name == serial[name].policy_name
+        assert parallel[name].stats.per_day == serial[name].stats.per_day
+        assert (
+            parallel[name].stats.per_minute == serial[name].stats.per_minute
+        )
+
+
+def test_two_workers_match_serial(tiny_context, serial_results):
+    parallel = run_policy_suite(
+        tiny_context, SUITE, track_minutes=True, fast_path=True, jobs=2
+    )
+    assert_suites_equal(parallel, serial_results)
+
+
+def test_all_cores_match_serial(tiny_context, serial_results):
+    parallel = run_policy_suite(
+        tiny_context, SUITE, track_minutes=True, fast_path=True, jobs=None
+    )
+    assert_suites_equal(parallel, serial_results)
+
+
+def test_object_path_through_workers(tiny_context):
+    # fast_path=False in the workers must also equal the serial run.
+    serial = run_policy_suite(
+        tiny_context, ("aod-16",), track_minutes=False, fast_path=False, jobs=1
+    )
+    parallel = run_policy_suite(
+        tiny_context, ("aod-16",), track_minutes=False, fast_path=False, jobs=2
+    )
+    assert (
+        parallel["aod-16"].stats.per_day == serial["aod-16"].stats.per_day
+    )
+
+
+def test_results_keyed_in_request_order(tiny_context):
+    names = ("aod-16", "ideal")
+    results = run_suite_parallel(
+        tiny_context, names, track_minutes=False, jobs=2
+    )
+    assert list(results) == list(names)
+
+
+def test_invalid_jobs_rejected(tiny_context):
+    with pytest.raises(ValueError):
+        run_suite_parallel(tiny_context, SUITE, jobs=-1)
+
+
+def test_default_jobs_positive():
+    assert default_jobs() >= 1

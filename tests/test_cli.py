@@ -8,6 +8,20 @@ from repro.cli import main
 TINY = ["--scale", "4e-6", "--days", "3"]
 
 
+@pytest.fixture(autouse=True)
+def isolated_trace_cache(tmp_path_factory, monkeypatch):
+    """Keep the CLI's trace cache out of the working tree during tests."""
+    cache = tmp_path_factory.getbasetemp() / "cli-trace-cache"
+    monkeypatch.setenv("SIEVESTORE_TRACE_CACHE", str(cache))
+
+
+def stable_lines(out: str) -> str:
+    """Drop wall-clock timing lines, which legitimately vary run to run."""
+    return "\n".join(
+        line for line in out.splitlines() if not line.startswith("simulated in")
+    )
+
+
 class TestTable2Command:
     def test_prints_paper_numbers(self, capsys):
         assert main(["table2"]) == 0
@@ -43,14 +57,44 @@ class TestSimulateCommand:
         first = capsys.readouterr().out
         main(["simulate", *TINY, "--seed", "5"])
         second = capsys.readouterr().out
-        assert first == second
+        assert stable_lines(first) == stable_lines(second)
 
     def test_seed_changes_output(self, capsys):
         main(["simulate", *TINY, "--seed", "5"])
         first = capsys.readouterr().out
         main(["simulate", *TINY, "--seed", "6"])
         second = capsys.readouterr().out
-        assert first != second
+        assert stable_lines(first) != stable_lines(second)
+
+    def test_multiple_policies_one_trace(self, capsys):
+        assert main([
+            "simulate", *TINY, "--policy", "aod-16",
+            "--policy", "sievestore-d",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "aod-16 over" in out
+        assert "sievestore-d over" in out
+
+    def test_fast_path_matches_reference(self, capsys):
+        main(["simulate", *TINY, "--policy", "aod-16"])
+        slow = capsys.readouterr().out
+        main(["simulate", *TINY, "--policy", "aod-16", "--fast"])
+        fast = capsys.readouterr().out
+        assert stable_lines(fast) == stable_lines(slow)
+
+    def test_jobs_match_serial(self, capsys):
+        args = ["simulate", *TINY, "--policy", "aod-16", "--policy", "ideal"]
+        main(args)
+        serial = capsys.readouterr().out
+        main([*args, "--jobs", "2", "--fast"])
+        parallel = capsys.readouterr().out
+        assert stable_lines(parallel) == stable_lines(serial)
+
+    def test_no_trace_cache_flag(self, capsys):
+        assert main([
+            "simulate", *TINY, "--policy", "aod-16", "--no-trace-cache"
+        ]) == 0
+        assert "aod-16" in capsys.readouterr().out
 
 
 class TestSkewCommand:
@@ -101,6 +145,18 @@ class TestJsonOutput:
         restored = load_result(target)
         assert restored.policy_name == "wmna-16"
         assert restored.stats.total.accesses > 0
+
+    def test_multi_policy_json_gets_suffixes(self, tmp_path, capsys):
+        from repro.sim.serialize import load_result
+
+        target = tmp_path / "run.json"
+        assert main([
+            "simulate", *TINY, "--policy", "aod-16",
+            "--policy", "wmna-16", "--json", str(target),
+        ]) == 0
+        for name in ("aod-16", "wmna-16"):
+            restored = load_result(tmp_path / f"run-{name}.json")
+            assert restored.policy_name == name
 
 
 class TestMsrReplay:

@@ -10,6 +10,13 @@ import pytest
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
 
 
+@pytest.fixture(autouse=True)
+def isolated_trace_cache(tmp_path_factory, monkeypatch):
+    """Keep example subprocesses' trace cache out of the working tree."""
+    cache = tmp_path_factory.getbasetemp() / "example-trace-cache"
+    monkeypatch.setenv("SIEVESTORE_TRACE_CACHE", str(cache))
+
+
 def run_example(name, *args, timeout=600):
     return subprocess.run(
         [sys.executable, str(EXAMPLES / name), *args],

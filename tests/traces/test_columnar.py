@@ -1,0 +1,169 @@
+"""Columnar trace representation: losslessness, operations, serialization."""
+
+import numpy as np
+import pytest
+
+from repro.traces.columnar import (
+    ColumnarTrace,
+    NPZ_FORMAT_VERSION,
+    as_columnar,
+    as_object_trace,
+)
+from repro.traces.model import IOKind, IORequest, Trace, pack_address
+from repro.traces.streams import daily_block_counts
+from repro.util.intervals import SECONDS_PER_DAY
+
+
+def req(issue, server=0, volume=0, offset=0, blocks=2, kind=IOKind.READ,
+        aligned=True):
+    return IORequest(
+        issue_time=issue,
+        completion_time=issue + 0.01,
+        server_id=server,
+        volume_id=volume,
+        block_offset=offset,
+        block_count=blocks,
+        kind=kind,
+        aligned_4k=aligned,
+    )
+
+
+@pytest.fixture
+def mixed_trace():
+    return Trace(
+        [
+            req(0.5, server=0, volume=0, offset=0, blocks=3),
+            req(1.25, server=1, volume=2, offset=100, blocks=1,
+                kind=IOKind.WRITE, aligned=False),
+            req(SECONDS_PER_DAY + 2.0, server=0, volume=1, offset=7,
+                blocks=8),
+            req(2 * SECONDS_PER_DAY + 0.125, server=2, volume=0,
+                offset=4096, blocks=2, kind=IOKind.WRITE),
+        ],
+        description="mixed",
+    )
+
+
+class TestRoundTrip:
+    def test_lossless_round_trip(self, mixed_trace):
+        columns = ColumnarTrace.from_trace(mixed_trace)
+        back = columns.to_trace()
+        assert back.requests == mixed_trace.requests
+        assert back.description == mixed_trace.description
+
+    def test_round_trip_from_columns(self, mixed_trace):
+        columns = ColumnarTrace.from_trace(mixed_trace)
+        again = ColumnarTrace.from_trace(columns.to_trace())
+        assert columns.equals(again)
+
+    def test_coercion_helpers(self, mixed_trace):
+        columns = as_columnar(mixed_trace)
+        assert isinstance(columns, ColumnarTrace)
+        assert as_columnar(columns) is columns
+        assert as_object_trace(mixed_trace) is mixed_trace
+        assert as_object_trace(columns).requests == mixed_trace.requests
+
+    def test_shared_summary_protocol(self, mixed_trace):
+        columns = ColumnarTrace.from_trace(mixed_trace)
+        assert len(columns) == len(mixed_trace)
+        assert columns.total_blocks() == mixed_trace.total_blocks()
+        assert columns.duration == mixed_trace.duration
+
+    def test_synthetic_trace_round_trips(self, tiny_trace):
+        columns = ColumnarTrace.from_trace(tiny_trace)
+        back = columns.to_trace()
+        assert back.requests == tiny_trace.requests
+
+
+class TestDerivedColumns:
+    def test_server_and_volume_ids(self, mixed_trace):
+        columns = ColumnarTrace.from_trace(mixed_trace)
+        assert columns.server_ids.tolist() == [0, 1, 0, 2]
+        assert columns.volume_ids.tolist() == [0, 2, 1, 0]
+
+    def test_issue_days_match_scalar_reference(self, mixed_trace):
+        columns = ColumnarTrace.from_trace(mixed_trace)
+        expected = [int(r.issue_time // SECONDS_PER_DAY)
+                    for r in mixed_trace.requests]
+        assert columns.issue_days().tolist() == expected
+
+    def test_expand_block_addresses(self):
+        trace = Trace([req(0.0, offset=10, blocks=3), req(1.0, offset=50, blocks=2)])
+        columns = ColumnarTrace.from_trace(trace)
+        base1 = pack_address(0, 0, 10)
+        base2 = pack_address(0, 0, 50)
+        assert columns.expand_block_addresses().tolist() == [
+            base1, base1 + 1, base1 + 2, base2, base2 + 1,
+        ]
+
+    def test_daily_block_counts_match_reference(self, tiny_trace):
+        columns = ColumnarTrace.from_trace(tiny_trace)
+        reference = daily_block_counts(tiny_trace, 8)
+        vectorized = columns.daily_block_counts(8)
+        assert vectorized == reference
+
+    def test_daily_block_counts_rejects_bad_days(self, mixed_trace):
+        with pytest.raises(ValueError):
+            ColumnarTrace.from_trace(mixed_trace).daily_block_counts(0)
+
+
+class TestStructuralOps:
+    def test_filter_matches_object_filter(self, mixed_trace):
+        columns = ColumnarTrace.from_trace(mixed_trace)
+        filtered = columns.filter(server_id=0)
+        assert filtered.to_trace().requests == mixed_trace.filter(
+            server_id=0
+        ).requests
+        both = columns.filter(server_id=0, volume_id=1)
+        assert len(both) == 1
+
+    def test_sorted_by_issue_is_stable(self):
+        # Two simultaneous requests must keep their input order.
+        shuffled = Trace([req(5.0, offset=1), req(0.0), req(5.0, offset=2)])
+        columns = ColumnarTrace.from_trace(shuffled).sorted_by_issue()
+        columns.validate()
+        offsets = [r.block_offset for r in columns.to_trace().requests]
+        assert offsets == [0, 1, 2]
+
+    def test_validate_flags_disorder(self):
+        columns = ColumnarTrace.from_trace(Trace([req(5.0), req(1.0)]))
+        with pytest.raises(ValueError):
+            columns.validate()
+
+    def test_concatenate_and_empty(self, mixed_trace):
+        columns = ColumnarTrace.from_trace(mixed_trace)
+        joined = ColumnarTrace.concatenate([columns, columns])
+        assert len(joined) == 2 * len(columns)
+        assert len(ColumnarTrace.concatenate([])) == 0
+        assert ColumnarTrace.empty().total_blocks() == 0
+
+    def test_mismatched_column_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            ColumnarTrace(
+                issue_time=np.zeros(2),
+                completion_time=np.zeros(2),
+                address=np.zeros(2, dtype=np.int64),
+                block_count=np.ones(3, dtype=np.int32),
+                is_write=np.zeros(2, dtype=bool),
+                aligned_4k=np.ones(2, dtype=bool),
+            )
+
+
+class TestSerialization:
+    def test_npz_round_trip(self, mixed_trace, tmp_path):
+        columns = ColumnarTrace.from_trace(mixed_trace)
+        path = tmp_path / "trace.npz"
+        columns.save_npz(path)
+        loaded = ColumnarTrace.load_npz(path)
+        assert loaded.equals(columns)
+        assert loaded.description == columns.description
+
+    def test_version_mismatch_rejected(self, mixed_trace, tmp_path):
+        path = tmp_path / "trace.npz"
+        ColumnarTrace.from_trace(mixed_trace).save_npz(path)
+        with np.load(path) as payload:
+            arrays = dict(payload)
+        arrays["format_version"] = np.int64(NPZ_FORMAT_VERSION + 1)
+        np.savez(path, **arrays)
+        with pytest.raises(ValueError):
+            ColumnarTrace.load_npz(path)

@@ -1,0 +1,100 @@
+"""On-disk trace cache: fingerprints, directory resolution, round-trips."""
+
+import dataclasses
+
+import pytest
+
+from repro.traces import tiny_config
+from repro.traces.columnar import ColumnarTrace
+from repro.traces.store import (
+    CACHE_ENV_VAR,
+    cache_path_for,
+    config_fingerprint,
+    load_or_generate_columnar,
+    load_or_generate_trace,
+    trace_cache_dir,
+)
+from repro.traces.synthetic import EnsembleTraceGenerator
+
+
+class TestFingerprint:
+    def test_deterministic(self):
+        assert config_fingerprint(tiny_config()) == config_fingerprint(
+            tiny_config()
+        )
+
+    def test_sensitive_to_every_field(self):
+        base = tiny_config()
+        for change in (
+            {"seed": base.seed + 1},
+            {"days": base.days + 1},
+            {"scale": base.scale * 2},
+        ):
+            assert config_fingerprint(
+                dataclasses.replace(base, **change)
+            ) != config_fingerprint(base)
+
+    def test_sensitive_to_ensemble_inventory(self):
+        base = tiny_config()
+        trimmed = dataclasses.replace(base, servers=base.servers[:-1])
+        assert config_fingerprint(trimmed) != config_fingerprint(base)
+
+
+class TestDirectoryResolution:
+    def test_explicit_argument_wins(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_ENV_VAR, str(tmp_path / "env"))
+        assert trace_cache_dir(tmp_path / "arg") == tmp_path / "arg"
+
+    def test_env_variable_used(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_ENV_VAR, str(tmp_path))
+        assert trace_cache_dir() == tmp_path
+
+    @pytest.mark.parametrize("value", ["", "0", "off", "none", " OFF "])
+    def test_env_opt_out_disables(self, value, monkeypatch):
+        monkeypatch.setenv(CACHE_ENV_VAR, value)
+        assert trace_cache_dir() is None
+        assert cache_path_for(tiny_config()) is None
+
+    def test_default_is_cwd_relative(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(CACHE_ENV_VAR, raising=False)
+        monkeypatch.chdir(tmp_path)
+        assert trace_cache_dir() == tmp_path / ".sievestore-trace-cache"
+
+
+class TestLoadOrGenerate:
+    def test_miss_generates_and_populates(self, tmp_path):
+        config = tiny_config()
+        columns = load_or_generate_columnar(config, tmp_path)
+        assert cache_path_for(config, tmp_path).exists()
+        fresh = EnsembleTraceGenerator(config).generate_columnar()
+        assert columns.equals(fresh)
+
+    def test_hit_returns_identical_columns(self, tmp_path):
+        config = tiny_config()
+        first = load_or_generate_columnar(config, tmp_path)
+        second = load_or_generate_columnar(config, tmp_path)
+        assert second.equals(first)
+
+    def test_corrupt_entry_regenerated(self, tmp_path):
+        config = tiny_config()
+        first = load_or_generate_columnar(config, tmp_path)
+        path = cache_path_for(config, tmp_path)
+        path.write_bytes(b"not an npz file")
+        recovered = load_or_generate_columnar(config, tmp_path)
+        assert recovered.equals(first)
+        # The bad entry was overwritten with a loadable one.
+        assert ColumnarTrace.load_npz(path).equals(first)
+
+    def test_disabled_cache_still_generates(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_ENV_VAR, "off")
+        monkeypatch.chdir(tmp_path)
+        columns = load_or_generate_columnar(tiny_config())
+        assert len(columns) > 0
+        assert not (tmp_path / ".sievestore-trace-cache").exists()
+
+    def test_object_trace_convenience(self, tmp_path):
+        config = tiny_config()
+        trace = load_or_generate_trace(config, tmp_path)
+        assert trace.requests == load_or_generate_columnar(
+            config, tmp_path
+        ).to_trace().requests
