@@ -75,6 +75,7 @@ def record_perf(name: str, result, scale: float) -> None:
         "wall_seconds": round(wall, 6),
         "blocks_per_sec": round(total_blocks / wall, 1) if wall > 0 else 0.0,
         "scale": scale,
+        "engine": result.engine,
     }
 
 
@@ -125,6 +126,13 @@ def bench_suite(bench_context, bench_config):
     results = run_policy_suite(
         bench_context, fast_path=bench_fast_path(), jobs=bench_jobs()
     )
+    if results.failures:
+        # Figures 5-9 all read this suite; a partial run would make
+        # every downstream bench silently wrong, so fail loudly here.
+        pytest.fail(
+            "policy suite had failures: "
+            + "; ".join(str(f) for f in results.failures.values())
+        )
     for name, result in results.items():
         record_perf(name, result, bench_config.scale)
     return results

@@ -43,6 +43,11 @@ def test_perf_fastpath_speedup(benchmark, bench_context, bench_config):
     record_perf(f"{PERF_POLICY}-object", slow, bench_config.scale)
     record_perf(f"{PERF_POLICY}-fast", fast, bench_config.scale)
 
+    # Both runs must have used the engine they were asked for — a
+    # silent fallback would turn the speedup guard into fast-vs-fast.
+    assert slow.engine == "object"
+    assert fast.engine == "fast"
+
     # Equivalence first: identical per-day and per-minute statistics.
     assert fast.stats.per_day == slow.stats.per_day
     assert fast.stats.per_minute == slow.stats.per_minute

@@ -83,6 +83,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also write the result (stats + policy name) as JSON; "
         "with several policies, FILE gains a per-policy suffix",
     )
+    sim.add_argument(
+        "--manifest", metavar="FILE", default=None,
+        help="write the run manifest as JSON: per-policy engine used, "
+        "wall seconds, retries, worker pid, and outcome",
+    )
+    sim.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-policy task timeout for --jobs runs (one retry, then "
+        "a structured failure record; default: wait forever)",
+    )
 
     skew = sub.add_parser("skew", help="Figure-2 popularity analysis")
     add_trace_options(skew)
@@ -160,33 +170,73 @@ def _print_simulation_report(name: str, result, requests: int) -> None:
     )
 
 
+def _print_outcome_table(results) -> None:
+    """Per-policy outcome summary from the run manifest."""
+    rows = [
+        [
+            task["policy"],
+            task["outcome"],
+            task["engine"] or "-",
+            round(task["wall_seconds"], 2),
+            task["retries"],
+            task["executor"],
+        ]
+        for task in results.manifest["tasks"]
+    ]
+    print(render_table(
+        ["policy", "outcome", "engine", "wall s", "retries", "executor"],
+        rows,
+        title="Suite outcomes"
+        + (" (worker pool broke; serial fallback used)"
+           if results.manifest["pool_broken"] else ""),
+    ))
+    print()
+
+
 def _cmd_simulate(args) -> int:
     trace, days, columns = _load_trace(args)
-    names = args.policies or ["sievestore-c"]
+    names = list(dict.fromkeys(args.policies or ["sievestore-c"]))
     ctx = context_for_trace(
         trace, days=days, scale=args.scale, columnar=columns
     )
     jobs = None if args.jobs == 0 else args.jobs
     results = run_policy_suite(
-        ctx, names, track_minutes=False, fast_path=args.fast, jobs=jobs
+        ctx, names, track_minutes=False, fast_path=args.fast, jobs=jobs,
+        task_timeout=args.task_timeout,
     )
     for name in names:
-        _print_simulation_report(name, results[name], len(trace))
+        if name in results:
+            _print_simulation_report(name, results[name], len(trace))
+    if jobs != 1 or results.failures:
+        _print_outcome_table(results)
+    for failure in results.failures.values():
+        print(f"FAILED {failure}", file=sys.stderr)
+    if args.manifest:
+        try:
+            results.save_manifest(args.manifest)
+        except OSError as exc:
+            # The reports above already printed; don't trade them for
+            # a traceback over an unwritable path.
+            print(f"error: cannot write manifest {args.manifest}: {exc}",
+                  file=sys.stderr)
+            return 1
+        print(f"run manifest written to {args.manifest}")
     if args.json:
         from repro.sim.serialize import save_result
 
-        if len(names) == 1:
+        completed = [name for name in names if name in results]
+        if len(names) == 1 and completed:
             save_result(results[names[0]], args.json)
             print(f"result written to {args.json}")
-        else:
+        elif len(names) > 1:
             import os
 
             root, ext = os.path.splitext(args.json)
-            for name in names:
+            for name in completed:
                 path = f"{root}-{name}{ext or '.json'}"
                 save_result(results[name], path)
                 print(f"result written to {path}")
-    return 0
+    return 1 if results.failures else 0
 
 
 def _cmd_summarize(args) -> int:

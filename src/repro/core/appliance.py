@@ -64,6 +64,13 @@ class SieveStoreAppliance:
             allocation-writes in the day totals but not charged to any
             minute's SSD occupancy, since they are scheduled into idle
             periods.  Continuous allocation-writes are always charged.
+        epoch_seconds: period of the policy's batch boundaries.  The
+            paper's epoch is one calendar day (the default); the
+            Section 5.1 sensitivity analysis shortens it.  Epoch index
+            ``k``'s boundary fires at ``k * epoch_seconds``, and its
+            batch allocation-writes are attributed to the calendar day
+            containing that instant — for sub-day epochs this is *not*
+            day ``k``.
         write_mode: write-through (the paper-equivalent default — the
             ensemble sees every write immediately) or write-back (the
             non-volatile cache absorbs writes and flushes dirty blocks
@@ -79,27 +86,30 @@ class SieveStoreAppliance:
         stats: CacheStats,
         batch_moves_staggered: bool = True,
         write_mode: WriteMode = WriteMode.WRITE_THROUGH,
+        epoch_seconds: float = 86400.0,
     ):
         self.cache = cache
         self.policy = policy
         self.stats = stats
         self.batch_moves_staggered = batch_moves_staggered
         self.write_mode = write_mode
+        self.epoch_seconds = float(epoch_seconds)
         self.dirty = DirtyTracker()
 
     def begin_day(self, day: int) -> int:
-        """Apply the policy's epoch batch for ``day``; returns blocks moved in.
+        """Apply the policy's epoch batch for epoch ``day``; returns blocks moved in.
 
-        Allocation-writes for batch moves are attributed to the first
-        instant of the day (or suppressed from minute accounting when
-        staggered — the paper's assumption that moves ride idle
+        Allocation-writes for batch moves are attributed to the epoch
+        boundary's instant, ``day * epoch_seconds`` — and hence to the
+        calendar day containing it (or suppressed from minute accounting
+        when staggered — the paper's assumption that moves ride idle
         bandwidth).
         """
         batch = self.policy.epoch_boundary(day)
         if batch is None:
             return 0
         new_set = set(batch)  # materialize once; the batch may be lazy
-        day_start = float(day) * 86400.0
+        boundary_time = float(day) * self.epoch_seconds
         if self.write_mode is WriteMode.WRITE_BACK and len(self.dirty):
             evicted_dirty = [
                 address
@@ -109,14 +119,14 @@ class SieveStoreAppliance:
             if evicted_dirty:
                 flushed = self.dirty.clean_many(evicted_dirty)
                 self.stats.record_backing_write(
-                    day_start, blocks=flushed, is_writeback=True
+                    boundary_time, blocks=flushed, is_writeback=True
                 )
         inserted, _removed = self.cache.replace_contents(new_set)
         if inserted:
-            self.stats.record_allocation_write(day_start, blocks=inserted)
+            self.stats.record_allocation_write(boundary_time, blocks=inserted)
             if not self.batch_moves_staggered:
                 self.stats.record_ssd_io(
-                    day_start, blocks_to_io_units(inserted), is_write=True
+                    boundary_time, blocks_to_io_units(inserted), is_write=True
                 )
         return inserted
 

@@ -12,6 +12,14 @@ from repro.sim.experiment import (
     sievestore_d_with_epoch,
     sievestore_d_with_threshold,
 )
+from repro.sim.parallel import (
+    PolicyFailure,
+    SuiteRun,
+    TaskRecord,
+    default_jobs,
+    run_suite_parallel,
+    run_suite_serial,
+)
 from repro.sim.serialize import (
     load_result,
     result_from_dict,
@@ -39,6 +47,12 @@ __all__ = [
     "context_for_trace",
     "run_policy",
     "run_policy_suite",
+    "PolicyFailure",
+    "SuiteRun",
+    "TaskRecord",
+    "default_jobs",
+    "run_suite_parallel",
+    "run_suite_serial",
     "sievestore_c_with_window",
     "sievestore_d_with_epoch",
     "sievestore_d_with_threshold",

@@ -19,13 +19,17 @@ Two execution paths produce identical results:
   the trace through :mod:`repro.sim.fast_engine`'s flat loop, several
   times faster.  It covers LRU replacement with write-through
   accounting (every figure's configuration); other configurations
-  silently use the object path, so ``fast_path=True`` is always safe.
+  transparently use the object path, so ``fast_path=True`` is always
+  safe — the engine actually used is recorded in
+  :attr:`SimulationResult.engine`, and the first such fallback per
+  process emits a :class:`RuntimeWarning`.
 """
 
 from __future__ import annotations
 
 import math
 import time as _time
+import warnings
 from dataclasses import dataclass
 from fractions import Fraction
 from typing import List, Union
@@ -41,6 +45,26 @@ from repro.traces.model import Trace
 from repro.util.intervals import SECONDS_PER_DAY
 
 
+#: Set once the first silent fast-path fallback has been reported, so a
+#: sweep over many unsupported configurations warns exactly once.
+_FALLBACK_WARNED = False
+
+
+def _warn_fast_path_fallback(replacement: str, write_mode: WriteMode) -> None:
+    global _FALLBACK_WARNED
+    if _FALLBACK_WARNED:
+        return
+    _FALLBACK_WARNED = True
+    warnings.warn(
+        "fast_path=True fell back to the reference object engine "
+        f"(replacement={replacement!r}, write_mode={write_mode.name}); "
+        "results are identical but slower.  Check SimulationResult.engine "
+        "to see which engine ran — further fallbacks will not warn.",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
 @dataclass
 class SimulationResult:
     """Everything a benchmark needs from one policy run."""
@@ -50,6 +74,10 @@ class SimulationResult:
     cache: BlockCache
     policy: AllocationPolicy
     wall_seconds: float
+    #: Execution path actually used: ``"fast"`` (columnar loop) or
+    #: ``"object"`` (reference engine).  ``fast_path=True`` requests
+    #: with an unsupported configuration land here as ``"object"``.
+    engine: str = "object"
 
     @property
     def days(self) -> int:
@@ -122,7 +150,9 @@ def simulate(
         fast_path: replay the columnar trace through the flat fast
             loop (bit-identical statistics).  Configurations the fast
             path does not cover — non-LRU replacement, write-back —
-            transparently fall back to the object path.
+            transparently fall back to the object path; the fallback is
+            recorded in :attr:`SimulationResult.engine` and warned
+            about once per process.
     """
     if epoch_seconds <= 0:
         raise ValueError(f"epoch_seconds must be positive, got {epoch_seconds}")
@@ -133,6 +163,8 @@ def simulate(
         and replacement == "lru"
         and write_mode is WriteMode.WRITE_THROUGH
     )
+    if fast_path and not use_fast:
+        _warn_fast_path_fallback(replacement, write_mode)
     if use_fast:
         from repro.sim.fast_engine import simulate_fast
 
@@ -156,6 +188,7 @@ def simulate(
             cache=cache,
             policy=policy,
             wall_seconds=wall,
+            engine="fast",
         )
 
     object_trace = as_object_trace(trace)
@@ -169,6 +202,7 @@ def simulate(
         stats,
         batch_moves_staggered=batch_moves_staggered,
         write_mode=write_mode,
+        epoch_seconds=epoch_seconds,
     )
 
     started = _time.perf_counter()
@@ -194,4 +228,5 @@ def simulate(
         cache=cache,
         policy=policy,
         wall_seconds=wall,
+        engine="object",
     )

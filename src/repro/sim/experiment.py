@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Union
 
 from repro.cache.allocation import (
     AllocateOnDemand,
@@ -34,6 +34,9 @@ from repro.traces.model import Trace
 from repro.traces.streams import daily_block_counts
 from repro.traces.synthetic import SyntheticTraceConfig
 from repro.util.units import BLOCK_BYTES, GIB
+
+if TYPE_CHECKING:
+    from repro.sim.parallel import SuiteRun
 
 #: Figure 5's configuration keys, in the paper's bar order.
 FIGURE5_POLICIES = (
@@ -219,24 +222,41 @@ def run_policy_suite(
     track_minutes: bool = True,
     fast_path: bool = False,
     jobs: Optional[int] = 1,
-) -> Dict[str, SimulationResult]:
+    task_timeout: Optional[float] = None,
+) -> "SuiteRun":
     """Simulate a set of configurations over the same trace.
 
     ``jobs`` fans the (independent) policy runs across worker processes
     sharing one serialized columnar trace: ``1`` (default) runs
     serially in-process, ``N > 1`` uses N workers, ``None`` uses all
-    cores.  Results are identical to a serial run in every mode.
+    cores (affinity-aware).  Results are identical to a serial run in
+    every mode.
+
+    Both modes return a :class:`~repro.sim.parallel.SuiteRun`: a
+    mapping of policy name to :class:`SimulationResult` for every run
+    that completed, plus ``.failures`` (structured per-policy failure
+    records) and ``.manifest`` (per-task engine/wall/retries/outcome).
+    A failed policy never discards the completed ones; check
+    ``suite.ok`` or ``suite.failures`` when robustness matters.
+    ``task_timeout`` bounds each parallel task (seconds; one retry
+    before a ``"timeout"`` failure record).
     """
     if jobs is None or jobs > 1:
         from repro.sim.parallel import run_suite_parallel
 
         return run_suite_parallel(
-            ctx, names, track_minutes=track_minutes, fast_path=fast_path, jobs=jobs
+            ctx,
+            names,
+            track_minutes=track_minutes,
+            fast_path=fast_path,
+            jobs=jobs,
+            task_timeout=task_timeout,
         )
-    return {
-        name: run_policy(name, ctx, track_minutes=track_minutes, fast_path=fast_path)
-        for name in names
-    }
+    from repro.sim.parallel import run_suite_serial
+
+    return run_suite_serial(
+        ctx, names, track_minutes=track_minutes, fast_path=fast_path
+    )
 
 
 def sievestore_d_with_threshold(

@@ -146,11 +146,14 @@ def simulate_fast(
         new_set = set(batch)
         inserted, _removed = cache.replace_contents(new_set)
         if inserted:
-            # The reference path attributes batch allocation-writes to
-            # float(epoch) * 86400 even for sub-day epochs; replicated
-            # verbatim for bit-identity.
-            boundary_time = float(epoch) * day_seconds
-            day = epoch if epoch < days else last_day
+            # Batch allocation-writes belong to the calendar day
+            # containing the epoch boundary (boundary k fires at
+            # k * epoch_seconds); identical expression to the reference
+            # path's begin_day for bit-identity.
+            boundary_time = float(epoch) * epoch_seconds
+            day = int(boundary_time // day_seconds)
+            if day > last_day:
+                day = last_day
             per_day[day].allocation_writes += inserted
             if not batch_moves_staggered:
                 record_ssd_io(boundary_time, (inserted + 7) >> 3, True)

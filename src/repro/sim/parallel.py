@@ -18,20 +18,119 @@ parallelize perfectly.  This module fans the runs across
 
 Results are deterministic and equal to a serial run: every worker sees
 the same trace bytes, the same seeds, and the same oracle inputs.
+
+Fault tolerance and observability
+---------------------------------
+
+Long-running multi-config sweeps cannot afford to lose every completed
+run to one sick worker, so :func:`run_suite_parallel` degrades instead
+of raising:
+
+* a task that raises (or exceeds ``task_timeout``) is retried **once**;
+  a second failure becomes a structured :class:`PolicyFailure` in the
+  returned :class:`SuiteRun` rather than an exception;
+* a dead worker process (``BrokenProcessPool``) routes every
+  not-yet-collected task through in-process **serial fallback**
+  execution against the parent's own context — completed pool results
+  are kept, and serial results are bit-identical to a serial run;
+* every task's engine used, wall seconds, retries, worker pid, and
+  outcome is recorded in a JSON-serializable **run manifest**
+  (:attr:`SuiteRun.manifest`, schema in the README).
+
+For CI and testing, the ``SIEVESTORE_FAULT_INJECT`` environment
+variable (format ``mode:policy[:arg]``) injects failures into the named
+policy's task: ``raise`` fails it every time, ``crash`` hard-kills the
+worker process (``os._exit``; in serial execution it degrades to a
+raise), ``flaky:policy:marker-path`` fails only the first execution
+(exercising the retry path), and ``hang:policy:seconds`` sleeps in the
+worker (exercising ``task_timeout``).  Unset means zero effect.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import tempfile
+import time
+import warnings
+from collections import OrderedDict
+from collections.abc import Mapping
 from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, Optional, Sequence
+from concurrent.futures import TimeoutError as _FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Union
 
 from repro.sim.engine import SimulationResult
 from repro.traces.columnar import ColumnarTrace
 
+#: Bump on manifest layout changes; consumers refuse unknown versions.
+MANIFEST_SCHEMA_VERSION = 1
+
+#: Environment variable enabling fault injection (``mode:policy[:arg]``).
+FAULT_ENV_VAR = "SIEVESTORE_FAULT_INJECT"
+
+#: Attempts per task: the initial run plus one bounded retry.
+MAX_ATTEMPTS = 2
+
 #: Per-process simulation context, installed by the pool initializer.
 _WORKER_CONTEXT = None
+
+
+class InjectedWorkerFault(RuntimeError):
+    """Raised by the fault-injection hook (testing/CI only)."""
+
+
+def _parse_fault_spec() -> Optional[tuple]:
+    spec = os.environ.get(FAULT_ENV_VAR)
+    if not spec:
+        return None
+    parts = spec.split(":", 2)
+    mode = parts[0].strip().lower()
+    policy = parts[1] if len(parts) > 1 else ""
+    arg = parts[2] if len(parts) > 2 else None
+    return mode, policy, arg
+
+
+def _maybe_inject_fault(name: str, in_worker: bool) -> None:
+    """Apply the ``SIEVESTORE_FAULT_INJECT`` spec to task ``name``.
+
+    No-op unless the env var is set and names this policy.  ``crash``
+    only hard-exits inside a worker process — in serial (parent)
+    execution it raises instead, so fault injection can never take the
+    caller's process down.
+    """
+    spec = _parse_fault_spec()
+    if spec is None:
+        return
+    mode, policy, arg = spec
+    if policy != name:
+        return
+    if mode == "crash":
+        if in_worker:
+            os._exit(70)
+        raise InjectedWorkerFault(
+            f"injected crash for {name!r} (serial execution)"
+        )
+    if mode == "raise":
+        raise InjectedWorkerFault(f"injected failure for {name!r}")
+    if mode == "flaky":
+        if not arg:
+            raise ValueError(
+                "flaky fault injection needs a marker path: "
+                "SIEVESTORE_FAULT_INJECT=flaky:policy:/path/to/marker"
+            )
+        try:
+            with open(arg, "x"):
+                pass
+        except FileExistsError:
+            return  # already fired once; succeed from now on
+        raise InjectedWorkerFault(f"injected one-shot failure for {name!r}")
+    if mode == "hang":
+        time.sleep(float(arg) if arg else 3600.0)
+        return
+    raise ValueError(f"unknown fault-injection mode {mode!r} in {FAULT_ENV_VAR}")
 
 
 def _init_worker(trace_path: str, days: int, scale: float, seed: int) -> None:
@@ -46,14 +145,238 @@ def _run_one(name: str, track_minutes: bool, fast_path: bool):
     from repro.sim.experiment import run_policy
 
     assert _WORKER_CONTEXT is not None, "worker initializer did not run"
-    return name, run_policy(
+    _maybe_inject_fault(name, in_worker=True)
+    started = time.perf_counter()
+    result = run_policy(
         name, _WORKER_CONTEXT, track_minutes=track_minutes, fast_path=fast_path
     )
+    return name, os.getpid(), time.perf_counter() - started, result
 
 
 def default_jobs() -> int:
-    """Worker count when the caller asks for 'all cores'."""
+    """Worker count when the caller asks for 'all cores'.
+
+    Prefers the process's scheduling affinity mask
+    (``os.sched_getaffinity``) over ``os.cpu_count()``: in
+    cgroup/affinity-limited containers and CI runners the machine may
+    expose many more cores than this process is allowed to run on, and
+    oversubscribing them just adds contention.  Falls back to
+    ``cpu_count`` on platforms without affinity support (macOS,
+    Windows).
+    """
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            affinity = len(getaffinity(0))
+        except OSError:
+            affinity = 0
+        if affinity:
+            return affinity
     return max(1, os.cpu_count() or 1)
+
+
+@dataclass
+class TaskRecord:
+    """One suite task's execution record (a manifest row)."""
+
+    policy: str
+    outcome: str  # "ok" | "failed" | "timeout"
+    engine: Optional[str]  # "fast" | "object"; None when the task failed
+    wall_seconds: float
+    retries: int
+    worker_pid: Optional[int]
+    executor: str  # "pool" | "serial" | "serial-fallback"
+    error: Optional[str] = None
+
+    def to_dict(self) -> dict:
+        return {
+            "policy": self.policy,
+            "outcome": self.outcome,
+            "engine": self.engine,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "retries": self.retries,
+            "worker_pid": self.worker_pid,
+            "executor": self.executor,
+            "error": self.error,
+        }
+
+
+@dataclass
+class PolicyFailure:
+    """Structured record of a policy run that could not be completed."""
+
+    policy: str
+    error_type: str
+    message: str
+    retries: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.policy}: {self.error_type}: {self.message} "
+            f"(after {self.retries} retr{'y' if self.retries == 1 else 'ies'})"
+        )
+
+
+class SuiteRun(Mapping):
+    """Results of one policy-suite run, with partial-failure visibility.
+
+    Behaves as a read-only mapping ``{policy name -> SimulationResult}``
+    over the *successful* runs (iteration order matches the requested
+    order), so existing ``dict``-shaped callers keep working.  On top of
+    that:
+
+    * :attr:`failures` maps failed policy names to
+      :class:`PolicyFailure` records — a failed task never discards the
+      completed ones;
+    * :attr:`manifest` is the JSON-serializable run manifest (one
+      :class:`TaskRecord` row per task; see the README for the schema);
+    * :attr:`ok` is True when every requested policy produced a result.
+    """
+
+    def __init__(
+        self,
+        results: "OrderedDict[str, SimulationResult]",
+        failures: Dict[str, PolicyFailure],
+        manifest: dict,
+    ):
+        self.results = results
+        self.failures = failures
+        self.manifest = manifest
+
+    def __getitem__(self, name: str) -> SimulationResult:
+        return self.results[name]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    @property
+    def ok(self) -> bool:
+        """True when no policy failed."""
+        return not self.failures
+
+    def save_manifest(self, path: Union[str, Path]) -> None:
+        """Write the run manifest as indented JSON."""
+        Path(path).write_text(json.dumps(self.manifest, indent=2) + "\n")
+
+
+def _build_manifest(
+    requested: Sequence[str],
+    names: Sequence[str],
+    records: Dict[str, TaskRecord],
+    jobs: int,
+    track_minutes: bool,
+    fast_path: bool,
+    task_timeout: Optional[float],
+    pool_broken: bool,
+    wall_seconds: float,
+) -> dict:
+    return {
+        "schema": MANIFEST_SCHEMA_VERSION,
+        "requested": list(requested),
+        "names": list(names),
+        "jobs": jobs,
+        "track_minutes": track_minutes,
+        "fast_path": fast_path,
+        "task_timeout": task_timeout,
+        "pool_broken": pool_broken,
+        "wall_seconds": round(wall_seconds, 6),
+        "tasks": [records[name].to_dict() for name in names if name in records],
+    }
+
+
+def _dedupe(names: Sequence[str]) -> List[str]:
+    """Unique names, first-occurrence order (duplicate work costs the
+    same result twice under dict keying — run each config once)."""
+    return list(dict.fromkeys(names))
+
+
+def _run_serial_task(
+    name: str,
+    ctx,
+    track_minutes: bool,
+    fast_path: bool,
+    executor: str,
+    attempts: int,
+    records: Dict[str, TaskRecord],
+    results: Dict[str, SimulationResult],
+    failures: Dict[str, PolicyFailure],
+) -> None:
+    """Run one task in-process, recording outcome like a pool task."""
+    from repro.sim.experiment import run_policy
+
+    started = time.perf_counter()
+    try:
+        _maybe_inject_fault(name, in_worker=False)
+        result = run_policy(
+            name, ctx, track_minutes=track_minutes, fast_path=fast_path
+        )
+    except Exception as exc:
+        wall = time.perf_counter() - started
+        records[name] = TaskRecord(
+            policy=name,
+            outcome="failed",
+            engine=None,
+            wall_seconds=wall,
+            retries=attempts - 1,
+            worker_pid=os.getpid(),
+            executor=executor,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+        failures[name] = PolicyFailure(
+            policy=name,
+            error_type=type(exc).__name__,
+            message=str(exc),
+            retries=attempts - 1,
+        )
+    else:
+        wall = time.perf_counter() - started
+        results[name] = result
+        records[name] = TaskRecord(
+            policy=name,
+            outcome="ok",
+            engine=result.engine,
+            wall_seconds=wall,
+            retries=attempts - 1,
+            worker_pid=os.getpid(),
+            executor=executor,
+        )
+
+
+def run_suite_serial(
+    ctx,
+    names: Sequence[str],
+    track_minutes: bool = True,
+    fast_path: bool = False,
+) -> SuiteRun:
+    """In-process reference execution of a policy suite.
+
+    Same partial-result semantics and manifest as
+    :func:`run_suite_parallel` (executor ``"serial"``, no retries), so
+    callers can treat ``jobs=1`` and ``jobs=N`` runs uniformly.
+    """
+    started = time.perf_counter()
+    requested = list(names)
+    unique = _dedupe(requested)
+    records: Dict[str, TaskRecord] = {}
+    results: Dict[str, SimulationResult] = {}
+    failures: Dict[str, PolicyFailure] = {}
+    for name in unique:
+        _run_serial_task(
+            name, ctx, track_minutes, fast_path,
+            executor="serial", attempts=1,
+            records=records, results=results, failures=failures,
+        )
+    manifest = _build_manifest(
+        requested, unique, records,
+        jobs=1, track_minutes=track_minutes, fast_path=fast_path,
+        task_timeout=None, pool_broken=False,
+        wall_seconds=time.perf_counter() - started,
+    )
+    ordered = OrderedDict((n, results[n]) for n in unique if n in results)
+    return SuiteRun(ordered, failures, manifest)
 
 
 def run_suite_parallel(
@@ -62,36 +385,193 @@ def run_suite_parallel(
     track_minutes: bool = True,
     fast_path: bool = True,
     jobs: Optional[int] = None,
-) -> Dict[str, SimulationResult]:
+    task_timeout: Optional[float] = None,
+) -> SuiteRun:
     """Run the named policy configurations across worker processes.
 
     Args:
         ctx: the parent's :class:`ExperimentContext`; only its columnar
             trace and scalar parameters cross the process boundary.
         names: policy configuration keys (see
-            :func:`repro.sim.experiment.build_policy`).
+            :func:`repro.sim.experiment.build_policy`).  Duplicates are
+            deduplicated up front (first-occurrence order); an empty
+            sequence returns an empty :class:`SuiteRun` without
+            spinning up a pool.
         track_minutes: forwarded to every run.
         fast_path: forwarded to every run (defaults on — the whole
             point of fanning out is throughput).
-        jobs: worker processes; ``None`` uses all cores.
+        jobs: worker processes; ``None`` uses :func:`default_jobs`
+            (affinity-aware core count).
+        task_timeout: seconds to wait for one task's result before
+            retrying it (and, on a second timeout, recording a
+            ``"timeout"`` failure).  ``None`` waits forever.
 
-    Returns results keyed by name, in ``names`` order.
+    Returns a :class:`SuiteRun`: a mapping of successful results in
+    ``names`` order, plus :attr:`~SuiteRun.failures` and the run
+    :attr:`~SuiteRun.manifest`.  Worker death, task exceptions, and
+    timeouts degrade (retry once, then serial fallback / failure
+    records) instead of discarding completed results.
     """
+    started = time.perf_counter()
+    requested = list(names)
+    unique = _dedupe(requested)
     if jobs is None:
         jobs = default_jobs()
     if jobs < 1:
         raise ValueError(f"jobs must be positive, got {jobs}")
+    if not unique:
+        manifest = _build_manifest(
+            requested, unique, {}, jobs=jobs,
+            track_minutes=track_minutes, fast_path=fast_path,
+            task_timeout=task_timeout, pool_broken=False,
+            wall_seconds=time.perf_counter() - started,
+        )
+        return SuiteRun(OrderedDict(), {}, manifest)
+
+    records: Dict[str, TaskRecord] = {}
+    results: Dict[str, SimulationResult] = {}
+    failures: Dict[str, PolicyFailure] = {}
+    attempts: Dict[str, int] = {name: 0 for name in unique}
+    serial_queue: List[str] = []
+    pool_broken = False
+    timed_out = False
+
     with tempfile.TemporaryDirectory(prefix="sievestore-suite-") as tmpdir:
         trace_path = os.path.join(tmpdir, "trace.npz")
         ctx.columnar_trace().save_npz(trace_path)
-        with ProcessPoolExecutor(
-            max_workers=min(jobs, len(names)) or 1,
+        pool = ProcessPoolExecutor(
+            max_workers=min(jobs, len(unique)),
             initializer=_init_worker,
             initargs=(trace_path, ctx.days, ctx.scale, ctx.seed),
-        ) as pool:
-            futures = [
-                pool.submit(_run_one, name, track_minutes, fast_path)
-                for name in names
-            ]
-            collected = dict(future.result() for future in futures)
-    return {name: collected[name] for name in names}
+        )
+        try:
+            futures = {}
+            try:
+                for name in unique:
+                    futures[name] = pool.submit(
+                        _run_one, name, track_minutes, fast_path
+                    )
+                    attempts[name] += 1
+            except BrokenProcessPool:
+                pool_broken = True
+
+            def resubmit(name: str):
+                """One bounded retry through the pool; None if spent/broken."""
+                nonlocal pool_broken
+                if pool_broken or attempts[name] >= MAX_ATTEMPTS:
+                    return None
+                try:
+                    future = pool.submit(
+                        _run_one, name, track_minutes, fast_path
+                    )
+                except BrokenProcessPool:
+                    pool_broken = True
+                    return None
+                attempts[name] += 1
+                return future
+
+            for name in unique:
+                if pool_broken:
+                    serial_queue.append(name)
+                    continue
+                future = futures.get(name)
+                if future is None:
+                    serial_queue.append(name)
+                    continue
+                collect_started = time.perf_counter()
+                while True:
+                    try:
+                        _rname, pid, wall, result = future.result(
+                            timeout=task_timeout
+                        )
+                    except _FuturesTimeout:
+                        timed_out = True
+                        future.cancel()
+                        retry = resubmit(name)
+                        if retry is not None:
+                            future = retry
+                            collect_started = time.perf_counter()
+                            continue
+                        if pool_broken and attempts[name] < MAX_ATTEMPTS:
+                            serial_queue.append(name)
+                            break
+                        waited = time.perf_counter() - collect_started
+                        records[name] = TaskRecord(
+                            policy=name, outcome="timeout", engine=None,
+                            wall_seconds=waited,
+                            retries=attempts[name] - 1, worker_pid=None,
+                            executor="pool",
+                            error=f"task exceeded {task_timeout}s timeout",
+                        )
+                        failures[name] = PolicyFailure(
+                            policy=name, error_type="TimeoutError",
+                            message=f"task exceeded {task_timeout}s timeout",
+                            retries=attempts[name] - 1,
+                        )
+                        break
+                    except BrokenProcessPool:
+                        # The worker died (or the pool collapsed around
+                        # this future); the task's retry — and every
+                        # later task — runs serially in-process.
+                        pool_broken = True
+                        serial_queue.append(name)
+                        break
+                    except Exception as exc:
+                        retry = resubmit(name)
+                        if retry is not None:
+                            future = retry
+                            collect_started = time.perf_counter()
+                            continue
+                        if pool_broken and attempts[name] < MAX_ATTEMPTS:
+                            serial_queue.append(name)
+                            break
+                        waited = time.perf_counter() - collect_started
+                        records[name] = TaskRecord(
+                            policy=name, outcome="failed", engine=None,
+                            wall_seconds=waited,
+                            retries=attempts[name] - 1, worker_pid=None,
+                            executor="pool",
+                            error=f"{type(exc).__name__}: {exc}",
+                        )
+                        failures[name] = PolicyFailure(
+                            policy=name, error_type=type(exc).__name__,
+                            message=str(exc), retries=attempts[name] - 1,
+                        )
+                        break
+                    else:
+                        results[name] = result
+                        records[name] = TaskRecord(
+                            policy=name, outcome="ok", engine=result.engine,
+                            wall_seconds=wall, retries=attempts[name] - 1,
+                            worker_pid=pid, executor="pool",
+                        )
+                        break
+        finally:
+            # A timed-out task is still running in its worker; don't
+            # block shutdown on it (the zombie exits when it finishes).
+            pool.shutdown(wait=not timed_out, cancel_futures=True)
+
+    if serial_queue:
+        warnings.warn(
+            f"worker pool broke; running {len(serial_queue)} remaining "
+            f"polic{'y' if len(serial_queue) == 1 else 'ies'} serially "
+            f"in-process: {', '.join(serial_queue)}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        for name in serial_queue:
+            attempts[name] += 1
+            _run_serial_task(
+                name, ctx, track_minutes, fast_path,
+                executor="serial-fallback", attempts=attempts[name],
+                records=records, results=results, failures=failures,
+            )
+
+    manifest = _build_manifest(
+        requested, unique, records, jobs=jobs,
+        track_minutes=track_minutes, fast_path=fast_path,
+        task_timeout=task_timeout, pool_broken=pool_broken,
+        wall_seconds=time.perf_counter() - started,
+    )
+    ordered = OrderedDict((n, results[n]) for n in unique if n in results)
+    return SuiteRun(ordered, failures, manifest)

@@ -61,6 +61,7 @@ def result_to_dict(result: SimulationResult) -> dict:
         "schema_version": SCHEMA_VERSION,
         "policy_name": result.policy_name,
         "wall_seconds": result.wall_seconds,
+        "engine": result.engine,
         "stats": stats_to_dict(result.stats),
     }
 
@@ -79,6 +80,8 @@ def result_from_dict(payload: dict) -> SimulationResult:
         cache=None,
         policy=None,
         wall_seconds=payload.get("wall_seconds", 0.0),
+        # Unrecorded in files written before the field existed.
+        engine=payload.get("engine", "object"),
     )
 
 

@@ -27,6 +27,7 @@ import hashlib
 import json
 import os
 import tempfile
+import warnings
 from pathlib import Path
 from typing import Optional, Union
 
@@ -134,5 +135,15 @@ def _atomic_save(columns: ColumnarTrace, path: Path) -> None:
         finally:
             if os.path.exists(tmp_name):
                 os.unlink(tmp_name)
-    except OSError:
-        pass  # caching is best-effort; the generated trace is still returned
+    except OSError as exc:
+        # Caching is best-effort — the generated trace is still
+        # returned — but a silently dead cache means regenerating the
+        # trace every run, so say where and why it failed.
+        warnings.warn(
+            f"trace cache write failed for {path}: {exc}; the trace "
+            "will be regenerated on the next run (set "
+            f"{CACHE_ENV_VAR}=off to silence, or point it at a "
+            "writable directory)",
+            RuntimeWarning,
+            stacklevel=2,
+        )

@@ -8,12 +8,14 @@ from repro.core.appliance import SieveStoreAppliance
 from repro.traces.model import IOKind, IORequest
 
 
-def make_appliance(policy=None, capacity=64, days=1, staggered=True):
+def make_appliance(policy=None, capacity=64, days=1, staggered=True,
+                   epoch_seconds=86400.0):
     stats = CacheStats(days=days)
     cache = BlockCache(capacity)
     appliance = SieveStoreAppliance(
         cache, policy or AllocateOnDemand(), stats,
         batch_moves_staggered=staggered,
+        epoch_seconds=epoch_seconds,
     )
     return appliance, stats, cache
 
@@ -114,3 +116,23 @@ class TestEpochBatches:
         appliance, stats, cache = make_appliance()
         assert appliance.begin_day(0) == 0
         assert len(cache) == 0
+
+    def test_sub_day_epoch_charged_to_containing_calendar_day(self):
+        # A 12 h epoch's boundary 1 fires at noon of day 0: its batch
+        # belongs to day 0, not to day index 1.
+        policy = StaticSet(set(range(4)))
+        appliance, stats, _ = make_appliance(
+            policy=policy, days=2, epoch_seconds=12 * 3600.0
+        )
+        appliance.begin_day(1)
+        assert stats.per_day[0].allocation_writes == 4
+        assert stats.per_day[1].allocation_writes == 0
+
+    def test_sub_day_epoch_minute_charge_at_boundary_time(self):
+        policy = StaticSet(set(range(8)))
+        appliance, stats, _ = make_appliance(
+            policy=policy, days=2, staggered=False,
+            epoch_seconds=12 * 3600.0,
+        )
+        appliance.begin_day(1)
+        assert stats.per_minute[12 * 60].writes == 1

@@ -1,4 +1,4 @@
-"""The fast path's contract: bit-identical statistics, or silent fallback.
+"""The fast path's contract: bit-identical statistics, or a visible fallback.
 
 ``simulate(..., fast_path=True)`` is an optimization, not an
 approximation — for every supported configuration it must produce the
@@ -99,8 +99,9 @@ def test_object_path_accepts_columnar_trace(tiny_context):
     ids=["fifo", "write-back"],
 )
 def test_unsupported_configs_fall_back(kwargs, tiny_context):
-    # fast_path=True must silently use the reference engine for
-    # configurations the fast loop does not specialize — same stats.
+    # fast_path=True uses the reference engine for configurations the
+    # fast loop does not specialize — same stats, warned once per
+    # process and recorded in SimulationResult.engine.
     policy_slow, capacity = build_policy("aod-16", tiny_context)
     policy_fast, _ = build_policy("aod-16", tiny_context)
     reference = simulate(

@@ -1,7 +1,10 @@
 """Trace-driven simulation engine."""
 
+import warnings
+
 import pytest
 
+import repro.sim.engine as engine_module
 from repro.cache.allocation import AllocateOnDemand, NeverAllocate, StaticSet
 from repro.core.sievestore_d import SieveStoreD, SieveStoreDConfig
 from repro.sim.engine import simulate, total_epoch_count
@@ -129,6 +132,35 @@ class TestEpochCount:
         trace = Trace([req(0, 1.0), req(7, 1.0)])
         simulate(trace, policy, 16, days=8, epoch_seconds=7 * 3600.0)
         assert policy.epochs_completed == 28
+
+
+class TestEngineField:
+    def test_fast_path_recorded(self):
+        trace = Trace([req(0, 1.0)])
+        result = simulate(trace, AllocateOnDemand(), 16, days=1, fast_path=True)
+        assert result.engine == "fast"
+
+    def test_object_path_recorded(self):
+        trace = Trace([req(0, 1.0)])
+        result = simulate(trace, AllocateOnDemand(), 16, days=1)
+        assert result.engine == "object"
+
+    def test_fallback_records_object_and_warns_once(self, monkeypatch):
+        monkeypatch.setattr(engine_module, "_FALLBACK_WARNED", False)
+        trace = Trace([req(0, 1.0)])
+        with pytest.warns(RuntimeWarning, match="fell back"):
+            result = simulate(
+                trace, AllocateOnDemand(), 16, days=1,
+                fast_path=True, replacement="fifo",
+            )
+        assert result.engine == "object"
+        # Second fallback in the same process: no further warning.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            simulate(
+                trace, AllocateOnDemand(), 16, days=1,
+                fast_path=True, replacement="fifo",
+            )
 
 
 class TestDailyCapture:

@@ -35,6 +35,7 @@ def sample_result():
         cache=None,
         policy=None,
         wall_seconds=1.25,
+        engine="fast",
     )
 
 
@@ -73,6 +74,16 @@ class TestResultRoundTrip:
 
     def test_schema_version_written(self):
         assert result_to_dict(sample_result())["schema_version"] == SCHEMA_VERSION
+
+    def test_engine_round_trips(self):
+        restored = result_from_dict(result_to_dict(sample_result()))
+        assert restored.engine == "fast"
+
+    def test_engine_missing_defaults_to_object(self):
+        # Files written before the engine field existed still load.
+        payload = result_to_dict(sample_result())
+        del payload["engine"]
+        assert result_from_dict(payload).engine == "object"
 
     def test_unknown_schema_rejected(self):
         payload = result_to_dict(sample_result())

@@ -98,3 +98,16 @@ class TestLoadOrGenerate:
         assert trace.requests == load_or_generate_columnar(
             config, tmp_path
         ).to_trace().requests
+
+    def test_unwritable_cache_warns_but_returns_trace(self, tmp_path):
+        # The cache dir path is occupied by a *file*, so mkdir fails:
+        # the trace must still come back, with a warning naming the
+        # path instead of a silent non-persisting cache.
+        blocker = tmp_path / "not-a-directory"
+        blocker.write_text("in the way")
+        config = tiny_config()
+        with pytest.warns(RuntimeWarning, match="trace cache write failed"):
+            columns = load_or_generate_columnar(config, blocker)
+        assert len(columns) > 0
+        fresh = EnsembleTraceGenerator(config).generate_columnar()
+        assert columns.equals(fresh)
