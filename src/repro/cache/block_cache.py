@@ -91,6 +91,18 @@ class BlockCache:
             return True
         return False
 
+    def clear(self) -> int:
+        """Drop every resident block; returns how many were dropped.
+
+        Models whole-device data loss (outage/wear-out): the frames
+        survive but their contents do not, so a recovered device starts
+        cold and the sieve must re-earn every allocation.
+        """
+        dropped = len(self._resident)
+        for address in list(self._resident):
+            self._evict(address)
+        return dropped
+
     def residents(self) -> Iterator[int]:
         """Iterate over resident addresses (unspecified order)."""
         return iter(self._resident)

@@ -24,6 +24,14 @@ class DayStats:
     write misses); ``writebacks`` is the evict-time subset.  Both are
     zero-cost extensions to the paper's accounting — they never affect
     the SSD-side numbers the figures report.
+
+    The fault counters (``read_errors``/``write_errors``: SSD block
+    operations that failed inside a fault plan's error windows;
+    ``bypass_accesses``: block accesses served while the device was in
+    BYPASS) stay zero on fault-free runs, so existing figures are
+    unchanged unless a :class:`~repro.faults.plan.FaultPlan` is active.
+    An errored operation is counted as a *miss* (the SSD did not serve
+    it), keeping ``hits + misses == accesses`` intact.
     """
 
     accesses: int = 0
@@ -34,6 +42,9 @@ class DayStats:
     allocation_writes: int = 0
     backing_writes: int = 0
     writebacks: int = 0
+    read_errors: int = 0
+    write_errors: int = 0
+    bypass_accesses: int = 0
 
     @property
     def hits(self) -> int:
@@ -88,6 +99,11 @@ class CacheStats:
         self.track_minutes = track_minutes
         self.per_day: List[DayStats] = [DayStats() for _ in range(days)]
         self.per_minute: Dict[int, MinuteIO] = {}
+        #: wall of simulated seconds spent in DEGRADED / BYPASS device
+        #: health (assigned once at end of run from the fault plan's
+        #: windows; always 0.0 on fault-free runs).
+        self.degraded_seconds: float = 0.0
+        self.bypass_seconds: float = 0.0
 
     # -- block-level recording -------------------------------------------
     def _day(self, time: float) -> DayStats:
@@ -127,6 +143,19 @@ class CacheStats:
         if is_writeback:
             day.writebacks += blocks
 
+    # -- fault recording (no-ops on fault-free runs) ------------------------
+    def record_read_error(self, time: float, blocks: int = 1) -> None:
+        """Count SSD block reads that failed (served from backing instead)."""
+        self._day(time).read_errors += blocks
+
+    def record_write_error(self, time: float, blocks: int = 1) -> None:
+        """Count SSD block writes that failed (allocation/update suppressed)."""
+        self._day(time).write_errors += blocks
+
+    def record_bypass_access(self, time: float, blocks: int = 1) -> None:
+        """Count block accesses served while the device was in BYPASS."""
+        self._day(time).bypass_accesses += blocks
+
     # -- minute-level 4-KB unit recording ----------------------------------
     def record_ssd_io(self, time: float, io_units: int, is_write: bool) -> None:
         """Record SSD traffic in 4-KB units for occupancy costing."""
@@ -164,10 +193,15 @@ class CacheStats:
             mine.allocation_writes += theirs.allocation_writes
             mine.backing_writes += theirs.backing_writes
             mine.writebacks += theirs.writebacks
+            mine.read_errors += theirs.read_errors
+            mine.write_errors += theirs.write_errors
+            mine.bypass_accesses += theirs.bypass_accesses
         for minute, entry in other.per_minute.items():
             mine_entry = self.per_minute.setdefault(minute, MinuteIO())
             mine_entry.reads += entry.reads
             mine_entry.writes += entry.writes
+        self.degraded_seconds += other.degraded_seconds
+        self.bypass_seconds += other.bypass_seconds
         return self
 
     @classmethod
@@ -197,6 +231,9 @@ class CacheStats:
             total.allocation_writes += day.allocation_writes
             total.backing_writes += day.backing_writes
             total.writebacks += day.writebacks
+            total.read_errors += day.read_errors
+            total.write_errors += day.write_errors
+            total.bypass_accesses += day.bypass_accesses
         return total
 
     def minute_series(self) -> List[Tuple[int, MinuteIO]]:

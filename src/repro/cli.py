@@ -36,6 +36,30 @@ from repro.traces.store import load_or_generate_columnar
 from repro.traces.streams import daily_block_counts
 
 
+def _positive_float(text: str) -> float:
+    """argparse type: a strictly positive float (clean exit-2 otherwise)."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number")
+    if not value > 0:
+        raise argparse.ArgumentTypeError(
+            f"must be > 0, got {text}"
+        )
+    return value
+
+
+def _positive_int(text: str) -> int:
+    """argparse type: a strictly positive integer (clean exit-2 otherwise)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {text}")
+    return value
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -89,9 +113,36 @@ def _build_parser() -> argparse.ArgumentParser:
         "wall seconds, retries, worker pid, and outcome",
     )
     sim.add_argument(
-        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        "--task-timeout", type=_positive_float, default=None,
+        metavar="SECONDS",
         help="per-policy task timeout for --jobs runs (one retry, then "
         "a structured failure record; default: wait forever)",
+    )
+    sim.add_argument(
+        "--epoch-seconds", type=_positive_float, default=None,
+        metavar="SECONDS",
+        help="epoch length for the discrete policies (default: one day)",
+    )
+    sim.add_argument(
+        "--fault-plan", metavar="FILE", default=None,
+        help="inject device faults from a JSON fault plan "
+        "(see repro.faults.FaultPlan)",
+    )
+    sim.add_argument(
+        "--checkpoint", metavar="FILE", default=None,
+        help="periodically write a crash-consistent checkpoint of the "
+        "simulation state (single policy, --jobs 1 only)",
+    )
+    sim.add_argument(
+        "--checkpoint-every", type=_positive_int, default=None,
+        metavar="N",
+        help="requests between checkpoints (default: 100000)",
+    )
+    sim.add_argument(
+        "--resume", metavar="FILE", default=None,
+        help="resume a checkpointed run to completion (the trace is "
+        "regenerated from the checkpoint's stored trace arguments; "
+        "other trace/policy options are ignored)",
     )
 
     skew = sub.add_parser("skew", help="Figure-2 popularity analysis")
@@ -166,8 +217,19 @@ def _print_simulation_report(name: str, result, requests: int) -> None:
     )
     print(
         f"simulated in {result.wall_seconds:.2f}s "
-        f"({blocks_per_sec:,.0f} blocks/sec)\n"
+        f"({blocks_per_sec:,.0f} blocks/sec)"
     )
+    stats = result.stats
+    if (stats.degraded_seconds or stats.bypass_seconds
+            or total.read_errors or total.write_errors):
+        print(
+            f"device health: degraded {stats.degraded_seconds:,.0f}s, "
+            f"bypass {stats.bypass_seconds:,.0f}s, "
+            f"read errors {total.read_errors:,}, "
+            f"write errors {total.write_errors:,}, "
+            f"bypassed accesses {total.bypass_accesses:,}"
+        )
+    print()
 
 
 def _print_outcome_table(results) -> None:
@@ -193,16 +255,126 @@ def _print_outcome_table(results) -> None:
     print()
 
 
+def _load_fault_plan(args):
+    """Returns ``(plan_or_None, exit_code_or_None)``."""
+    if not args.fault_plan:
+        return None, None
+    from repro.faults import FaultPlan
+
+    try:
+        return FaultPlan.load_json(args.fault_plan), None
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        print(
+            f"error: cannot load fault plan {args.fault_plan}: {exc}",
+            file=sys.stderr,
+        )
+        return None, 2
+
+
+def _save_result_json(result, path: str) -> None:
+    from repro.sim.serialize import save_result
+
+    save_result(result, path)
+    print(f"result written to {path}")
+
+
+def _cmd_resume(args) -> int:
+    """``simulate --resume``: finish a checkpointed run."""
+    import os
+
+    from repro.sim.serialize import CheckpointError, load_checkpoint
+
+    if not os.path.exists(args.resume):
+        print(
+            f"error: --resume path {args.resume} does not exist",
+            file=sys.stderr,
+        )
+        return 2
+    from repro.sim import resume_simulation
+
+    try:
+        payload = load_checkpoint(args.resume)
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    context = payload.get("context") or {}
+    trace_args = context.get("trace")
+    if trace_args is None:
+        print(
+            "error: checkpoint carries no trace context; resume via "
+            "repro.sim.resume_simulation with the original trace",
+            file=sys.stderr,
+        )
+        return 2
+    trace, _days, columns = _load_trace(argparse.Namespace(**trace_args))
+    try:
+        result = resume_simulation(
+            args.resume,
+            columns if columns is not None else trace,
+            checkpoint_path=args.checkpoint,
+        )
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    _print_simulation_report(result.policy_name, result, len(trace))
+    if args.json:
+        _save_result_json(result, args.json)
+    return 0
+
+
+def _cmd_checkpointed_simulate(args, ctx, name, fault_plan, requests) -> int:
+    """``simulate --checkpoint``: single-policy run with checkpointing."""
+    context = {
+        "trace": {
+            "msr_csv": args.msr_csv,
+            "scale": args.scale,
+            "days": args.days,
+            "seed": args.seed,
+            "no_trace_cache": args.no_trace_cache,
+        },
+        "policy": name,
+        "fault_plan": fault_plan.to_dict() if fault_plan is not None else None,
+    }
+    result = run_policy(
+        name, ctx, track_minutes=False, fast_path=args.fast,
+        fault_plan=fault_plan, epoch_seconds=args.epoch_seconds,
+        checkpoint_path=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_context=context,
+    )
+    _print_simulation_report(name, result, requests)
+    if args.json:
+        _save_result_json(result, args.json)
+    return 0
+
+
 def _cmd_simulate(args) -> int:
+    if args.resume:
+        return _cmd_resume(args)
+    fault_plan, code = _load_fault_plan(args)
+    if code is not None:
+        return code
     trace, days, columns = _load_trace(args)
     names = list(dict.fromkeys(args.policies or ["sievestore-c"]))
     ctx = context_for_trace(
         trace, days=days, scale=args.scale, columnar=columns
     )
+    if args.checkpoint:
+        if len(names) != 1 or args.jobs != 1:
+            print(
+                "error: --checkpoint requires a single --policy and "
+                "--jobs 1",
+                file=sys.stderr,
+            )
+            return 2
+        return _cmd_checkpointed_simulate(
+            args, ctx, names[0], fault_plan, len(trace)
+        )
     jobs = None if args.jobs == 0 else args.jobs
     results = run_policy_suite(
         ctx, names, track_minutes=False, fast_path=args.fast, jobs=jobs,
         task_timeout=args.task_timeout,
+        fault_plan=fault_plan, epoch_seconds=args.epoch_seconds,
     )
     for name in names:
         if name in results:

@@ -30,6 +30,7 @@ from repro.cache.allocation import AllocationPolicy
 from repro.cache.block_cache import BlockCache
 from repro.cache.stats import CacheStats
 from repro.cache.write_policy import DirtyTracker, WriteMode
+from repro.faults.injector import DeviceHealth, FaultInjector
 from repro.util.units import blocks_to_io_units
 
 
@@ -77,6 +78,29 @@ class SieveStoreAppliance:
             on eviction, coalescing repeated writes to hot blocks).
             Only backing-store accounting differs; the SSD-side figures
             are identical in both modes.
+        faults: optional :class:`~repro.faults.injector.FaultInjector`
+            driving the device-health state machine.  With ``None`` (the
+            default) every fault path is skipped entirely and the
+            appliance behaves byte-identically to earlier revisions.
+
+    Device-health state machine (``faults`` present):
+
+    * ``HEALTHY`` — normal operation.
+    * ``DEGRADED`` — transient errors / latency degradation: an SSD
+      read that errors falls back to the backing ensemble (counted as a
+      miss plus ``read_errors``; the block stays resident), an SSD
+      write that errors invalidates the frame and routes the write to
+      the ensemble (``write_errors``), and a failed allocation write
+      suppresses the insert.  The sieve keeps observing throughout.
+    * ``BYPASS`` — the device is gone (outage or wear-out): on entry
+      dirty blocks are force-flushed (write-back correctness) and the
+      cache contents dropped; every request passes straight through to
+      the ensemble, while the sieve keeps counting misses so blocks
+      re-earn allocation after recovery.
+
+    Epoch batch moves are background, retriable transfers, so they are
+    not subject to per-operation transient errors — but they do count
+    toward endurance wear, and are suppressed entirely in BYPASS.
     """
 
     def __init__(
@@ -87,6 +111,7 @@ class SieveStoreAppliance:
         batch_moves_staggered: bool = True,
         write_mode: WriteMode = WriteMode.WRITE_THROUGH,
         epoch_seconds: float = 86400.0,
+        faults: Optional[FaultInjector] = None,
     ):
         self.cache = cache
         self.policy = policy
@@ -95,6 +120,8 @@ class SieveStoreAppliance:
         self.write_mode = write_mode
         self.epoch_seconds = float(epoch_seconds)
         self.dirty = DirtyTracker()
+        self.faults = faults
+        self.health = DeviceHealth.HEALTHY
 
     def begin_day(self, day: int) -> int:
         """Apply the policy's epoch batch for epoch ``day``; returns blocks moved in.
@@ -105,6 +132,13 @@ class SieveStoreAppliance:
         when staggered — the paper's assumption that moves ride idle
         bandwidth).
         """
+        if self.faults is not None:
+            self._update_health(float(day) * self.epoch_seconds)
+            if self.health is DeviceHealth.BYPASS:
+                # The device is gone: the policy's epoch state must
+                # still advance, but nothing can be installed.
+                self.policy.epoch_boundary(day)
+                return 0
         batch = self.policy.epoch_boundary(day)
         if batch is None:
             return 0
@@ -128,6 +162,8 @@ class SieveStoreAppliance:
                 self.stats.record_ssd_io(
                     boundary_time, blocks_to_io_units(inserted), is_write=True
                 )
+            if self.faults is not None:
+                self.faults.record_ssd_write(boundary_time, inserted)
         return inserted
 
     def process_request(self, request) -> RequestOutcome:
@@ -136,6 +172,8 @@ class SieveStoreAppliance:
         Returns the per-request outcome; statistics are accumulated into
         ``self.stats`` as a side effect.
         """
+        if self.faults is not None:
+            return self._process_request_faulty(request)
         cache = self.cache
         policy = self.policy
         stats = self.stats
@@ -197,6 +235,135 @@ class SieveStoreAppliance:
         if hit_blocks:
             io_units = blocks_to_io_units(hit_blocks)
             stats.record_ssd_io(issue, io_units, is_write=is_write)
+        return RequestOutcome(
+            hit_blocks=hit_blocks,
+            miss_blocks=n - hit_blocks,
+            allocated_blocks=allocated,
+        )
+
+    def _update_health(self, time: float) -> None:
+        """Walk the device-health state machine at ``time``.
+
+        Entering BYPASS models whole-device data loss: dirty blocks are
+        force-flushed first (correctness-preserving under write-back; a
+        no-op under write-through) and the cache contents dropped, so a
+        recovered device starts cold and the sieve re-earns allocations.
+        """
+        new = self.faults.health_at(time)
+        if new is self.health:
+            return
+        if new is DeviceHealth.BYPASS:
+            self.flush_dirty(time)
+            self.cache.clear()
+        self.health = new
+
+    def _process_request_faulty(self, request) -> RequestOutcome:
+        """Fault-aware twin of :meth:`process_request`.
+
+        Kept as a separate method so the no-fault hot path above stays
+        textually untouched: a run without a fault plan is guaranteed
+        byte-identical to earlier revisions.
+        """
+        faults = self.faults
+        cache = self.cache
+        policy = self.policy
+        stats = self.stats
+        is_write = request.is_write
+        issue = request.issue_time
+        span = request.completion_time - issue
+        n = request.block_count
+
+        self._update_health(issue)
+
+        if self.health is DeviceHealth.BYPASS:
+            # Pass-through: every block misses the (empty) cache.  The
+            # sieve still observes and miss-counts so blocks re-earn
+            # allocation after recovery, but nothing is installed.
+            for address in request.addresses():
+                policy.observe(address, is_write, issue, False)
+                stats.record_miss(issue, is_write)
+                policy.wants(address, is_write, issue)
+                stats.record_bypass_access(issue)
+            if is_write:
+                stats.record_backing_write(issue, blocks=n)
+            return RequestOutcome(
+                hit_blocks=0, miss_blocks=n, allocated_blocks=0
+            )
+
+        degraded = self.health is DeviceHealth.DEGRADED
+        write_back = self.write_mode is WriteMode.WRITE_BACK
+        hit_blocks = 0
+        allocated = 0
+        backing_writes = 0
+        for offset, address in enumerate(request.addresses()):
+            hit = cache.access(address)
+            if hit and degraded:
+                if is_write and faults.write_fails(issue):
+                    # The frame no longer holds valid data: invalidate
+                    # it and let the ensemble take the write (the new
+                    # data supersedes any dirty content block-wholly).
+                    stats.record_write_error(issue)
+                    stats.record_miss(issue, is_write)
+                    cache.discard(address)
+                    if write_back:
+                        self.dirty.clean(address)
+                    policy.observe(address, is_write, issue, False)
+                    backing_writes += 1
+                    continue
+                if not is_write and faults.read_fails(issue):
+                    # Fall back to the backing ensemble; the block stays
+                    # resident and may serve the next access.
+                    stats.record_read_error(issue)
+                    stats.record_miss(issue, is_write)
+                    policy.observe(address, is_write, issue, False)
+                    continue
+            policy.observe(address, is_write, issue, hit)
+            if hit:
+                hit_blocks += 1
+                stats.record_hit(issue, is_write)
+                if is_write:
+                    faults.record_ssd_write(issue, 1)
+                    if write_back:
+                        self.dirty.mark(address)
+                    else:
+                        backing_writes += 1
+                continue
+            stats.record_miss(issue, is_write)
+            allocate = policy.wants(address, is_write, issue)
+            if allocate and not cache.peek(address):
+                completion = issue + span * ((offset + 1) / n)
+                if degraded and faults.write_fails(completion):
+                    # The allocation write errored: suppress the insert;
+                    # the sieve keeps observing, so the block can earn a
+                    # frame again once the device behaves.
+                    stats.record_write_error(completion)
+                else:
+                    victim = cache.insert(address)
+                    allocated += 1
+                    stats.record_allocation_write(completion)
+                    faults.record_ssd_write(completion, 1)
+                    if victim is not None and self.dirty.clean(victim):
+                        stats.record_backing_write(
+                            completion, is_writeback=True
+                        )
+                    if is_write and write_back:
+                        self.dirty.mark(address)
+                        continue
+            if is_write:
+                backing_writes += 1
+
+        if backing_writes:
+            stats.record_backing_write(issue, blocks=backing_writes)
+        if allocated:
+            stats.record_ssd_io(
+                request.completion_time,
+                blocks_to_io_units(allocated),
+                is_write=True,
+            )
+        if hit_blocks:
+            stats.record_ssd_io(
+                issue, blocks_to_io_units(hit_blocks), is_write=is_write
+            )
         return RequestOutcome(
             hit_blocks=hit_blocks,
             miss_blocks=n - hit_blocks,

@@ -25,6 +25,11 @@ from repro.util.intervals import SECONDS_PER_HOUR
 DEFAULT_WINDOW_SECONDS = 8 * SECONDS_PER_HOUR
 #: The paper's tuned subwindow count (four 2-hour subwindows).
 DEFAULT_SUBWINDOWS = 4
+#: Per-slot ceiling: the paper's metastate budget assumes 8-bit counters
+#: (see ``MetastateBudget.counter_bytes``), so counts clamp at 255.
+#: Admission thresholds are single-digit, so clamping never changes a
+#: sieving decision — it only bounds the bits a hardware table needs.
+COUNTER_SATURATION = 255
 
 
 @dataclass
@@ -93,7 +98,8 @@ class SubwindowCounter:
             )
         if subwindow != self._last_subwindow:
             self._advance(subwindow)
-        self._counts[subwindow % len(self._counts)] += amount
+        slot = subwindow % len(self._counts)
+        self._counts[slot] = min(self._counts[slot] + amount, COUNTER_SATURATION)
         return self.total(subwindow)
 
     def total(self, subwindow: int) -> int:

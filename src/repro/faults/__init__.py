@@ -1,0 +1,33 @@
+"""Device-fault modeling: declarative plans plus the runtime injector.
+
+The paper's appliance is transparent: the ensemble keeps serving when
+the SSD misbehaves.  This package models that misbehaviour —
+
+* :class:`FaultPlan` / :class:`ErrorWindow` / :class:`LatencyWindow` /
+  :class:`OutageWindow`: declarative, JSON round-trippable schedules of
+  transient errors, latency degradation, whole-device outages, and
+  endurance wear-out;
+* :class:`FaultInjector`: the per-run stateful driver the appliance
+  queries (deterministic, picklable, checkpoint-safe);
+* :class:`DeviceHealth`: the HEALTHY → DEGRADED → BYPASS state machine
+  the appliance walks.
+"""
+
+from repro.faults.injector import DeviceHealth, FaultInjector
+from repro.faults.plan import (
+    PLAN_SCHEMA_VERSION,
+    ErrorWindow,
+    FaultPlan,
+    LatencyWindow,
+    OutageWindow,
+)
+
+__all__ = [
+    "PLAN_SCHEMA_VERSION",
+    "DeviceHealth",
+    "ErrorWindow",
+    "FaultInjector",
+    "FaultPlan",
+    "LatencyWindow",
+    "OutageWindow",
+]

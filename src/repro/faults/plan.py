@@ -1,0 +1,266 @@
+"""Declarative device-fault plans for the simulated SSD.
+
+The paper deploys SieveStore as a *transparent* appliance (Section 4,
+Figure 4): when the cache device misbehaves, the ensemble below it must
+keep serving.  A :class:`FaultPlan` is the declarative schedule of
+everything that can go wrong with the simulated device over one run:
+
+* **transient error windows** — intervals during which individual SSD
+  reads or writes fail (always, or with a seeded per-operation
+  probability);
+* **latency-degradation windows** — intervals during which the device
+  is slow enough that the appliance counts itself DEGRADED (observable
+  in :attr:`repro.cache.stats.CacheStats.degraded_seconds`);
+* **outage windows** — whole-device failures, with an optional recovery
+  time (``end=None`` never recovers);
+* **endurance wear-out** — a cumulative SSD-write-byte budget (fed by
+  the :attr:`repro.ssd.device.SSDModel.endurance_bytes` accounting)
+  past which the device fails permanently.
+
+Plans are immutable, validated on construction, JSON round-trippable
+(the CLI's ``--fault-plan FILE``), and content-fingerprinted so run
+manifests can record exactly which plan drove a task.  An empty plan is
+guaranteed to leave simulation output byte-identical to a run without
+any plan at all.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+#: Bump on plan-schema changes; loaders refuse unknown versions.
+PLAN_SCHEMA_VERSION = 1
+
+#: Error-window kinds.
+READ = "read"
+WRITE = "write"
+
+
+@dataclass(frozen=True)
+class ErrorWindow:
+    """Transient per-operation SSD errors inside ``[start, end)``.
+
+    ``probability`` is the chance that one block-level operation of the
+    window's ``kind`` fails; draws come from the plan's seeded RNG, so
+    runs are deterministic and checkpoint/resume-safe.
+    """
+
+    start: float
+    end: float
+    kind: str  # READ or WRITE
+    probability: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in (READ, WRITE):
+            raise ValueError(f"error kind must be 'read' or 'write', got {self.kind!r}")
+        if not self.start < self.end:
+            raise ValueError(f"empty error window [{self.start}, {self.end})")
+        if self.start < 0:
+            raise ValueError(f"window start must be non-negative, got {self.start}")
+        if not 0 < self.probability <= 1:
+            raise ValueError(f"probability must be in (0, 1], got {self.probability}")
+
+    def contains(self, time: float) -> bool:
+        return self.start <= time < self.end
+
+
+@dataclass(frozen=True)
+class LatencyWindow:
+    """Device slow-down inside ``[start, end)``: service times x ``factor``."""
+
+    start: float
+    end: float
+    factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if not self.start < self.end:
+            raise ValueError(f"empty latency window [{self.start}, {self.end})")
+        if self.start < 0:
+            raise ValueError(f"window start must be non-negative, got {self.start}")
+        if self.factor < 1.0:
+            raise ValueError(f"latency factor must be >= 1, got {self.factor}")
+
+    def contains(self, time: float) -> bool:
+        return self.start <= time < self.end
+
+
+@dataclass(frozen=True)
+class OutageWindow:
+    """Whole-device failure from ``start`` until ``end`` (None = forever)."""
+
+    start: float
+    end: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError(f"outage start must be non-negative, got {self.start}")
+        if self.end is not None and not self.start < self.end:
+            raise ValueError(f"empty outage window [{self.start}, {self.end})")
+
+    def contains(self, time: float) -> bool:
+        return self.start <= time and (self.end is None or time < self.end)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """The full fault schedule for one simulated device (see module docs)."""
+
+    errors: Tuple[ErrorWindow, ...] = ()
+    latency: Tuple[LatencyWindow, ...] = ()
+    outages: Tuple[OutageWindow, ...] = ()
+    #: cumulative SSD write bytes after which the device is worn out
+    #: (permanent failure); ``None`` disables wear-out.
+    wearout_bytes: Optional[float] = None
+    #: seed for probabilistic error draws.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        # Coerce lists (e.g. from from_dict) into the frozen tuple form.
+        object.__setattr__(self, "errors", tuple(self.errors))
+        object.__setattr__(self, "latency", tuple(self.latency))
+        object.__setattr__(self, "outages", tuple(self.outages))
+        if self.wearout_bytes is not None and self.wearout_bytes <= 0:
+            raise ValueError(
+                f"wearout_bytes must be positive, got {self.wearout_bytes}"
+            )
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the plan schedules nothing (byte-identical runs)."""
+        return (
+            not self.errors
+            and not self.latency
+            and not self.outages
+            and self.wearout_bytes is None
+        )
+
+    # -- construction helpers ---------------------------------------------
+    @classmethod
+    def from_endurance(
+        cls, device, fraction: float = 1.0, seed: int = 0
+    ) -> "FaultPlan":
+        """Wear-out-only plan at a fraction of a device's endurance budget.
+
+        ``device`` is a :class:`repro.ssd.device.SSDModel`; the threshold
+        comes from :func:`repro.ssd.endurance.wearout_threshold_bytes`.
+        """
+        from repro.ssd.endurance import wearout_threshold_bytes
+
+        return cls(wearout_bytes=wearout_threshold_bytes(device, fraction), seed=seed)
+
+    # -- degraded/bypass interval arithmetic -------------------------------
+    def bypass_intervals(
+        self, duration: float, worn_out_at: Optional[float] = None
+    ) -> List[Tuple[float, float]]:
+        """Disjoint intervals (clipped to ``[0, duration]``) with the
+        device fully failed: outages plus post-wear-out time."""
+        raw = [
+            (w.start, duration if w.end is None else min(w.end, duration))
+            for w in self.outages
+        ]
+        if worn_out_at is not None:
+            raw.append((worn_out_at, duration))
+        return _union([(max(0.0, s), min(e, duration)) for s, e in raw if s < e])
+
+    def degraded_intervals(
+        self, duration: float, worn_out_at: Optional[float] = None
+    ) -> List[Tuple[float, float]]:
+        """Disjoint degraded intervals: error/latency windows minus any
+        overlapping bypass time (bypass dominates degraded)."""
+        raw = [(w.start, min(w.end, duration)) for w in self.errors]
+        raw += [(w.start, min(w.end, duration)) for w in self.latency]
+        degraded = _union([(s, e) for s, e in raw if s < e])
+        return _subtract(degraded, self.bypass_intervals(duration, worn_out_at))
+
+    # -- serialization -----------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-JSON form (inverse of :meth:`from_dict`)."""
+        return {
+            "schema_version": PLAN_SCHEMA_VERSION,
+            "seed": self.seed,
+            "wearout_bytes": self.wearout_bytes,
+            "errors": [
+                {
+                    "start": w.start,
+                    "end": w.end,
+                    "kind": w.kind,
+                    "probability": w.probability,
+                }
+                for w in self.errors
+            ],
+            "latency": [
+                {"start": w.start, "end": w.end, "factor": w.factor}
+                for w in self.latency
+            ],
+            "outages": [
+                {"start": w.start, "end": w.end} for w in self.outages
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultPlan":
+        version = payload.get("schema_version")
+        if version != PLAN_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported fault-plan schema version {version!r} "
+                f"(expected {PLAN_SCHEMA_VERSION})"
+            )
+        return cls(
+            errors=tuple(ErrorWindow(**w) for w in payload.get("errors", ())),
+            latency=tuple(LatencyWindow(**w) for w in payload.get("latency", ())),
+            outages=tuple(OutageWindow(**w) for w in payload.get("outages", ())),
+            wearout_bytes=payload.get("wearout_bytes"),
+            seed=payload.get("seed", 0),
+        )
+
+    def save_json(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+
+    @classmethod
+    def load_json(cls, path: Union[str, Path]) -> "FaultPlan":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    def fingerprint(self) -> str:
+        """Short content hash, recorded per task in run manifests."""
+        encoded = json.dumps(self.to_dict(), sort_keys=True).encode()
+        return hashlib.sha256(encoded).hexdigest()[:16]
+
+
+def _union(intervals: List[Tuple[float, float]]) -> List[Tuple[float, float]]:
+    """Merge possibly-overlapping half-open intervals into disjoint ones."""
+    merged: List[Tuple[float, float]] = []
+    for start, end in sorted(intervals):
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def _subtract(
+    intervals: List[Tuple[float, float]], holes: List[Tuple[float, float]]
+) -> List[Tuple[float, float]]:
+    """Remove ``holes`` (disjoint, sorted) from disjoint sorted intervals."""
+    result: List[Tuple[float, float]] = []
+    for start, end in intervals:
+        cursor = start
+        for hole_start, hole_end in holes:
+            if hole_end <= cursor or hole_start >= end:
+                continue
+            if hole_start > cursor:
+                result.append((cursor, hole_start))
+            cursor = max(cursor, hole_end)
+            if cursor >= end:
+                break
+        if cursor < end:
+            result.append((cursor, end))
+    return result
+
+
+def total_seconds(intervals: List[Tuple[float, float]]) -> float:
+    """Sum of interval lengths."""
+    return sum(end - start for start, end in intervals)

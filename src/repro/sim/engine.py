@@ -32,7 +32,8 @@ import time as _time
 import warnings
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import List, Union
+from pathlib import Path
+from typing import List, Optional, Union
 
 from repro.cache.allocation import AllocationPolicy
 from repro.cache.block_cache import BlockCache
@@ -40,6 +41,8 @@ from repro.cache.replacement import make_replacement
 from repro.cache.stats import CacheStats
 from repro.cache.write_policy import WriteMode
 from repro.core.appliance import SieveStoreAppliance
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.traces.columnar import ColumnarTrace, as_columnar, as_object_trace
 from repro.traces.model import Trace
 from repro.util.intervals import SECONDS_PER_DAY
@@ -49,15 +52,26 @@ from repro.util.intervals import SECONDS_PER_DAY
 #: sweep over many unsupported configurations warns exactly once.
 _FALLBACK_WARNED = False
 
+#: Default request interval between checkpoints when a checkpoint path
+#: is given without an explicit cadence.
+DEFAULT_CHECKPOINT_EVERY = 100_000
 
-def _warn_fast_path_fallback(replacement: str, write_mode: WriteMode) -> None:
+
+def _warn_fast_path_fallback(
+    replacement: str,
+    write_mode: WriteMode,
+    fault_plan: Optional[FaultPlan] = None,
+) -> None:
     global _FALLBACK_WARNED
     if _FALLBACK_WARNED:
         return
     _FALLBACK_WARNED = True
+    detail = f"replacement={replacement!r}, write_mode={write_mode.name}"
+    if fault_plan is not None:
+        detail += ", fault plan active"
     warnings.warn(
         "fast_path=True fell back to the reference object engine "
-        f"(replacement={replacement!r}, write_mode={write_mode.name}); "
+        f"({detail}); "
         "results are identical but slower.  Check SimulationResult.engine "
         "to see which engine ran — further fallbacks will not warn.",
         RuntimeWarning,
@@ -109,6 +123,153 @@ def total_epoch_count(days: int, epoch_seconds: float) -> int:
     )
 
 
+def _fingerprint_object(object_trace: Trace) -> dict:
+    """Cheap identity check tying a checkpoint to its trace."""
+    requests = object_trace.requests
+    if not requests:
+        return {"requests": 0, "first_issue": None, "last_issue": None}
+    return {
+        "requests": len(requests),
+        "first_issue": float(requests[0].issue_time),
+        "last_issue": float(requests[-1].issue_time),
+    }
+
+
+def _fingerprint_columnar(columns: ColumnarTrace) -> dict:
+    n = len(columns.issue_time)
+    if not n:
+        return {"requests": 0, "first_issue": None, "last_issue": None}
+    return {
+        "requests": n,
+        "first_issue": float(columns.issue_time[0]),
+        "last_issue": float(columns.issue_time[-1]),
+    }
+
+
+def _checkpoint_config(
+    capacity_blocks: int,
+    days: int,
+    replacement: str,
+    replacement_seed: int,
+    track_minutes: bool,
+    batch_moves_staggered: bool,
+    write_mode: WriteMode,
+    epoch_seconds: float,
+    total_epochs: int,
+    checkpoint_every: int,
+) -> dict:
+    return {
+        "capacity_blocks": capacity_blocks,
+        "days": days,
+        "replacement": replacement,
+        "replacement_seed": replacement_seed,
+        "track_minutes": track_minutes,
+        "batch_moves_staggered": batch_moves_staggered,
+        "write_mode": write_mode.name,
+        "epoch_seconds": epoch_seconds,
+        "total_epochs": total_epochs,
+        "checkpoint_every": checkpoint_every,
+    }
+
+
+def _object_checkpointer(
+    target, appliance, config, fingerprint, context, started, base_elapsed
+):
+    """Checkpoint callback for the object engine: the whole appliance
+    (cache + policy + stats + dirty tracker + fault injector) pickles
+    as one graph, so a single field captures every piece of state."""
+    from repro.sim import serialize  # deferred: serialize imports this module
+
+    def checkpointer(cursor: int, current_epoch: int) -> None:
+        serialize.save_checkpoint(
+            {
+                "engine": "object",
+                "cursor": cursor,
+                "current_epoch": current_epoch,
+                "policy_name": appliance.policy.name,
+                "elapsed": base_elapsed + (_time.perf_counter() - started),
+                "config": config,
+                "trace_fingerprint": fingerprint,
+                "context": context,
+                "appliance": appliance,
+            },
+            target,
+        )
+
+    return checkpointer
+
+
+def _fast_checkpointer(
+    target, policy, cache, stats, config, fingerprint, context, started, base_elapsed
+):
+    """Checkpoint callback for the fast engine.  ``simulate_fast``
+    resyncs the cache's resident set before invoking it, so pickling
+    the three objects captures the exact reference-equivalent state."""
+    from repro.sim import serialize  # deferred: serialize imports this module
+
+    def checkpointer(cursor: int, current_epoch: int) -> None:
+        serialize.save_checkpoint(
+            {
+                "engine": "fast",
+                "cursor": cursor,
+                "current_epoch": current_epoch,
+                "policy_name": policy.name,
+                "elapsed": base_elapsed + (_time.perf_counter() - started),
+                "config": config,
+                "trace_fingerprint": fingerprint,
+                "context": context,
+                "policy": policy,
+                "cache": cache,
+                "stats": stats,
+            },
+            target,
+        )
+
+    return checkpointer
+
+
+def _run_object_loop(
+    appliance: SieveStoreAppliance,
+    requests,
+    epoch_seconds: float,
+    total_epochs: int,
+    days: int,
+    start_index: int = 0,
+    start_epoch: int = -1,
+    checkpoint_every: Optional[int] = None,
+    checkpointer=None,
+) -> None:
+    """The reference request loop, shared by fresh runs and resumes."""
+    current_epoch = start_epoch
+    for index in range(start_index, len(requests)):
+        request = requests[index]
+        request_epoch = int(request.issue_time // epoch_seconds)
+        while current_epoch < request_epoch:
+            current_epoch += 1
+            appliance.begin_day(current_epoch)
+        appliance.process_request(request)
+        if checkpoint_every is not None and (index + 1) % checkpoint_every == 0:
+            checkpointer(index + 1, current_epoch)
+    # Fire any remaining boundaries so discrete policies finish their
+    # final epoch bookkeeping (no accesses follow, so no hits change).
+    while current_epoch < total_epochs - 1:
+        current_epoch += 1
+        appliance.begin_day(current_epoch)
+    appliance.flush_dirty(time=float(days) * SECONDS_PER_DAY - 1.0)
+
+
+def _finalize_faults(
+    stats: CacheStats, faults: Optional[FaultInjector], days: int
+) -> None:
+    """Assign (not accumulate) degraded/bypass wall time, so finalizing
+    after a resume cannot double-count."""
+    if faults is None:
+        return
+    degraded, bypass = faults.time_in_states(float(days) * SECONDS_PER_DAY)
+    stats.degraded_seconds = degraded
+    stats.bypass_seconds = bypass
+
+
 def simulate(
     trace: Union[Trace, ColumnarTrace],
     policy: AllocationPolicy,
@@ -121,6 +282,10 @@ def simulate(
     write_mode: WriteMode = WriteMode.WRITE_THROUGH,
     epoch_seconds: float = float(SECONDS_PER_DAY),
     fast_path: bool = False,
+    fault_plan: Optional[FaultPlan] = None,
+    checkpoint_path: Optional[Union[str, Path]] = None,
+    checkpoint_every: Optional[int] = None,
+    checkpoint_context: Optional[dict] = None,
 ) -> SimulationResult:
     """Run one allocation policy over a trace.
 
@@ -153,23 +318,77 @@ def simulate(
             transparently fall back to the object path; the fallback is
             recorded in :attr:`SimulationResult.engine` and warned
             about once per process.
+        fault_plan: optional device-fault schedule
+            (:class:`~repro.faults.plan.FaultPlan`).  An empty plan is
+            treated exactly like ``None`` (byte-identical output); a
+            non-empty plan routes to the object engine, which drives
+            the appliance's device-health state machine.
+        checkpoint_path: if given, crash-consistent checkpoints are
+            written here every ``checkpoint_every`` requests; resume
+            with :func:`resume_simulation` for bit-identical final
+            statistics.
+        checkpoint_every: requests between checkpoints (default
+            :data:`DEFAULT_CHECKPOINT_EVERY` when a path is given).
+        checkpoint_context: opaque dict stored verbatim inside each
+            checkpoint (the CLI records its trace arguments here so
+            ``--resume`` can regenerate the trace).
     """
     if epoch_seconds <= 0:
         raise ValueError(f"epoch_seconds must be positive, got {epoch_seconds}")
     total_epochs = total_epoch_count(days, epoch_seconds)
+    if fault_plan is not None and fault_plan.is_empty:
+        fault_plan = None
+    if checkpoint_every is not None and checkpoint_every <= 0:
+        raise ValueError(
+            f"checkpoint_every must be positive, got {checkpoint_every}"
+        )
+    if checkpoint_path is not None and checkpoint_every is None:
+        checkpoint_every = DEFAULT_CHECKPOINT_EVERY
+    if checkpoint_path is None:
+        checkpoint_every = None
 
     use_fast = (
         fast_path
         and replacement == "lru"
         and write_mode is WriteMode.WRITE_THROUGH
+        and fault_plan is None
     )
     if fast_path and not use_fast:
-        _warn_fast_path_fallback(replacement, write_mode)
+        _warn_fast_path_fallback(replacement, write_mode, fault_plan)
     if use_fast:
         from repro.sim.fast_engine import simulate_fast
 
         columns = as_columnar(trace)
+        stats = CacheStats(days=days, track_minutes=track_minutes)
+        cache = BlockCache(
+            capacity_blocks,
+            replacement=make_replacement(replacement, seed=replacement_seed),
+        )
         started = _time.perf_counter()
+        checkpointer = None
+        if checkpoint_path is not None:
+            checkpointer = _fast_checkpointer(
+                str(checkpoint_path),
+                policy,
+                cache,
+                stats,
+                _checkpoint_config(
+                    capacity_blocks,
+                    days,
+                    replacement,
+                    replacement_seed,
+                    track_minutes,
+                    batch_moves_staggered,
+                    write_mode,
+                    epoch_seconds,
+                    total_epochs,
+                    checkpoint_every,
+                ),
+                _fingerprint_columnar(columns),
+                checkpoint_context,
+                started,
+                0.0,
+            )
         stats, cache = simulate_fast(
             columns,
             policy,
@@ -179,6 +398,10 @@ def simulate(
             batch_moves_staggered=batch_moves_staggered,
             epoch_seconds=epoch_seconds,
             total_epochs=total_epochs,
+            stats=stats,
+            cache=cache,
+            checkpoint_every=checkpoint_every,
+            checkpointer=checkpointer,
         )
         wall = _time.perf_counter() - started
         stats.check_consistency()
@@ -203,24 +426,44 @@ def simulate(
         batch_moves_staggered=batch_moves_staggered,
         write_mode=write_mode,
         epoch_seconds=epoch_seconds,
+        faults=FaultInjector(fault_plan) if fault_plan is not None else None,
     )
 
     started = _time.perf_counter()
-    current_epoch = -1
-    for request in object_trace:
-        request_epoch = int(request.issue_time // epoch_seconds)
-        while current_epoch < request_epoch:
-            current_epoch += 1
-            appliance.begin_day(current_epoch)
-        appliance.process_request(request)
-    # Fire any remaining boundaries so discrete policies finish their
-    # final epoch bookkeeping (no accesses follow, so no hits change).
-    while current_epoch < total_epochs - 1:
-        current_epoch += 1
-        appliance.begin_day(current_epoch)
-    appliance.flush_dirty(time=float(days) * SECONDS_PER_DAY - 1.0)
+    checkpointer = None
+    if checkpoint_path is not None:
+        checkpointer = _object_checkpointer(
+            str(checkpoint_path),
+            appliance,
+            _checkpoint_config(
+                capacity_blocks,
+                days,
+                replacement,
+                replacement_seed,
+                track_minutes,
+                batch_moves_staggered,
+                write_mode,
+                epoch_seconds,
+                total_epochs,
+                checkpoint_every,
+            ),
+            _fingerprint_object(object_trace),
+            checkpoint_context,
+            started,
+            0.0,
+        )
+    _run_object_loop(
+        appliance,
+        object_trace.requests,
+        epoch_seconds,
+        total_epochs,
+        days,
+        checkpoint_every=checkpoint_every,
+        checkpointer=checkpointer,
+    )
     wall = _time.perf_counter() - started
 
+    _finalize_faults(stats, appliance.faults, days)
     stats.check_consistency()
     return SimulationResult(
         policy_name=policy.name,
@@ -229,4 +472,133 @@ def simulate(
         policy=policy,
         wall_seconds=wall,
         engine="object",
+    )
+
+
+def resume_simulation(
+    path: Union[str, Path],
+    trace: Union[Trace, ColumnarTrace, None] = None,
+    checkpoint_path: Optional[Union[str, Path]] = None,
+) -> SimulationResult:
+    """Continue a checkpointed run to completion.
+
+    The final :class:`SimulationResult` carries statistics bit-identical
+    to the uninterrupted run's (per-day *and* per-minute), in whichever
+    engine wrote the checkpoint.  Checkpointing continues at the stored
+    cadence, to ``checkpoint_path`` if given, else back to ``path``.
+
+    Args:
+        path: checkpoint file written by :func:`simulate`.
+        trace: the *same* trace the original run consumed (checked
+            against the checkpoint's trace fingerprint).  Checkpoints
+            do not embed the trace; the CLI regenerates it from the
+            trace arguments stored in the checkpoint context.
+        checkpoint_path: where to keep writing checkpoints (defaults to
+            overwriting ``path``).
+
+    Raises:
+        CheckpointError: unreadable/corrupt/incompatible checkpoint, a
+            missing trace, or a trace that does not match.
+    """
+    from repro.sim.serialize import CheckpointError, load_checkpoint
+
+    payload = load_checkpoint(path)
+    if trace is None:
+        raise CheckpointError(
+            "checkpoints do not embed the trace; pass the original trace "
+            "(the CLI's --resume regenerates it from the checkpoint context)"
+        )
+    config = payload["config"]
+    days = config["days"]
+    epoch_seconds = config["epoch_seconds"]
+    total_epochs = config["total_epochs"]
+    checkpoint_every = config.get("checkpoint_every")
+    target = str(checkpoint_path) if checkpoint_path is not None else str(path)
+    engine_kind = payload["engine"]
+    expected = payload["trace_fingerprint"]
+
+    if engine_kind == "fast":
+        columns = as_columnar(trace)
+        actual = _fingerprint_columnar(columns)
+    else:
+        object_trace = as_object_trace(trace)
+        actual = _fingerprint_object(object_trace)
+    if actual != expected:
+        raise CheckpointError(
+            f"trace does not match checkpoint: expected {expected}, got {actual}"
+        )
+
+    base_elapsed = payload.get("elapsed", 0.0)
+    started = _time.perf_counter()
+    if engine_kind == "object":
+        appliance = payload["appliance"]
+        checkpointer = _object_checkpointer(
+            target,
+            appliance,
+            config,
+            expected,
+            payload.get("context"),
+            started,
+            base_elapsed,
+        )
+        _run_object_loop(
+            appliance,
+            object_trace.requests,
+            epoch_seconds,
+            total_epochs,
+            days,
+            start_index=payload["cursor"],
+            start_epoch=payload["current_epoch"],
+            checkpoint_every=checkpoint_every,
+            checkpointer=checkpointer,
+        )
+        stats = appliance.stats
+        cache = appliance.cache
+        policy = appliance.policy
+        _finalize_faults(stats, appliance.faults, days)
+    elif engine_kind == "fast":
+        from repro.sim.fast_engine import simulate_fast
+
+        policy = payload["policy"]
+        cache = payload["cache"]
+        stats = payload["stats"]
+        checkpointer = _fast_checkpointer(
+            target,
+            policy,
+            cache,
+            stats,
+            config,
+            expected,
+            payload.get("context"),
+            started,
+            base_elapsed,
+        )
+        stats, cache = simulate_fast(
+            columns,
+            policy,
+            capacity_blocks=config["capacity_blocks"],
+            days=days,
+            track_minutes=config["track_minutes"],
+            batch_moves_staggered=config["batch_moves_staggered"],
+            epoch_seconds=epoch_seconds,
+            total_epochs=total_epochs,
+            stats=stats,
+            cache=cache,
+            start_index=payload["cursor"],
+            start_epoch=payload["current_epoch"],
+            checkpoint_every=checkpoint_every,
+            checkpointer=checkpointer,
+        )
+    else:
+        raise CheckpointError(f"unknown checkpoint engine {engine_kind!r}")
+
+    wall = base_elapsed + (_time.perf_counter() - started)
+    stats.check_consistency()
+    return SimulationResult(
+        policy_name=payload["policy_name"],
+        stats=stats,
+        cache=cache,
+        policy=policy,
+        wall_seconds=wall,
+        engine=engine_kind,
     )

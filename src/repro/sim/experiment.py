@@ -200,10 +200,23 @@ def run_policy(
     ctx: ExperimentContext,
     track_minutes: bool = True,
     fast_path: bool = False,
+    fault_plan=None,
+    epoch_seconds: Optional[float] = None,
+    checkpoint_path=None,
+    checkpoint_every: Optional[int] = None,
+    checkpoint_context: Optional[dict] = None,
 ) -> SimulationResult:
-    """Build and simulate one configuration; result is renamed to ``name``."""
+    """Build and simulate one configuration; result is renamed to ``name``.
+
+    ``fault_plan`` (a :class:`~repro.faults.plan.FaultPlan`),
+    ``epoch_seconds``, and the checkpoint arguments are forwarded to
+    :func:`~repro.sim.engine.simulate` unchanged.
+    """
     policy, capacity = build_policy(name, ctx)
     trace = ctx.columnar_trace() if fast_path else ctx.object_trace()
+    extra = {}
+    if epoch_seconds is not None:
+        extra["epoch_seconds"] = epoch_seconds
     result = simulate(
         trace,
         policy,
@@ -211,6 +224,11 @@ def run_policy(
         days=ctx.days,
         track_minutes=track_minutes,
         fast_path=fast_path,
+        fault_plan=fault_plan,
+        checkpoint_path=checkpoint_path,
+        checkpoint_every=checkpoint_every,
+        checkpoint_context=checkpoint_context,
+        **extra,
     )
     result.policy_name = name
     return result
@@ -223,6 +241,10 @@ def run_policy_suite(
     fast_path: bool = False,
     jobs: Optional[int] = 1,
     task_timeout: Optional[float] = None,
+    fault_plan=None,
+    epoch_seconds: Optional[float] = None,
+    checkpoint_dir=None,
+    checkpoint_every: Optional[int] = None,
 ) -> "SuiteRun":
     """Simulate a set of configurations over the same trace.
 
@@ -240,6 +262,13 @@ def run_policy_suite(
     ``suite.ok`` or ``suite.failures`` when robustness matters.
     ``task_timeout`` bounds each parallel task (seconds; one retry
     before a ``"timeout"`` failure record).
+
+    ``fault_plan`` applies the same device-fault schedule to every run;
+    ``checkpoint_dir`` makes each task write crash-consistent
+    checkpoints to ``<dir>/<policy>.ckpt`` every ``checkpoint_every``
+    requests (resume individual tasks with
+    :func:`~repro.sim.engine.resume_simulation`).  Both are recorded
+    per task in the run manifest.
     """
     if jobs is None or jobs > 1:
         from repro.sim.parallel import run_suite_parallel
@@ -251,11 +280,17 @@ def run_policy_suite(
             fast_path=fast_path,
             jobs=jobs,
             task_timeout=task_timeout,
+            fault_plan=fault_plan,
+            epoch_seconds=epoch_seconds,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=checkpoint_every,
         )
     from repro.sim.parallel import run_suite_serial
 
     return run_suite_serial(
-        ctx, names, track_minutes=track_minutes, fast_path=fast_path
+        ctx, names, track_minutes=track_minutes, fast_path=fast_path,
+        fault_plan=fault_plan, epoch_seconds=epoch_seconds,
+        checkpoint_dir=checkpoint_dir, checkpoint_every=checkpoint_every,
     )
 
 

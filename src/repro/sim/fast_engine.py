@@ -103,15 +103,30 @@ def simulate_fast(
     batch_moves_staggered: bool,
     epoch_seconds: float,
     total_epochs: int,
+    stats: "CacheStats" = None,
+    cache: "BlockCache" = None,
+    start_index: int = 0,
+    start_epoch: int = -1,
+    checkpoint_every: int = None,
+    checkpointer=None,
 ) -> Tuple[CacheStats, BlockCache]:
     """Replay ``columns`` through ``policy``; LRU + write-through only.
 
     Returns ``(stats, cache)`` exactly as the reference path would have
     left them (same counters, same resident set, same LRU order).
+
+    Checkpoint/resume: passing ``stats``/``cache``/``start_index``/
+    ``start_epoch`` (all restored from one checkpoint) continues a run
+    mid-trace; ``checkpointer(cursor, current_epoch)`` is invoked every
+    ``checkpoint_every`` requests with the cache's resident set already
+    resynced, so the callback can pickle ``policy``/``cache``/``stats``
+    as-is.  The driver for both is :mod:`repro.sim.engine`.
     """
-    stats = CacheStats(days=days, track_minutes=track_minutes)
-    replacement = LRUReplacement()
-    cache = BlockCache(capacity_blocks, replacement=replacement)
+    if stats is None:
+        stats = CacheStats(days=days, track_minutes=track_minutes)
+    if cache is None:
+        cache = BlockCache(capacity_blocks, replacement=LRUReplacement())
+    replacement = cache.replacement
 
     od = replacement._order
     od_move = od.move_to_end
@@ -165,9 +180,9 @@ def simulate_fast(
     write_l = columns.is_write.tolist()
     n_requests = len(issue_l)
 
-    current_epoch = -1
+    current_epoch = start_epoch
     general = wmode == _W_CALL or omode == _O_CALL
-    for j in range(n_requests):
+    for j in range(start_index, n_requests):
         issue = issue_l[j]
         epoch = int(issue // epoch_seconds)
         if epoch > current_epoch:
@@ -308,6 +323,11 @@ def simulate_fast(
                 record_ssd_io(rct_l[j], (allocated + 7) >> 3, True)
             if hit:
                 record_ssd_io(issue, (hit + 7) >> 3, w)
+
+        if checkpoint_every is not None and (j + 1) % checkpoint_every == 0:
+            if may_allocate:
+                cache._resident = set(od)
+            checkpointer(j + 1, current_epoch)
 
     # Trailing epoch boundaries (discrete policies close their books).
     while current_epoch < total_epochs - 1:

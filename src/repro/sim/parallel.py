@@ -62,11 +62,13 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Sequence, Union
 
-from repro.sim.engine import SimulationResult
+from repro.sim.engine import DEFAULT_CHECKPOINT_EVERY, SimulationResult
 from repro.traces.columnar import ColumnarTrace
 
 #: Bump on manifest layout changes; consumers refuse unknown versions.
-MANIFEST_SCHEMA_VERSION = 1
+#: v2 added per-task ``fault_plan`` (plan fingerprint) and
+#: ``checkpoint`` (path + cadence) metadata.
+MANIFEST_SCHEMA_VERSION = 2
 
 #: Environment variable enabling fault injection (``mode:policy[:arg]``).
 FAULT_ENV_VAR = "SIEVESTORE_FAULT_INJECT"
@@ -141,14 +143,40 @@ def _init_worker(trace_path: str, days: int, scale: float, seed: int) -> None:
     _WORKER_CONTEXT = context_for_trace(columns, days=days, scale=scale, seed=seed)
 
 
-def _run_one(name: str, track_minutes: bool, fast_path: bool):
+def _checkpoint_meta(checkpoint_dir, name: str, checkpoint_every) -> Optional[dict]:
+    """Per-task checkpoint manifest metadata (None when not checkpointing)."""
+    if checkpoint_dir is None:
+        return None
+    return {
+        "path": str(Path(checkpoint_dir) / f"{name}.ckpt"),
+        "every": (
+            checkpoint_every
+            if checkpoint_every is not None
+            else DEFAULT_CHECKPOINT_EVERY
+        ),
+    }
+
+
+def _run_one(
+    name: str,
+    track_minutes: bool,
+    fast_path: bool,
+    fault_plan=None,
+    epoch_seconds=None,
+    checkpoint_dir=None,
+    checkpoint_every=None,
+):
     from repro.sim.experiment import run_policy
 
     assert _WORKER_CONTEXT is not None, "worker initializer did not run"
     _maybe_inject_fault(name, in_worker=True)
+    meta = _checkpoint_meta(checkpoint_dir, name, checkpoint_every)
     started = time.perf_counter()
     result = run_policy(
-        name, _WORKER_CONTEXT, track_minutes=track_minutes, fast_path=fast_path
+        name, _WORKER_CONTEXT, track_minutes=track_minutes, fast_path=fast_path,
+        fault_plan=fault_plan, epoch_seconds=epoch_seconds,
+        checkpoint_path=meta["path"] if meta else None,
+        checkpoint_every=checkpoint_every,
     )
     return name, os.getpid(), time.perf_counter() - started, result
 
@@ -187,6 +215,10 @@ class TaskRecord:
     worker_pid: Optional[int]
     executor: str  # "pool" | "serial" | "serial-fallback"
     error: Optional[str] = None
+    #: fingerprint of the task's fault plan (None without a plan).
+    fault_plan: Optional[str] = None
+    #: checkpoint metadata ({"path", "every"}; None when not checkpointing).
+    checkpoint: Optional[dict] = None
 
     def to_dict(self) -> dict:
         return {
@@ -198,6 +230,8 @@ class TaskRecord:
             "worker_pid": self.worker_pid,
             "executor": self.executor,
             "error": self.error,
+            "fault_plan": self.fault_plan,
+            "checkpoint": self.checkpoint,
         }
 
 
@@ -303,15 +337,24 @@ def _run_serial_task(
     records: Dict[str, TaskRecord],
     results: Dict[str, SimulationResult],
     failures: Dict[str, PolicyFailure],
+    fault_plan=None,
+    epoch_seconds=None,
+    checkpoint_dir=None,
+    checkpoint_every=None,
 ) -> None:
     """Run one task in-process, recording outcome like a pool task."""
     from repro.sim.experiment import run_policy
 
+    plan_fp = fault_plan.fingerprint() if fault_plan is not None else None
+    meta = _checkpoint_meta(checkpoint_dir, name, checkpoint_every)
     started = time.perf_counter()
     try:
         _maybe_inject_fault(name, in_worker=False)
         result = run_policy(
-            name, ctx, track_minutes=track_minutes, fast_path=fast_path
+            name, ctx, track_minutes=track_minutes, fast_path=fast_path,
+            fault_plan=fault_plan, epoch_seconds=epoch_seconds,
+            checkpoint_path=meta["path"] if meta else None,
+            checkpoint_every=checkpoint_every,
         )
     except Exception as exc:
         wall = time.perf_counter() - started
@@ -324,6 +367,8 @@ def _run_serial_task(
             worker_pid=os.getpid(),
             executor=executor,
             error=f"{type(exc).__name__}: {exc}",
+            fault_plan=plan_fp,
+            checkpoint=meta,
         )
         failures[name] = PolicyFailure(
             policy=name,
@@ -342,6 +387,8 @@ def _run_serial_task(
             retries=attempts - 1,
             worker_pid=os.getpid(),
             executor=executor,
+            fault_plan=plan_fp,
+            checkpoint=meta,
         )
 
 
@@ -350,6 +397,10 @@ def run_suite_serial(
     names: Sequence[str],
     track_minutes: bool = True,
     fast_path: bool = False,
+    fault_plan=None,
+    epoch_seconds=None,
+    checkpoint_dir=None,
+    checkpoint_every=None,
 ) -> SuiteRun:
     """In-process reference execution of a policy suite.
 
@@ -368,6 +419,8 @@ def run_suite_serial(
             name, ctx, track_minutes, fast_path,
             executor="serial", attempts=1,
             records=records, results=results, failures=failures,
+            fault_plan=fault_plan, epoch_seconds=epoch_seconds,
+            checkpoint_dir=checkpoint_dir, checkpoint_every=checkpoint_every,
         )
     manifest = _build_manifest(
         requested, unique, records,
@@ -386,6 +439,10 @@ def run_suite_parallel(
     fast_path: bool = True,
     jobs: Optional[int] = None,
     task_timeout: Optional[float] = None,
+    fault_plan=None,
+    epoch_seconds=None,
+    checkpoint_dir=None,
+    checkpoint_every=None,
 ) -> SuiteRun:
     """Run the named policy configurations across worker processes.
 
@@ -405,6 +462,13 @@ def run_suite_parallel(
         task_timeout: seconds to wait for one task's result before
             retrying it (and, on a second timeout, recording a
             ``"timeout"`` failure).  ``None`` waits forever.
+        fault_plan: a :class:`~repro.faults.plan.FaultPlan` applied to
+            every run (picklable; its fingerprint is recorded per task).
+        checkpoint_dir: when set, each task writes crash-consistent
+            checkpoints to ``<dir>/<policy>.ckpt`` (metadata recorded
+            per task in the manifest).
+        checkpoint_every: requests between checkpoints (engine default
+            when None).
 
     Returns a :class:`SuiteRun`: a mapping of successful results in
     ``names`` order, plus :attr:`~SuiteRun.failures` and the run
@@ -435,6 +499,7 @@ def run_suite_parallel(
     serial_queue: List[str] = []
     pool_broken = False
     timed_out = False
+    plan_fp = fault_plan.fingerprint() if fault_plan is not None else None
 
     with tempfile.TemporaryDirectory(prefix="sievestore-suite-") as tmpdir:
         trace_path = os.path.join(tmpdir, "trace.npz")
@@ -449,7 +514,9 @@ def run_suite_parallel(
             try:
                 for name in unique:
                     futures[name] = pool.submit(
-                        _run_one, name, track_minutes, fast_path
+                        _run_one, name, track_minutes, fast_path,
+                        fault_plan, epoch_seconds,
+                        checkpoint_dir, checkpoint_every,
                     )
                     attempts[name] += 1
             except BrokenProcessPool:
@@ -462,7 +529,9 @@ def run_suite_parallel(
                     return None
                 try:
                     future = pool.submit(
-                        _run_one, name, track_minutes, fast_path
+                        _run_one, name, track_minutes, fast_path,
+                        fault_plan, epoch_seconds,
+                        checkpoint_dir, checkpoint_every,
                     )
                 except BrokenProcessPool:
                     pool_broken = True
@@ -502,6 +571,10 @@ def run_suite_parallel(
                             retries=attempts[name] - 1, worker_pid=None,
                             executor="pool",
                             error=f"task exceeded {task_timeout}s timeout",
+                            fault_plan=plan_fp,
+                            checkpoint=_checkpoint_meta(
+                                checkpoint_dir, name, checkpoint_every
+                            ),
                         )
                         failures[name] = PolicyFailure(
                             policy=name, error_type="TimeoutError",
@@ -532,6 +605,10 @@ def run_suite_parallel(
                             retries=attempts[name] - 1, worker_pid=None,
                             executor="pool",
                             error=f"{type(exc).__name__}: {exc}",
+                            fault_plan=plan_fp,
+                            checkpoint=_checkpoint_meta(
+                                checkpoint_dir, name, checkpoint_every
+                            ),
                         )
                         failures[name] = PolicyFailure(
                             policy=name, error_type=type(exc).__name__,
@@ -544,6 +621,10 @@ def run_suite_parallel(
                             policy=name, outcome="ok", engine=result.engine,
                             wall_seconds=wall, retries=attempts[name] - 1,
                             worker_pid=pid, executor="pool",
+                            fault_plan=plan_fp,
+                            checkpoint=_checkpoint_meta(
+                                checkpoint_dir, name, checkpoint_every
+                            ),
                         )
                         break
         finally:
@@ -565,6 +646,8 @@ def run_suite_parallel(
                 name, ctx, track_minutes, fast_path,
                 executor="serial-fallback", attempts=attempts[name],
                 records=records, results=results, failures=failures,
+                fault_plan=fault_plan, epoch_seconds=epoch_seconds,
+                checkpoint_dir=checkpoint_dir, checkpoint_every=checkpoint_every,
             )
 
     manifest = _build_manifest(

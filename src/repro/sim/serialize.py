@@ -1,14 +1,39 @@
-"""Result serialization: persist experiment outcomes as JSON.
+"""Result + checkpoint serialization.
 
-Simulation runs at real scales take minutes; downstream analysis (and
-the CLI's ``--json`` flag) wants the numbers without re-running.  The
-schema is deliberately flat and versioned; everything the figure
-builders consume (per-day counters, per-minute I/O) round-trips.
+Two concerns live here:
+
+* **Results** — experiment outcomes as flat, versioned JSON.
+  Simulation runs at real scales take minutes; downstream analysis
+  (and the CLI's ``--json`` flag) wants the numbers without re-running.
+  Everything the figure builders consume (per-day counters, per-minute
+  I/O) round-trips.
+
+* **Checkpoints** — crash-consistent snapshots of full simulation state
+  (cache + policy metastate + stats + trace cursor), written atomically
+  with a checksum so a SIGKILL mid-write can never leave a readable but
+  corrupt file.  Resuming from a checkpoint produces final statistics
+  bit-identical to the uninterrupted run (see
+  :func:`repro.sim.engine.resume_simulation`).
+
+Checkpoint file format (version 1)::
+
+    bytes 0..7   magic  b"SSCKPT\\x00\\n"
+    bytes 8..11  schema version (big-endian uint32)
+    bytes 12..43 SHA-256 digest of the payload
+    bytes 44..   pickle payload (a dict; see engine._checkpoint_payload)
+
+Compatibility policy: the loader refuses any unknown version — a
+checkpoint is a short-lived crash-recovery artifact, not an archive
+format, so there is no cross-version migration.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
+import pickle
+import struct
 from pathlib import Path
 from typing import Union
 
@@ -18,10 +43,23 @@ from repro.sim.engine import SimulationResult
 #: Bump on schema changes; loaders refuse unknown versions.
 SCHEMA_VERSION = 1
 
+#: Checkpoint file magic + schema version (see module docs).
+CHECKPOINT_MAGIC = b"SSCKPT\x00\n"
+CHECKPOINT_SCHEMA_VERSION = 1
+
+
+class CheckpointError(Exception):
+    """A checkpoint file is unreadable, corrupt, or incompatible."""
+
 
 def stats_to_dict(stats: CacheStats) -> dict:
-    """CacheStats -> plain-JSON dict."""
-    return {
+    """CacheStats -> plain-JSON dict.
+
+    Fault-model fields (error/bypass counters, degraded/bypass seconds)
+    are emitted only when nonzero, so fault-free output stays
+    byte-identical to files written before the fault model existed.
+    """
+    payload = {
         "days": stats.days,
         "per_day": [
             {
@@ -41,6 +79,18 @@ def stats_to_dict(stats: CacheStats) -> dict:
             for minute, io in sorted(stats.per_minute.items())
         },
     }
+    for entry, day in zip(payload["per_day"], stats.per_day):
+        if day.read_errors:
+            entry["read_errors"] = day.read_errors
+        if day.write_errors:
+            entry["write_errors"] = day.write_errors
+        if day.bypass_accesses:
+            entry["bypass_accesses"] = day.bypass_accesses
+    if stats.degraded_seconds:
+        payload["degraded_seconds"] = stats.degraded_seconds
+    if stats.bypass_seconds:
+        payload["bypass_seconds"] = stats.bypass_seconds
+    return payload
 
 
 def stats_from_dict(payload: dict) -> CacheStats:
@@ -50,6 +100,8 @@ def stats_from_dict(payload: dict) -> CacheStats:
         stats.per_day[index] = DayStats(**day)
     for minute, (reads, writes) in payload.get("per_minute", {}).items():
         stats.per_minute[int(minute)] = MinuteIO(reads=reads, writes=writes)
+    stats.degraded_seconds = payload.get("degraded_seconds", 0.0)
+    stats.bypass_seconds = payload.get("bypass_seconds", 0.0)
     stats.check_consistency()
     return stats
 
@@ -93,3 +145,64 @@ def save_result(result: SimulationResult, path: Union[str, Path]) -> None:
 def load_result(path: Union[str, Path]) -> SimulationResult:
     """Read a result written by :func:`save_result`."""
     return result_from_dict(json.loads(Path(path).read_text()))
+
+
+# -- crash-consistent checkpoints -------------------------------------------
+
+def save_checkpoint(payload: dict, path: Union[str, Path]) -> None:
+    """Atomically write a checkpoint (magic + version + checksum + pickle).
+
+    The bytes land in a temporary sibling first and are fsynced before
+    an ``os.replace`` into place, so the file at ``path`` is always a
+    complete, self-verifying checkpoint — a crash (or SIGKILL) during
+    the write leaves the previous checkpoint untouched.
+    """
+    path = Path(path)
+    body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    header = (
+        CHECKPOINT_MAGIC
+        + struct.pack(">I", CHECKPOINT_SCHEMA_VERSION)
+        + hashlib.sha256(body).digest()
+    )
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as handle:
+        handle.write(header)
+        handle.write(body)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+def load_checkpoint(path: Union[str, Path]) -> dict:
+    """Read and verify a checkpoint written by :func:`save_checkpoint`.
+
+    Raises :class:`CheckpointError` on a missing/truncated file, bad
+    magic, unknown schema version, or checksum mismatch.
+    """
+    path = Path(path)
+    try:
+        raw = path.read_bytes()
+    except OSError as error:
+        raise CheckpointError(f"cannot read checkpoint {path}: {error}") from error
+    header_len = len(CHECKPOINT_MAGIC) + 4 + hashlib.sha256().digest_size
+    if len(raw) < header_len or not raw.startswith(CHECKPOINT_MAGIC):
+        raise CheckpointError(f"{path} is not a SieveStore checkpoint")
+    offset = len(CHECKPOINT_MAGIC)
+    (version,) = struct.unpack_from(">I", raw, offset)
+    if version != CHECKPOINT_SCHEMA_VERSION:
+        raise CheckpointError(
+            f"unsupported checkpoint schema version {version} "
+            f"(expected {CHECKPOINT_SCHEMA_VERSION})"
+        )
+    offset += 4
+    digest = raw[offset : offset + hashlib.sha256().digest_size]
+    body = raw[offset + hashlib.sha256().digest_size :]
+    if hashlib.sha256(body).digest() != digest:
+        raise CheckpointError(f"checksum mismatch in {path} (truncated or corrupt)")
+    try:
+        payload = pickle.loads(body)
+    except Exception as error:  # pickle raises a zoo of exception types
+        raise CheckpointError(f"cannot unpickle checkpoint {path}: {error}") from error
+    if not isinstance(payload, dict):
+        raise CheckpointError(f"{path}: checkpoint payload is not a dict")
+    return payload

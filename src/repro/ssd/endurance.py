@@ -62,6 +62,18 @@ def endurance_report(device: SSDModel, stats: CacheStats) -> EnduranceReport:
     )
 
 
+def wearout_threshold_bytes(device: SSDModel, fraction: float = 1.0) -> float:
+    """Cumulative-write budget at which a device counts as worn out.
+
+    ``fraction`` scales the device's rated endurance (e.g. 0.5 models a
+    half-spent drive); this feeds :class:`repro.faults.plan.FaultPlan`'s
+    endurance-driven wear-out scheduling.
+    """
+    if not 0 < fraction <= 1:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    return device.endurance_bytes * fraction
+
+
 def paper_endurance_example(device: SSDModel) -> float:
     """The paper's own arithmetic: 500 M 512-B writes/day on an X25-E.
 

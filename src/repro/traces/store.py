@@ -28,6 +28,7 @@ import json
 import os
 import tempfile
 import warnings
+import zipfile
 from pathlib import Path
 from typing import Optional, Union
 
@@ -99,14 +100,25 @@ def load_or_generate_columnar(
     """Return the columnar ensemble trace for ``config``, cached on disk.
 
     Falls back to plain generation when caching is disabled; a corrupt
-    or stale cache entry is silently regenerated and replaced.
+    or truncated cache entry (bad zip, missing arrays, version
+    mismatch, short file) is evicted with a warning naming the path and
+    regenerated rather than propagated as an unpickling/zip error.
     """
     path = cache_path_for(config, cache_dir)
     if path is not None and path.exists():
         try:
             return ColumnarTrace.load_npz(path)
-        except (OSError, ValueError, KeyError):
-            pass  # regenerate below and overwrite the bad entry
+        except (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile) as exc:
+            warnings.warn(
+                f"corrupt trace-cache entry {path} "
+                f"({type(exc).__name__}: {exc}); evicting and regenerating",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            try:
+                path.unlink()
+            except OSError:
+                pass  # eviction is best-effort; the overwrite below wins
     columns = EnsembleTraceGenerator(config).generate_columnar()
     if path is not None:
         _atomic_save(columns, path)

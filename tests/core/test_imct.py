@@ -69,6 +69,31 @@ class TestAliasing:
         imct = make_imct()
         assert imct.slot_of(12345) == imct.slot_of(12345)
 
+    def test_aliased_counts_saturate_at_counter_ceiling(self):
+        # Two aliases hammering one slot clamp at the 8-bit ceiling the
+        # metastate budget assumes (counter_bytes=1) — they never wrap.
+        from repro.core.windows import COUNTER_SATURATION
+
+        imct = make_imct(slots=4)
+        a, b = self.find_aliases(imct)
+        for _ in range(COUNTER_SATURATION + 100):
+            imct.record_miss(a, 0.0)
+            imct.record_miss(b, 0.0)
+        assert imct.count(a, 0.0) == COUNTER_SATURATION
+        assert imct.count(b, 0.0) == COUNTER_SATURATION
+
+    def test_saturation_cannot_change_a_sieving_decision(self):
+        # Admission thresholds are single digits, so a clamped count is
+        # still far above any threshold the paper tunes.
+        from repro.core.windows import COUNTER_SATURATION
+
+        imct = make_imct(slots=4)
+        a, _ = self.find_aliases(imct)
+        count = 0
+        for _ in range(10**4):
+            count = imct.record_miss(a, 0.0)
+        assert count == COUNTER_SATURATION > 9
+
 
 class TestWindowing:
     def test_counts_expire(self):

@@ -56,6 +56,44 @@ class TestWindowing:
         assert mct.count(1, 45.0) == 1
 
 
+class TestSubwindowRollOver:
+    """Behavior exactly at subwindow boundaries (10s subwindows here)."""
+
+    def test_boundary_instant_lands_in_new_subwindow(self):
+        mct = make_mct(window_seconds=40.0, subwindows=4)
+        mct.record_miss(1, 9.999)
+        mct.record_miss(1, 10.0)  # first instant of subwindow 1
+        # The window ending at subwindow 4 keeps only the second miss.
+        assert mct.count(1, 45.0) == 1
+        # One subwindow earlier both are still live.
+        assert mct.count(1, 39.0) == 2
+
+    def test_roll_over_reuses_the_expired_slot(self):
+        # k counters cover k subwindows: entering subwindow k zeroes the
+        # slot that held subwindow 0, and new misses accumulate there.
+        mct = make_mct(window_seconds=40.0, subwindows=4)
+        mct.record_miss(1, 5.0)            # subwindow 0
+        for t in (41.0, 42.0):             # subwindow 4 -> same slot
+            mct.record_miss(1, t)
+        assert mct.count(1, 45.0) == 2
+
+    def test_counts_drain_one_subwindow_per_roll(self):
+        mct = make_mct(window_seconds=40.0, subwindows=4)
+        for subwindow in range(4):
+            mct.record_miss(1, subwindow * 10.0 + 1.0)
+        for age, expected in [(0, 4), (1, 3), (2, 2), (3, 1), (4, 0)]:
+            assert mct.count(1, 31.0 + age * 10.0) == expected
+
+    def test_full_staleness_after_k_idle_subwindows(self):
+        mct = make_mct(window_seconds=40.0, subwindows=4)
+        mct.record_miss(1, 0.0)
+        mct.record_miss(1, 1.0)
+        mct.record_miss(1, 2.0)
+        # k (=4) whole subwindows later, everything is inferred stale.
+        assert mct.count(1, 42.0) == 0
+        assert mct.record_miss(1, 42.0) == 1
+
+
 class TestPruning:
     def test_prune_removes_stale_entries(self):
         mct = make_mct(window_seconds=40.0)

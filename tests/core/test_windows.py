@@ -4,6 +4,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.windows import (
+    COUNTER_SATURATION,
     DEFAULT_SUBWINDOWS,
     DEFAULT_WINDOW_SECONDS,
     SubwindowCounter,
@@ -91,6 +92,37 @@ class TestSubwindowCounter:
         counter.record(0)
         assert not counter.is_stale(3)
         assert counter.is_stale(4)
+
+
+class TestSaturation:
+    """Counts clamp at the 8-bit ceiling the metastate budget assumes."""
+
+    def test_matches_metastate_budget_counter_width(self):
+        from repro.core.metastate import MetastateBudget
+
+        assert COUNTER_SATURATION == 2 ** (8 * MetastateBudget().counter_bytes) - 1
+
+    def test_single_subwindow_clamps(self):
+        counter = SubwindowCounter(4)
+        for _ in range(COUNTER_SATURATION + 50):
+            counter.record(0)
+        assert counter.total(0) == COUNTER_SATURATION
+
+    def test_bulk_record_clamps(self):
+        counter = SubwindowCounter(4)
+        assert counter.record(0, amount=10**6) == COUNTER_SATURATION
+
+    def test_saturated_subwindows_sum_across_window(self):
+        # Saturation is per subwindow; the window total may exceed it.
+        counter = SubwindowCounter(4)
+        counter.record(0, amount=10**6)
+        counter.record(1, amount=10**6)
+        assert counter.total(1) == 2 * COUNTER_SATURATION
+
+    def test_saturated_count_expires_normally(self):
+        counter = SubwindowCounter(4)
+        counter.record(0, amount=10**6)
+        assert counter.total(4) == 0
 
 
 class ReferenceWindow:

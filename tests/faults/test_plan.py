@@ -1,0 +1,134 @@
+"""Fault plans: validation, serialization, interval arithmetic."""
+
+import pytest
+
+from repro.faults import (
+    PLAN_SCHEMA_VERSION,
+    ErrorWindow,
+    FaultPlan,
+    LatencyWindow,
+    OutageWindow,
+)
+from repro.faults.plan import total_seconds
+from repro.ssd.device import INTEL_X25E
+
+DAY = 86400.0
+
+
+def full_plan():
+    return FaultPlan(
+        errors=(
+            ErrorWindow(10.0, 20.0, "read", 0.5),
+            ErrorWindow(15.0, 30.0, "write"),
+        ),
+        latency=(LatencyWindow(40.0, 50.0, factor=3.0),),
+        outages=(OutageWindow(100.0, 200.0), OutageWindow(500.0)),
+        wearout_bytes=1e9,
+        seed=7,
+    )
+
+
+class TestWindowValidation:
+    def test_error_window_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            ErrorWindow(0.0, 1.0, "flush")
+
+    def test_error_window_rejects_empty_interval(self):
+        with pytest.raises(ValueError):
+            ErrorWindow(5.0, 5.0, "read")
+
+    def test_error_window_rejects_negative_start(self):
+        with pytest.raises(ValueError):
+            ErrorWindow(-1.0, 1.0, "read")
+
+    @pytest.mark.parametrize("probability", [0.0, -0.5, 1.5])
+    def test_error_window_rejects_bad_probability(self, probability):
+        with pytest.raises(ValueError):
+            ErrorWindow(0.0, 1.0, "read", probability)
+
+    def test_latency_window_rejects_speedup(self):
+        with pytest.raises(ValueError):
+            LatencyWindow(0.0, 1.0, factor=0.5)
+
+    def test_outage_rejects_empty_interval(self):
+        with pytest.raises(ValueError):
+            OutageWindow(10.0, 10.0)
+
+    def test_open_ended_outage_allowed(self):
+        window = OutageWindow(10.0)
+        assert window.contains(1e12)
+        assert not window.contains(9.0)
+
+    def test_half_open_containment(self):
+        window = ErrorWindow(10.0, 20.0, "read")
+        assert window.contains(10.0)
+        assert not window.contains(20.0)
+
+
+class TestPlanBasics:
+    def test_empty_plan(self):
+        assert FaultPlan().is_empty
+        assert not full_plan().is_empty
+
+    def test_rejects_nonpositive_wearout(self):
+        with pytest.raises(ValueError):
+            FaultPlan(wearout_bytes=0)
+
+    def test_lists_coerced_to_tuples(self):
+        plan = FaultPlan(errors=[ErrorWindow(0.0, 1.0, "read")])
+        assert isinstance(plan.errors, tuple)
+
+    def test_from_endurance_uses_device_budget(self):
+        plan = FaultPlan.from_endurance(INTEL_X25E, fraction=0.5)
+        assert plan.wearout_bytes == INTEL_X25E.endurance_bytes * 0.5
+        assert not plan.is_empty
+
+
+class TestSerialization:
+    def test_dict_round_trip(self):
+        plan = full_plan()
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_json_round_trip(self, tmp_path):
+        plan = full_plan()
+        path = tmp_path / "plan.json"
+        plan.save_json(path)
+        assert FaultPlan.load_json(path) == plan
+
+    def test_rejects_unknown_schema_version(self):
+        payload = full_plan().to_dict()
+        payload["schema_version"] = PLAN_SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="schema version"):
+            FaultPlan.from_dict(payload)
+
+    def test_fingerprint_deterministic_and_sensitive(self):
+        assert full_plan().fingerprint() == full_plan().fingerprint()
+        assert FaultPlan().fingerprint() != full_plan().fingerprint()
+        reseeded = FaultPlan(seed=1)
+        assert reseeded.fingerprint() != FaultPlan().fingerprint()
+
+
+class TestIntervalArithmetic:
+    def test_bypass_merges_overlaps_and_clips(self):
+        plan = FaultPlan(
+            outages=(OutageWindow(10.0, 30.0), OutageWindow(20.0, 40.0),
+                     OutageWindow(90.0)),
+        )
+        assert plan.bypass_intervals(100.0) == [(10.0, 40.0), (90.0, 100.0)]
+
+    def test_wearout_extends_bypass_to_end_of_run(self):
+        plan = FaultPlan(wearout_bytes=1.0)
+        assert plan.bypass_intervals(50.0, worn_out_at=20.0) == [(20.0, 50.0)]
+        assert plan.bypass_intervals(50.0, worn_out_at=None) == []
+
+    def test_bypass_dominates_degraded(self):
+        plan = FaultPlan(
+            errors=(ErrorWindow(0.0, 40.0, "read"),),
+            outages=(OutageWindow(10.0, 20.0),),
+        )
+        assert plan.degraded_intervals(100.0) == [(0.0, 10.0), (20.0, 40.0)]
+        assert total_seconds(plan.degraded_intervals(100.0)) == 30.0
+
+    def test_latency_windows_count_as_degraded(self):
+        plan = FaultPlan(latency=(LatencyWindow(5.0, 15.0),))
+        assert plan.degraded_intervals(100.0) == [(5.0, 15.0)]

@@ -1,9 +1,16 @@
 """Parallel policy-suite execution equals the serial reference run."""
 
+import json
+
 import pytest
 
+from repro.faults import FaultPlan, OutageWindow
 from repro.sim.experiment import run_policy_suite
-from repro.sim.parallel import default_jobs, run_suite_parallel
+from repro.sim.parallel import (
+    MANIFEST_SCHEMA_VERSION,
+    default_jobs,
+    run_suite_parallel,
+)
 
 #: A small but representative slice: oracle, discrete sieve, unsieved.
 SUITE = ("ideal", "sievestore-d", "aod-16")
@@ -68,3 +75,42 @@ def test_invalid_jobs_rejected(tiny_context):
 
 def test_default_jobs_positive():
     assert default_jobs() >= 1
+
+
+class TestManifestMetadata:
+    """Manifest schema v2: per-task fault-plan and checkpoint metadata."""
+
+    def test_fields_default_to_none(self, tiny_context):
+        results = run_policy_suite(
+            tiny_context, ("aod-16",), track_minutes=False, jobs=1
+        )
+        assert results.manifest["schema"] == MANIFEST_SCHEMA_VERSION
+        (task,) = results.manifest["tasks"]
+        assert task["fault_plan"] is None
+        assert task["checkpoint"] is None
+
+    def test_records_plan_fingerprint_and_checkpoint(self, tiny_context,
+                                                     tmp_path):
+        plan = FaultPlan(outages=(OutageWindow(1e9,),))  # beyond the trace
+        results = run_policy_suite(
+            tiny_context, ("aod-16", "ideal"), track_minutes=False, jobs=1,
+            fault_plan=plan, checkpoint_dir=tmp_path, checkpoint_every=5000,
+        )
+        for task in results.manifest["tasks"]:
+            assert task["fault_plan"] == plan.fingerprint()
+            assert task["checkpoint"] == {
+                "path": str(tmp_path / f"{task['policy']}.ckpt"),
+                "every": 5000,
+            }
+        # The per-task checkpoint files were actually written.
+        assert (tmp_path / "aod-16.ckpt").exists()
+
+    def test_manifest_serialization_round_trip(self, tiny_context, tmp_path):
+        plan = FaultPlan(outages=(OutageWindow(1e9,),))
+        results = run_policy_suite(
+            tiny_context, ("aod-16",), track_minutes=False, jobs=1,
+            fault_plan=plan, checkpoint_dir=tmp_path / "ckpts",
+        )
+        path = tmp_path / "manifest.json"
+        results.save_manifest(path)
+        assert json.loads(path.read_text()) == results.manifest

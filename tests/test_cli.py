@@ -102,6 +102,84 @@ class TestSimulateCommand:
         assert "aod-16" in capsys.readouterr().out
 
 
+class TestInputValidation:
+    """Bad arguments exit 2 with a one-line error, never a traceback."""
+
+    @pytest.mark.parametrize("value", ["0", "-3", "nan-ish"])
+    def test_rejects_bad_task_timeout(self, value, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["simulate", "--task-timeout", value])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "--task-timeout" in err
+
+    @pytest.mark.parametrize("value", ["0", "-1"])
+    def test_rejects_nonpositive_epoch_seconds(self, value, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["simulate", "--epoch-seconds", value])
+        assert exc.value.code == 2
+        assert "--epoch-seconds" in capsys.readouterr().err
+
+    def test_rejects_nonpositive_checkpoint_cadence(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["simulate", "--checkpoint-every", "0"])
+        assert exc.value.code == 2
+        assert "--checkpoint-every" in capsys.readouterr().err
+
+    def test_rejects_missing_resume_path(self, tmp_path, capsys):
+        missing = tmp_path / "absent.ckpt"
+        assert main(["simulate", "--resume", str(missing)]) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1 and str(missing) in err
+
+    def test_rejects_missing_fault_plan(self, tmp_path, capsys):
+        assert main([
+            "simulate", *TINY, "--fault-plan", str(tmp_path / "absent.json")
+        ]) == 2
+        assert "fault plan" in capsys.readouterr().err
+
+    def test_checkpoint_requires_single_policy(self, tmp_path, capsys):
+        assert main([
+            "simulate", *TINY, "--checkpoint", str(tmp_path / "c.ckpt"),
+            "--policy", "aod-16", "--policy", "ideal",
+        ]) == 2
+        assert "--checkpoint" in capsys.readouterr().err
+
+
+class TestFaultAndCheckpointFlows:
+    def test_fault_plan_reports_device_health(self, tmp_path, capsys):
+        from repro.faults import FaultPlan, OutageWindow
+
+        plan_path = tmp_path / "plan.json"
+        FaultPlan(outages=(OutageWindow(86400.0, 2 * 86400.0),)).save_json(
+            plan_path
+        )
+        assert main([
+            "simulate", *TINY, "--policy", "aod-16",
+            "--fault-plan", str(plan_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "device health:" in out
+        assert "bypass 86,400s" in out
+
+    def test_checkpoint_then_resume_matches_uninterrupted(self, tmp_path,
+                                                          capsys):
+        base_args = ["simulate", *TINY, "--policy", "sievestore-d"]
+        assert main(base_args) == 0
+        baseline = capsys.readouterr().out
+        ckpt = tmp_path / "run.ckpt"
+        assert main([
+            *base_args, "--checkpoint", str(ckpt), "--checkpoint-every", "500",
+        ]) == 0
+        capsys.readouterr()
+        assert ckpt.exists()
+        # Resume from the (mid-trace) last periodic checkpoint: the
+        # full-run report must match the uninterrupted one exactly.
+        assert main(["simulate", "--resume", str(ckpt)]) == 0
+        resumed = capsys.readouterr().out
+        assert stable_lines(resumed) == stable_lines(baseline)
+
+
 class TestSkewCommand:
     def test_prints_o1_statistics(self, capsys):
         assert main(["skew", *TINY]) == 0

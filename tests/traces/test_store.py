@@ -75,14 +75,29 @@ class TestLoadOrGenerate:
         second = load_or_generate_columnar(config, tmp_path)
         assert second.equals(first)
 
-    def test_corrupt_entry_regenerated(self, tmp_path):
+    def test_corrupt_entry_warns_evicts_and_regenerates(self, tmp_path):
         config = tiny_config()
         first = load_or_generate_columnar(config, tmp_path)
         path = cache_path_for(config, tmp_path)
         path.write_bytes(b"not an npz file")
-        recovered = load_or_generate_columnar(config, tmp_path)
+        with pytest.warns(RuntimeWarning, match="corrupt trace-cache") as rec:
+            recovered = load_or_generate_columnar(config, tmp_path)
+        # The warning names the offending path so users can find it.
+        assert str(path) in str(rec.list[0].message)
         assert recovered.equals(first)
         # The bad entry was overwritten with a loadable one.
+        assert ColumnarTrace.load_npz(path).equals(first)
+
+    def test_truncated_entry_warns_and_regenerates(self, tmp_path):
+        # A partially-written npz (valid magic, cut short) must not
+        # propagate a zip/unpickling error out of the loader.
+        config = tiny_config()
+        first = load_or_generate_columnar(config, tmp_path)
+        path = cache_path_for(config, tmp_path)
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        with pytest.warns(RuntimeWarning, match="evicting and regenerating"):
+            recovered = load_or_generate_columnar(config, tmp_path)
+        assert recovered.equals(first)
         assert ColumnarTrace.load_npz(path).equals(first)
 
     def test_disabled_cache_still_generates(self, tmp_path, monkeypatch):
