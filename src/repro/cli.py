@@ -144,6 +144,23 @@ def _build_parser() -> argparse.ArgumentParser:
         "regenerated from the checkpoint's stored trace arguments; "
         "other trace/policy options are ignored)",
     )
+    sim.add_argument(
+        "--metrics-out", metavar="FILE", default=None,
+        help="collect run telemetry and write it at exit: Prometheus "
+        "text exposition for .prom/.txt suffixes, JSON otherwise",
+    )
+    sim.add_argument(
+        "--events-out", metavar="FILE", default=None,
+        help="append run/checkpoint/health telemetry events to a "
+        "JSON-lines log (resumed runs append to the same log)",
+    )
+    sim.add_argument(
+        "--progress", type=_positive_float, default=None,
+        metavar="SECONDS",
+        help="print a progress heartbeat to stderr at least this many "
+        "seconds apart (day, blocks/sec, ETA; parallel --jobs runs "
+        "report one line per finished task instead)",
+    )
 
     skew = sub.add_parser("skew", help="Figure-2 popularity analysis")
     add_trace_options(skew)
@@ -255,6 +272,130 @@ def _print_outcome_table(results) -> None:
     print()
 
 
+def _artifact_path_problem(flag: str, path: str) -> Optional[str]:
+    """Why ``path`` cannot receive an output file, or ``None`` if it can."""
+    import os
+
+    if os.path.isdir(path):
+        return f"{flag} path {path} is a directory, not a file"
+    parent = os.path.dirname(os.path.abspath(path))
+    if not os.path.isdir(parent):
+        return f"{flag} directory {parent} does not exist"
+    if not os.access(parent, os.W_OK):
+        return f"{flag} directory {parent} is not writable"
+    return None
+
+
+def _validate_simulate_flags(args) -> Optional[int]:
+    """Reject invalid flag combinations up front (exit 2), instead of
+    silently ignoring them or tracebacking after a long run."""
+    if args.checkpoint_every is not None and not args.checkpoint:
+        print(
+            "error: --checkpoint-every requires --checkpoint (a resumed "
+            "run keeps the cadence stored in its checkpoint)",
+            file=sys.stderr,
+        )
+        return 2
+    for flag, path in (
+        ("--metrics-out", args.metrics_out),
+        ("--events-out", args.events_out),
+    ):
+        if not path:
+            continue
+        problem = _artifact_path_problem(flag, path)
+        if problem is not None:
+            print(f"error: {problem}", file=sys.stderr)
+            return 2
+    return None
+
+
+#: Requests between progress-hook invocations; the heartbeat throttles
+#: itself by wall time, so this only bounds check frequency.
+_PROGRESS_CHECK_EVERY = 1000
+
+
+def _make_heartbeat(
+    interval: float,
+    total_requests: int,
+    total_blocks: int,
+    days: int,
+    epoch_seconds: float,
+):
+    """Per-request heartbeat: day, blocks/sec, and ETA to stderr."""
+    import time as _time_mod
+
+    start = _time_mod.perf_counter()
+    state = {"last": start}
+
+    def hook(requests_done: int, current_epoch: int) -> None:
+        now = _time_mod.perf_counter()
+        if now - state["last"] < interval:
+            return
+        state["last"] = now
+        elapsed = now - start
+        fraction = requests_done / total_requests if total_requests else 1.0
+        blocks_done = int(total_blocks * fraction)
+        rate = blocks_done / elapsed if elapsed > 0 else 0.0
+        eta = (
+            (1.0 - fraction) * elapsed / fraction if fraction > 0 else 0.0
+        )
+        day = int(max(current_epoch, 0) * epoch_seconds // 86400)
+        print(
+            f"[progress] day {min(day, days - 1) + 1}/{days}  "
+            f"{requests_done:,}/{total_requests:,} requests  "
+            f"{rate:,.0f} blocks/sec  eta {eta:,.0f}s",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    return hook
+
+
+def _make_task_progress(total_tasks: int):
+    """Per-task progress reporter for suite runs."""
+    done = {"count": 0}
+
+    def on_task_done(record) -> None:
+        done["count"] += 1
+        print(
+            f"[progress] {record.policy}: {record.outcome} "
+            f"({done['count']}/{total_tasks} tasks, "
+            f"{record.wall_seconds:.1f}s, "
+            f"engine {record.engine or '-'})",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    return on_task_done
+
+
+def _total_blocks(trace, columns) -> int:
+    """Block-access count of a trace, vectorized when columns exist."""
+    if columns is not None:
+        return int(columns.block_count.sum())
+    return sum(request.block_count for request in trace.requests)
+
+
+def _write_metrics(path: Optional[str]) -> None:
+    """Export the active registry to ``path`` (format by suffix)."""
+    if not path:
+        return
+    from repro.obs import runtime as obs_runtime
+    from repro.obs.export import to_json, to_prometheus
+
+    registry = obs_runtime.get_registry()
+    if registry is None:  # pragma: no cover - guarded by the caller
+        return
+    snapshot = registry.snapshot()
+    if path.endswith((".prom", ".txt")):
+        text = to_prometheus(snapshot)
+    else:
+        text = to_json(snapshot)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    print(f"metrics written to {path}")
+
+
 def _load_fault_plan(args):
     """Returns ``(plan_or_None, exit_code_or_None)``."""
     if not args.fault_plan:
@@ -307,11 +448,24 @@ def _cmd_resume(args) -> int:
         )
         return 2
     trace, _days, columns = _load_trace(argparse.Namespace(**trace_args))
+    progress_every = progress_hook = None
+    if args.progress is not None:
+        config = payload["config"]
+        progress_every = _PROGRESS_CHECK_EVERY
+        progress_hook = _make_heartbeat(
+            args.progress,
+            total_requests=len(trace),
+            total_blocks=_total_blocks(trace, columns),
+            days=config["days"],
+            epoch_seconds=config["epoch_seconds"],
+        )
     try:
         result = resume_simulation(
             args.resume,
             columns if columns is not None else trace,
             checkpoint_path=args.checkpoint,
+            progress_every=progress_every,
+            progress_hook=progress_hook,
         )
     except CheckpointError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -335,12 +489,24 @@ def _cmd_checkpointed_simulate(args, ctx, name, fault_plan, requests) -> int:
         "policy": name,
         "fault_plan": fault_plan.to_dict() if fault_plan is not None else None,
     }
+    progress_every = progress_hook = None
+    if args.progress is not None:
+        progress_every = _PROGRESS_CHECK_EVERY
+        progress_hook = _make_heartbeat(
+            args.progress,
+            total_requests=requests,
+            total_blocks=_total_blocks(None, ctx.columnar_trace()),
+            days=ctx.days,
+            epoch_seconds=args.epoch_seconds or 86400.0,
+        )
     result = run_policy(
         name, ctx, track_minutes=False, fast_path=args.fast,
         fault_plan=fault_plan, epoch_seconds=args.epoch_seconds,
         checkpoint_path=args.checkpoint,
         checkpoint_every=args.checkpoint_every,
         checkpoint_context=context,
+        progress_every=progress_every,
+        progress_hook=progress_hook,
     )
     _print_simulation_report(name, result, requests)
     if args.json:
@@ -349,6 +515,24 @@ def _cmd_checkpointed_simulate(args, ctx, name, fault_plan, requests) -> int:
 
 
 def _cmd_simulate(args) -> int:
+    """Validate flags, switch observability, dispatch the simulate run."""
+    code = _validate_simulate_flags(args)
+    if code is not None:
+        return code
+    if not (args.metrics_out or args.events_out):
+        return _run_simulate(args)
+    from repro.obs import runtime as obs_runtime
+
+    obs_runtime.enable(events_path=args.events_out)
+    try:
+        code = _run_simulate(args)
+        _write_metrics(args.metrics_out)
+        return code
+    finally:
+        obs_runtime.disable()
+
+
+def _run_simulate(args) -> int:
     if args.resume:
         return _cmd_resume(args)
     fault_plan, code = _load_fault_plan(args)
@@ -371,10 +555,24 @@ def _cmd_simulate(args) -> int:
             args, ctx, names[0], fault_plan, len(trace)
         )
     jobs = None if args.jobs == 0 else args.jobs
+    on_task_done = progress_every = progress_hook = None
+    if args.progress is not None:
+        on_task_done = _make_task_progress(len(names))
+        if jobs == 1:
+            progress_every = _PROGRESS_CHECK_EVERY
+            progress_hook = _make_heartbeat(
+                args.progress,
+                total_requests=len(trace),
+                total_blocks=_total_blocks(trace, columns),
+                days=days,
+                epoch_seconds=args.epoch_seconds or 86400.0,
+            )
     results = run_policy_suite(
         ctx, names, track_minutes=False, fast_path=args.fast, jobs=jobs,
         task_timeout=args.task_timeout,
         fault_plan=fault_plan, epoch_seconds=args.epoch_seconds,
+        on_task_done=on_task_done,
+        progress_every=progress_every, progress_hook=progress_hook,
     )
     for name in names:
         if name in results:

@@ -122,6 +122,23 @@ class SieveStoreAppliance:
         self.dirty = DirtyTracker()
         self.faults = faults
         self.health = DeviceHealth.HEALTHY
+        #: optional ``(time, old_state, new_state)`` callback fired on
+        #: device-health transitions (observability layer; transitions
+        #: are rare, so the request hot path never sees it).  Excluded
+        #: from pickling — checkpoints restore with no observer and the
+        #: resuming engine re-attaches its own.
+        self.health_observer = None
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["health_observer"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        # Checkpoints written before the observability layer existed
+        # carry no observer field at all.
+        self.__dict__.setdefault("health_observer", None)
 
     def begin_day(self, day: int) -> int:
         """Apply the policy's epoch batch for epoch ``day``; returns blocks moved in.
@@ -255,6 +272,8 @@ class SieveStoreAppliance:
         if new is DeviceHealth.BYPASS:
             self.flush_dirty(time)
             self.cache.clear()
+        if self.health_observer is not None:
+            self.health_observer(time, self.health, new)
         self.health = new
 
     def _process_request_faulty(self, request) -> RequestOutcome:

@@ -17,7 +17,7 @@ exists to reproduce that pathology in the ablation bench.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from repro.core.windows import SubwindowCounter, WindowSpec
 from repro.util.hashing import stable_bucket
@@ -44,6 +44,24 @@ class ImpreciseMissCountTable:
             SubwindowCounter(window.subwindows) for _ in range(slots)
         ]
         self.recorded_misses = 0
+        #: aliased recordings observed (only counted while collision
+        #: tracking is enabled; see :meth:`enable_collision_tracking`).
+        self.alias_collisions = 0
+        #: per-slot last-recorded address, or None when tracking is off.
+        self._last_address: Optional[List[Optional[int]]] = None
+
+    def enable_collision_tracking(self) -> None:
+        """Start counting aliased recordings (observability support).
+
+        Allocates a per-slot shadow array holding the last address that
+        recorded into each slot; a subsequent recording by a *different*
+        address increments :attr:`alias_collisions`.  Off by default —
+        the only cost then is one predicate test per recorded miss —
+        because the paper's mechanism tolerates aliasing by design and
+        only the telemetry layer wants it quantified.
+        """
+        if self._last_address is None:
+            self._last_address = [None] * self.slots
 
     def slot_of(self, address: int) -> int:
         """Table slot an address maps to (many-to-one)."""
@@ -53,8 +71,14 @@ class ImpreciseMissCountTable:
         """Count a miss for the address's slot; returns the slot's
         windowed total (including any aliased contributions)."""
         self.recorded_misses += 1
+        slot = self.slot_of(address)
+        if self._last_address is not None:
+            previous = self._last_address[slot]
+            if previous is not None and previous != address:
+                self.alias_collisions += 1
+            self._last_address[slot] = address
         subwindow = self.window.subwindow_index(time)
-        return self._counters[self.slot_of(address)].record(subwindow)
+        return self._counters[slot].record(subwindow)
 
     def count(self, address: int, time: float) -> int:
         """Current windowed count of the address's slot (read-only)."""

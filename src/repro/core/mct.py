@@ -35,6 +35,11 @@ class MissCountTable:
         self._counters: Dict[int, SubwindowCounter] = {}
         self._last_prune: float = 0.0
         self.peak_entries = 0
+        #: blocks that ever entered the table (track + auto-track).
+        self.inserts = 0
+        #: stale entries removed by :meth:`prune` (allocation-time
+        #: :meth:`forget` removals are admissions, counted by the sieve).
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._counters)
@@ -51,6 +56,7 @@ class MissCountTable:
         """
         if address not in self._counters:
             self._counters[address] = SubwindowCounter(self.window.subwindows)
+            self.inserts += 1
             if len(self._counters) > self.peak_entries:
                 self.peak_entries = len(self._counters)
 
@@ -66,6 +72,7 @@ class MissCountTable:
         if counter is None:
             counter = SubwindowCounter(self.window.subwindows)
             self._counters[address] = counter
+            self.inserts += 1
             if len(self._counters) > self.peak_entries:
                 self.peak_entries = len(self._counters)
         return counter.record(self.window.subwindow_index(time))
@@ -95,5 +102,6 @@ class MissCountTable:
         ]
         for address in stale:
             del self._counters[address]
+        self.evictions += len(stale)
         self._last_prune = time
         return len(stale)

@@ -1,0 +1,76 @@
+"""``repro.obs`` — zero-overhead-when-disabled run telemetry.
+
+The paper's argument is an accounting argument: sieving wins because it
+eliminates allocation-writes.  This package makes those decisions
+watchable while they happen instead of only as end-of-run aggregates:
+
+* a labeled metrics registry (:class:`Counter` / :class:`Gauge` /
+  :class:`Histogram`) whose :class:`MetricsSnapshot`\\ s are picklable
+  and mergeable, so per-process results combine across the parallel
+  suite runner;
+* an append-only JSON-lines :class:`EventLog` plus :func:`span` /
+  :func:`timer` helpers, written per run and appended to coherently by
+  resumed checkpoint runs;
+* two exporters: Prometheus text exposition (:func:`to_prometheus`,
+  with a minimal :func:`parse_prometheus` validator) and JSON
+  (:func:`to_json`).
+
+Observability is off unless :func:`enable` (or the CLI's
+``--metrics-out`` / ``--events-out`` / ``--progress`` flags) turns it
+on; with it off, simulation output — ``CacheStats``, result JSON, and
+the suite run manifest — is byte-identical to a build without this
+package.
+"""
+
+from repro.obs.events import EventLog, read_events, span, timer
+from repro.obs.export import (
+    PrometheusParseError,
+    parse_prometheus,
+    to_json,
+    to_prometheus,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    MetricsSnapshot,
+)
+from repro.obs.runtime import (
+    ObsContext,
+    disable,
+    enable,
+    enabled,
+    get_context,
+    get_events,
+    get_registry,
+    observability,
+    scoped_registry,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "EventLog",
+    "read_events",
+    "span",
+    "timer",
+    "PrometheusParseError",
+    "parse_prometheus",
+    "to_json",
+    "to_prometheus",
+    "ObsContext",
+    "enable",
+    "disable",
+    "enabled",
+    "get_context",
+    "get_events",
+    "get_registry",
+    "observability",
+    "scoped_registry",
+]

@@ -1,0 +1,110 @@
+"""JSON-lines event log + span/timer helpers.
+
+One line per event::
+
+    {"ts": 1754512345.123456, "event": "run_start", "policy": "...", ...}
+
+The file is opened in **append** mode and every line is flushed as it
+is written, so a run that crashes keeps everything emitted so far and a
+resumed checkpoint run appends coherently to the same log — the
+``run_resume`` event marks the seam.  Timestamps are wall-clock
+(``time.time``); they are telemetry, not simulation time, and carry no
+determinism guarantee.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator, List, Optional, TextIO, Union
+
+
+class EventLog:
+    """Append-only JSON-lines event sink."""
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self._file: Optional[TextIO] = open(self.path, "a", encoding="utf-8")
+
+    def emit(self, event: str, **fields: object) -> None:
+        """Write one event line (no-op after :meth:`close`)."""
+        if self._file is None:
+            return
+        record = {"ts": round(time.time(), 6), "event": event}
+        record.update(fields)
+        self._file.write(json.dumps(record, sort_keys=True) + "\n")
+        self._file.flush()
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_events(path: Union[str, Path]) -> List[dict]:
+    """Parse a JSON-lines event log back into dicts (testing/analysis)."""
+    events = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+@contextmanager
+def span(
+    events: Optional[EventLog], name: str, **fields: object
+) -> Iterator[None]:
+    """Emit ``<name>_start`` / ``<name>_end`` around a block.
+
+    The end event carries ``seconds`` (monotonic duration) and
+    ``ok=False`` when the block raised.  A ``None`` event log makes the
+    whole thing free, so call sites need no conditionals.
+    """
+    if events is None:
+        yield
+        return
+    events.emit(f"{name}_start", **fields)
+    started = time.perf_counter()
+    try:
+        yield
+    except BaseException:
+        events.emit(
+            f"{name}_end",
+            seconds=round(time.perf_counter() - started, 6),
+            ok=False,
+            **fields,
+        )
+        raise
+    events.emit(
+        f"{name}_end",
+        seconds=round(time.perf_counter() - started, 6),
+        ok=True,
+        **fields,
+    )
+
+
+@contextmanager
+def timer(histogram, **labels: object) -> Iterator[None]:
+    """Observe a block's wall duration into a histogram metric.
+
+    ``histogram`` may be ``None`` (observability off) — the block then
+    runs untouched.
+    """
+    if histogram is None:
+        yield
+        return
+    started = time.perf_counter()
+    try:
+        yield
+    finally:
+        histogram.observe(time.perf_counter() - started, **labels)

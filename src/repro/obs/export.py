@@ -1,0 +1,205 @@
+"""Snapshot exporters: Prometheus text exposition and JSON.
+
+:func:`to_prometheus` emits the text exposition format (``# HELP`` /
+``# TYPE`` headers, label escaping, histogram ``_bucket``/``_sum``/
+``_count`` expansion with cumulative ``le`` buckets); it is what the
+CLI writes for ``--metrics-out whatever.prom``.  :func:`parse_prometheus`
+is the deliberately-minimal inverse used by tests and the CI smoke job
+to validate that output — it understands exactly what ``to_prometheus``
+produces, nothing more.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, Tuple
+
+from repro.obs.metrics import MetricsSnapshot
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return repr(value)
+    return str(value)
+
+
+def _label_string(labelnames, key, extra=()) -> str:
+    pairs = [
+        f'{name}="{_escape_label_value(str(value))}"'
+        for name, value in list(zip(labelnames, key)) + list(extra)
+    ]
+    if not pairs:
+        return ""
+    return "{" + ",".join(pairs) + "}"
+
+
+def to_prometheus(snapshot: MetricsSnapshot) -> str:
+    """Render a snapshot in the Prometheus text exposition format."""
+    lines = []
+    for name, entry in snapshot.metrics.items():
+        kind = entry["kind"]
+        labelnames = list(entry["labelnames"])
+        if entry["help"]:
+            lines.append(f"# HELP {name} {_escape_help(entry['help'])}")
+        lines.append(f"# TYPE {name} {kind}")
+        if kind == "histogram":
+            bounds = list(entry["buckets"])
+            for key, value in entry["samples"].items():
+                cumulative = 0
+                for bound, count in zip(bounds, value["bucket_counts"]):
+                    cumulative += count
+                    labels = _label_string(
+                        labelnames, key, [("le", _format_value(float(bound)))]
+                    )
+                    lines.append(
+                        f"{name}_bucket{labels} {cumulative}"
+                    )
+                labels = _label_string(labelnames, key, [("le", "+Inf")])
+                lines.append(f"{name}_bucket{labels} {value['count']}")
+                plain = _label_string(labelnames, key)
+                lines.append(
+                    f"{name}_sum{plain} {_format_value(value['sum'])}"
+                )
+                lines.append(f"{name}_count{plain} {value['count']}")
+        else:
+            for key, value in entry["samples"].items():
+                labels = _label_string(labelnames, key)
+                lines.append(f"{name}{labels} {_format_value(value)}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def to_json(snapshot: MetricsSnapshot, indent: int = 2) -> str:
+    """Render a snapshot as deterministic, pretty-printed JSON."""
+    return json.dumps(snapshot.to_jsonable(), indent=indent, sort_keys=True)
+
+
+class PrometheusParseError(ValueError):
+    """The text is not valid (minimal-dialect) Prometheus exposition."""
+
+
+def _parse_labels(text: str) -> LabelKey:
+    """``a="x",b="y"`` -> sorted ((name, value), ...) pairs."""
+    pairs = []
+    index = 0
+    while index < len(text):
+        eq = text.index("=", index)
+        name = text[index:eq].strip()
+        if not name.replace("_", "").isalnum():
+            raise PrometheusParseError(f"bad label name {name!r}")
+        if text[eq + 1] != '"':
+            raise PrometheusParseError(f"unquoted label value after {name}")
+        value = []
+        pos = eq + 2
+        while True:
+            char = text[pos]
+            if char == "\\":
+                nxt = text[pos + 1]
+                value.append(
+                    {"\\": "\\", '"': '"', "n": "\n"}.get(nxt, "\\" + nxt)
+                )
+                pos += 2
+            elif char == '"':
+                pos += 1
+                break
+            else:
+                value.append(char)
+                pos += 1
+        pairs.append((name, "".join(value)))
+        if pos < len(text):
+            if text[pos] != ",":
+                raise PrometheusParseError(
+                    f"expected ',' between labels, got {text[pos]!r}"
+                )
+            pos += 1
+        index = pos
+    return tuple(sorted(pairs))
+
+
+def parse_prometheus(text: str) -> Dict[str, dict]:
+    """Parse ``to_prometheus`` output back into plain data.
+
+    Returns ``{metric_name: {"type": kind, "help": str|None,
+    "samples": {label_pairs_tuple: float}}}`` where histogram series
+    appear under their expanded ``_bucket``/``_sum``/``_count`` names
+    attributed to the base metric.  Raises
+    :class:`PrometheusParseError` on anything malformed — that is the
+    point: CI feeds the CLI's export through this to prove the file is
+    well-formed.
+    """
+    metrics: Dict[str, dict] = {}
+    types: Dict[str, str] = {}
+
+    def entry(name: str) -> dict:
+        return metrics.setdefault(
+            name, {"type": None, "help": None, "samples": {}}
+        )
+
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            entry(name)["help"] = help_text
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            if kind not in ("counter", "gauge", "histogram", "untyped"):
+                raise PrometheusParseError(f"unknown type {kind!r}")
+            entry(name)["type"] = kind
+            types[name] = kind
+            continue
+        if line.startswith("#"):
+            continue
+        if "{" in line:
+            name = line[: line.index("{")]
+            close = line.rindex("}")
+            labels = _parse_labels(line[line.index("{") + 1 : close])
+            value_text = line[close + 1 :].strip()
+        else:
+            name, _, value_text = line.partition(" ")
+            labels = ()
+            value_text = value_text.strip()
+        if not value_text:
+            raise PrometheusParseError(f"sample without a value: {raw!r}")
+        try:
+            value = float(value_text.replace("+Inf", "inf"))
+        except ValueError:
+            raise PrometheusParseError(
+                f"bad sample value {value_text!r} on line {raw!r}"
+            )
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            trimmed = name[: -len(suffix)] if name.endswith(suffix) else None
+            if trimmed and types.get(trimmed) == "histogram":
+                base = trimmed
+                break
+        if base not in metrics or metrics[base]["type"] is None:
+            raise PrometheusParseError(
+                f"sample for {name!r} before its # TYPE line"
+            )
+        series = entry(base)["samples"]
+        series_key = (name, labels)
+        if series_key in series:
+            raise PrometheusParseError(f"duplicate sample {series_key!r}")
+        series[series_key] = value
+    return metrics

@@ -1,0 +1,425 @@
+"""Labeled metrics: Counter / Gauge / Histogram + mergeable snapshots.
+
+The registry is deliberately tiny and dependency-free: metric objects
+hold plain dicts keyed by label-value tuples, and :meth:`MetricsRegistry
+.snapshot` captures everything as a :class:`MetricsSnapshot` — a
+plain-data, picklable object that crosses process boundaries unchanged
+(the parallel suite runner ships one back per worker task) and merges
+field-wise:
+
+* **counters** and **histograms** add sample-wise (per-process totals
+  combine into run totals);
+* **gauges** are point-in-time values, so a label-set collision keeps
+  the *maximum* (deterministic regardless of merge order — the common
+  gauges here, table sizes and throughput, want the peak anyway).
+
+Label values are always stringified, matching the Prometheus data
+model; label *names* are fixed per metric at creation time and
+re-registration with a different type or label schema is an error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Default histogram buckets (seconds-flavoured, like Prometheus').
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0,
+)
+
+LabelKey = Tuple[str, ...]
+
+
+class MetricError(ValueError):
+    """Invalid metric usage: bad labels, type clash, merge mismatch."""
+
+
+def _validate_name(name: str) -> str:
+    if not name or not all(c.isalnum() or c in "_:" for c in name):
+        raise MetricError(f"invalid metric name {name!r}")
+    if name[0].isdigit():
+        raise MetricError(f"metric name cannot start with a digit: {name!r}")
+    return name
+
+
+class Metric:
+    """Common labeled-sample machinery; use the concrete subclasses."""
+
+    kind = "untyped"
+
+    def __init__(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ):
+        self.name = _validate_name(name)
+        self.help = help
+        self.labelnames: Tuple[str, ...] = tuple(labelnames)
+        self._samples: Dict[LabelKey, object] = {}
+
+    def _key(self, labels: Dict[str, object]) -> LabelKey:
+        if set(labels) != set(self.labelnames):
+            raise MetricError(
+                f"{self.name}: expected labels {sorted(self.labelnames)}, "
+                f"got {sorted(labels)}"
+            )
+        return tuple(str(labels[n]) for n in self.labelnames)
+
+    def samples(self) -> List[Tuple[LabelKey, object]]:
+        """``(label_values, value)`` pairs in insertion order."""
+        return list(self._samples.items())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<{type(self).__name__} {self.name} "
+            f"labels={self.labelnames} samples={len(self._samples)}>"
+        )
+
+
+class Counter(Metric):
+    """Monotonically-increasing labeled counter."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1, **labels: object) -> None:
+        """Add ``amount`` (must be >= 0) to the labeled sample."""
+        if amount < 0:
+            raise MetricError(
+                f"{self.name}: counters cannot decrease (inc {amount})"
+            )
+        key = self._key(labels)
+        self._samples[key] = self._samples.get(key, 0) + amount
+
+    def set_total(self, value: float, **labels: object) -> None:
+        """Overwrite the labeled sample with a cumulative total.
+
+        For adopting counters maintained elsewhere (e.g. the sieve's
+        own admission/rejection tallies) without double counting; the
+        value must not move backwards.
+        """
+        key = self._key(labels)
+        if value < self._samples.get(key, 0):
+            raise MetricError(
+                f"{self.name}: counter total moved backwards "
+                f"({self._samples[key]} -> {value})"
+            )
+        self._samples[key] = value
+
+    def value(self, **labels: object) -> float:
+        """Current value of the labeled sample (0 if never touched)."""
+        return self._samples.get(self._key(labels), 0)
+
+
+class Gauge(Metric):
+    """Point-in-time labeled value (table sizes, throughput, ...)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: object) -> None:
+        self._samples[self._key(labels)] = value
+
+    def value(self, **labels: object) -> float:
+        return self._samples.get(self._key(labels), 0)
+
+
+@dataclass
+class HistogramValue:
+    """One labeled histogram sample: bucket counts + sum + count."""
+
+    bucket_counts: List[int]
+    sum: float = 0.0
+    count: int = 0
+
+    def observe(self, value: float, bounds: Sequence[float]) -> None:
+        self.sum += value
+        self.count += 1
+        for index, bound in enumerate(bounds):
+            if value <= bound:
+                self.bucket_counts[index] += 1
+                break
+        # values beyond the last bound only land in the implicit +Inf
+        # bucket, which is ``count`` itself.
+
+
+class Histogram(Metric):
+    """Labeled histogram over fixed, metric-wide bucket bounds."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Optional[Sequence[float]] = None,
+    ):
+        super().__init__(name, help, labelnames)
+        bounds = tuple(buckets) if buckets is not None else DEFAULT_BUCKETS
+        if not bounds or list(bounds) != sorted(bounds):
+            raise MetricError(
+                f"{self.name}: bucket bounds must be sorted and non-empty"
+            )
+        self.buckets: Tuple[float, ...] = bounds
+
+    def observe(self, value: float, **labels: object) -> None:
+        key = self._key(labels)
+        sample = self._samples.get(key)
+        if sample is None:
+            sample = HistogramValue(bucket_counts=[0] * len(self.buckets))
+            self._samples[key] = sample
+        sample.observe(value, self.buckets)
+
+    def value(self, **labels: object) -> Optional[HistogramValue]:
+        return self._samples.get(self._key(labels))
+
+
+@dataclass
+class MetricsSnapshot:
+    """Plain-data capture of a registry — picklable and mergeable.
+
+    ``metrics`` maps metric name to::
+
+        {"kind": "counter"|"gauge"|"histogram", "help": str,
+         "labelnames": (...,), "buckets": (...,)  # histograms only
+         "samples": {label_values_tuple: number | histogram dict}}
+
+    Histogram sample values are ``{"bucket_counts": [...], "sum": s,
+    "count": n}``.  Everything is built from tuples/lists/dicts/numbers
+    so the snapshot pickles and deep-compares cheaply.
+    """
+
+    metrics: Dict[str, dict] = field(default_factory=dict)
+
+    def merge(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
+        """Accumulate ``other`` into this snapshot, in place.
+
+        Counters/histograms add; gauges keep the per-label maximum.
+        Returns ``self`` for chaining.
+        """
+        for name, theirs in other.metrics.items():
+            mine = self.metrics.get(name)
+            if mine is None:
+                self.metrics[name] = _copy_entry(theirs)
+                continue
+            if mine["kind"] != theirs["kind"] or tuple(
+                mine["labelnames"]
+            ) != tuple(theirs["labelnames"]):
+                raise MetricError(
+                    f"cannot merge metric {name!r}: "
+                    f"{mine['kind']}{tuple(mine['labelnames'])} vs "
+                    f"{theirs['kind']}{tuple(theirs['labelnames'])}"
+                )
+            kind = mine["kind"]
+            if kind == "histogram" and tuple(mine["buckets"]) != tuple(
+                theirs["buckets"]
+            ):
+                raise MetricError(
+                    f"cannot merge histogram {name!r}: bucket bounds differ"
+                )
+            for key, value in theirs["samples"].items():
+                current = mine["samples"].get(key)
+                if current is None:
+                    mine["samples"][key] = _copy_sample(value)
+                elif kind == "counter":
+                    mine["samples"][key] = current + value
+                elif kind == "gauge":
+                    mine["samples"][key] = max(current, value)
+                else:  # histogram
+                    current["bucket_counts"] = [
+                        a + b
+                        for a, b in zip(
+                            current["bucket_counts"], value["bucket_counts"]
+                        )
+                    ]
+                    current["sum"] += value["sum"]
+                    current["count"] += value["count"]
+        return self
+
+    @classmethod
+    def merged(cls, parts: Iterable["MetricsSnapshot"]) -> "MetricsSnapshot":
+        """Merge any number of snapshots into a fresh one."""
+        result = cls()
+        for part in parts:
+            result.merge(part)
+        return result
+
+    def to_jsonable(self) -> dict:
+        """JSON-safe form: label tuples become ``{"labels": {...}}`` rows."""
+        out = {}
+        for name, entry in self.metrics.items():
+            labelnames = list(entry["labelnames"])
+            rows = []
+            for key, value in entry["samples"].items():
+                rows.append(
+                    {
+                        "labels": dict(zip(labelnames, key)),
+                        "value": _copy_sample(value),
+                    }
+                )
+            item = {
+                "kind": entry["kind"],
+                "help": entry["help"],
+                "labelnames": labelnames,
+                "samples": rows,
+            }
+            if entry["kind"] == "histogram":
+                item["buckets"] = list(entry["buckets"])
+            out[name] = item
+        return out
+
+
+def _copy_sample(value):
+    if isinstance(value, dict):
+        return {
+            "bucket_counts": list(value["bucket_counts"]),
+            "sum": value["sum"],
+            "count": value["count"],
+        }
+    return value
+
+
+def _copy_entry(entry: dict) -> dict:
+    copied = {
+        "kind": entry["kind"],
+        "help": entry["help"],
+        "labelnames": tuple(entry["labelnames"]),
+        "samples": {
+            key: _copy_sample(value)
+            for key, value in entry["samples"].items()
+        },
+    }
+    if entry["kind"] == "histogram":
+        copied["buckets"] = tuple(entry["buckets"])
+    return copied
+
+
+class MetricsRegistry:
+    """Insertion-ordered collection of named metrics.
+
+    ``counter`` / ``gauge`` / ``histogram`` are get-or-create: repeated
+    registration with the same schema returns the existing metric, and
+    a schema clash raises :class:`MetricError` (two call sites silently
+    disagreeing about labels is the bug this catches).
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+
+    def _get_or_create(self, cls, name, help, labelnames, **kwargs) -> Metric:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls) or existing.labelnames != tuple(
+                labelnames
+            ):
+                raise MetricError(
+                    f"metric {name!r} already registered as "
+                    f"{existing.kind}{existing.labelnames}"
+                )
+            return existing
+        metric = cls(name, help, labelnames, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Counter:
+        return self._get_or_create(Counter, name, help, labelnames)
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Optional[Sequence[float]] = None,
+    ) -> Histogram:
+        metric = self._get_or_create(
+            Histogram, name, help, labelnames, buckets=buckets
+        )
+        if buckets is not None and metric.buckets != tuple(buckets):
+            raise MetricError(
+                f"histogram {name!r} already registered with buckets "
+                f"{metric.buckets}"
+            )
+        return metric
+
+    def get(self, name: str) -> Optional[Metric]:
+        return self._metrics.get(name)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __iter__(self):
+        return iter(self._metrics.values())
+
+    def snapshot(self) -> MetricsSnapshot:
+        """Deep-copied plain-data capture of every metric."""
+        snap = MetricsSnapshot()
+        for metric in self._metrics.values():
+            entry = {
+                "kind": metric.kind,
+                "help": metric.help,
+                "labelnames": metric.labelnames,
+                "samples": {},
+            }
+            if isinstance(metric, Histogram):
+                entry["buckets"] = metric.buckets
+            for key, value in metric.samples():
+                if isinstance(value, HistogramValue):
+                    entry["samples"][key] = {
+                        "bucket_counts": list(value.bucket_counts),
+                        "sum": value.sum,
+                        "count": value.count,
+                    }
+                else:
+                    entry["samples"][key] = value
+            snap.metrics[metric.name] = entry
+        return snap
+
+    def merge_snapshot(self, snapshot: MetricsSnapshot) -> None:
+        """Fold a snapshot's samples into this registry's live metrics.
+
+        Metrics absent from the registry are created with the
+        snapshot's schema; merge semantics match
+        :meth:`MetricsSnapshot.merge`.
+        """
+        for name, entry in snapshot.metrics.items():
+            kind = entry["kind"]
+            labelnames = tuple(entry["labelnames"])
+            if kind == "counter":
+                metric = self.counter(name, entry["help"], labelnames)
+                for key, value in entry["samples"].items():
+                    metric._samples[key] = metric._samples.get(key, 0) + value
+            elif kind == "gauge":
+                metric = self.gauge(name, entry["help"], labelnames)
+                for key, value in entry["samples"].items():
+                    metric._samples[key] = max(
+                        metric._samples.get(key, value), value
+                    )
+            elif kind == "histogram":
+                metric = self.histogram(
+                    name, entry["help"], labelnames, buckets=entry["buckets"]
+                )
+                for key, value in entry["samples"].items():
+                    sample = metric._samples.get(key)
+                    if sample is None:
+                        metric._samples[key] = HistogramValue(
+                            bucket_counts=list(value["bucket_counts"]),
+                            sum=value["sum"],
+                            count=value["count"],
+                        )
+                    else:
+                        sample.bucket_counts = [
+                            a + b
+                            for a, b in zip(
+                                sample.bucket_counts, value["bucket_counts"]
+                            )
+                        ]
+                        sample.sum += value["sum"]
+                        sample.count += value["count"]
+            else:  # pragma: no cover - snapshots only carry known kinds
+                raise MetricError(f"unknown metric kind {kind!r} in snapshot")

@@ -1,0 +1,125 @@
+"""The process-wide observability switch.
+
+Observability is **off by default**: :func:`get_context` returns
+``None``, every instrumentation site short-circuits on that, and a run
+produces byte-identical results and artifacts to a build without this
+package (asserted by ``tests/sim/test_observability.py``).
+
+:func:`enable` installs an :class:`ObsContext` (metrics registry +
+optional JSON-lines event log); :func:`disable` tears it down.  The
+parallel suite runner uses :func:`scoped_registry` to give each task a
+fresh registry whose snapshot is shipped back and merged, so
+cross-process totals combine without double counting.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Optional, Union
+
+from repro.obs.events import EventLog
+from repro.obs.metrics import MetricsRegistry
+
+
+@dataclass
+class ObsContext:
+    """What instrumented code sees when observability is on."""
+
+    registry: MetricsRegistry
+    events: Optional[EventLog] = None
+
+
+_CONTEXT: Optional[ObsContext] = None
+
+
+def enabled() -> bool:
+    """True when observability has been enabled in this process."""
+    return _CONTEXT is not None
+
+
+def get_context() -> Optional[ObsContext]:
+    """The active context, or ``None`` (observability off)."""
+    return _CONTEXT
+
+
+def get_registry() -> Optional[MetricsRegistry]:
+    """The active registry, or ``None`` (observability off)."""
+    return _CONTEXT.registry if _CONTEXT is not None else None
+
+
+def get_events() -> Optional[EventLog]:
+    """The active event log, or ``None``."""
+    return _CONTEXT.events if _CONTEXT is not None else None
+
+
+def enable(
+    registry: Optional[MetricsRegistry] = None,
+    events_path: Optional[Union[str, Path]] = None,
+) -> ObsContext:
+    """Turn observability on (replacing any previous context).
+
+    A previous context's event log is closed unless the new context
+    reuses it implicitly by path — callers wanting nesting should use
+    :func:`scoped_registry` instead.
+    """
+    global _CONTEXT
+    if _CONTEXT is not None and _CONTEXT.events is not None:
+        _CONTEXT.events.close()
+    _CONTEXT = ObsContext(
+        registry=registry if registry is not None else MetricsRegistry(),
+        events=EventLog(events_path) if events_path is not None else None,
+    )
+    return _CONTEXT
+
+
+def disable() -> None:
+    """Turn observability off and close the event log, if any."""
+    global _CONTEXT
+    if _CONTEXT is not None and _CONTEXT.events is not None:
+        _CONTEXT.events.close()
+    _CONTEXT = None
+
+
+@contextmanager
+def observability(
+    events_path: Optional[Union[str, Path]] = None,
+) -> Iterator[ObsContext]:
+    """Enable observability for a block; restores the prior state after."""
+    global _CONTEXT
+    previous = _CONTEXT
+    context = ObsContext(
+        registry=MetricsRegistry(),
+        events=EventLog(events_path) if events_path is not None else None,
+    )
+    _CONTEXT = context
+    try:
+        yield context
+    finally:
+        if context.events is not None:
+            context.events.close()
+        _CONTEXT = previous
+
+
+@contextmanager
+def scoped_registry() -> Iterator[ObsContext]:
+    """Swap in a fresh registry, keeping the surrounding event log.
+
+    Used per suite task: the task's metrics accumulate in isolation,
+    its snapshot travels in the manifest, and the caller merges it into
+    the parent registry — identical flow for in-process and worker
+    execution.  A no-op-flavoured fresh context is installed even when
+    observability was off, so callers must only use it when enabled.
+    """
+    global _CONTEXT
+    previous = _CONTEXT
+    context = ObsContext(
+        registry=MetricsRegistry(),
+        events=previous.events if previous is not None else None,
+    )
+    _CONTEXT = context
+    try:
+        yield context
+    finally:
+        _CONTEXT = previous

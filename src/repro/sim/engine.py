@@ -49,12 +49,29 @@ from repro.util.intervals import SECONDS_PER_DAY
 
 
 #: Set once the first silent fast-path fallback has been reported, so a
-#: sweep over many unsupported configurations warns exactly once.
+#: sweep over many unsupported configurations warns exactly once per
+#: reset scope.  The suite runners reset it per task (see
+#: :func:`_reset_fallback_warnings`), so whether a run warns never
+#: depends on what happened to execute earlier in the same process.
 _FALLBACK_WARNED = False
 
 #: Default request interval between checkpoints when a checkpoint path
 #: is given without an explicit cadence.
 DEFAULT_CHECKPOINT_EVERY = 100_000
+
+
+def _reset_fallback_warnings() -> None:
+    """Forget that the fast-path fallback already warned.
+
+    The warn-once latch is process-global; without a reset, whether a
+    given ``simulate(fast_path=True)`` call warns depends on execution
+    order — a test passing alone could go silent inside the full suite,
+    and the first task of a policy suite would mute every later one.
+    ``run_policy_suite`` resets per task; tests asserting on the warning
+    call this directly.
+    """
+    global _FALLBACK_WARNED
+    _FALLBACK_WARNED = False
 
 
 def _warn_fast_path_fallback(
@@ -238,6 +255,9 @@ def _run_object_loop(
     start_epoch: int = -1,
     checkpoint_every: Optional[int] = None,
     checkpointer=None,
+    boundary_hook=None,
+    progress_every: Optional[int] = None,
+    progress_hook=None,
 ) -> None:
     """The reference request loop, shared by fresh runs and resumes."""
     current_epoch = start_epoch
@@ -247,14 +267,20 @@ def _run_object_loop(
         while current_epoch < request_epoch:
             current_epoch += 1
             appliance.begin_day(current_epoch)
+            if boundary_hook is not None:
+                boundary_hook(current_epoch, index)
         appliance.process_request(request)
         if checkpoint_every is not None and (index + 1) % checkpoint_every == 0:
             checkpointer(index + 1, current_epoch)
+        if progress_every is not None and (index + 1) % progress_every == 0:
+            progress_hook(index + 1, current_epoch)
     # Fire any remaining boundaries so discrete policies finish their
     # final epoch bookkeeping (no accesses follow, so no hits change).
     while current_epoch < total_epochs - 1:
         current_epoch += 1
         appliance.begin_day(current_epoch)
+        if boundary_hook is not None:
+            boundary_hook(current_epoch, len(requests))
     appliance.flush_dirty(time=float(days) * SECONDS_PER_DAY - 1.0)
 
 
@@ -268,6 +294,89 @@ def _finalize_faults(
     degraded, bypass = faults.time_in_states(float(days) * SECONDS_PER_DAY)
     stats.degraded_seconds = degraded
     stats.bypass_seconds = bypass
+
+
+@dataclass
+class _EngineObs:
+    """Engine-side hooks resolved from the active observability context.
+
+    Exists only while observability is enabled; every engine call site
+    tests a single ``obs is not None`` otherwise, which keeps the
+    disabled path byte-identical to a build without :mod:`repro.obs`.
+    """
+
+    registry: object
+    events: object
+    label: str
+    engine: str
+    boundary_hook: object
+    health_observer: object
+
+    def emit(self, event: str, **fields) -> None:
+        if self.events is not None:
+            self.events.emit(event, **fields)
+
+    def wrap_checkpointer(self, checkpointer):
+        """Log a ``checkpoint_saved`` event after each checkpoint write."""
+        if checkpointer is None or self.events is None:
+            return checkpointer
+
+        def wrapped(cursor: int, current_epoch: int) -> None:
+            checkpointer(cursor, current_epoch)
+            self.events.emit(
+                "checkpoint_saved",
+                policy=self.label,
+                cursor=cursor,
+                epoch=current_epoch,
+            )
+
+        return wrapped
+
+    def finish(self, policy, requests: int, stats, wall: float) -> None:
+        """Adopt the run's tallies into the registry, emit ``run_end``."""
+        from repro.obs import instrument
+
+        instrument.sample_sieve_metrics(self.registry, policy, self.label)
+        instrument.record_run_throughput(
+            self.registry,
+            self.label,
+            self.engine,
+            requests,
+            stats.total.accesses,
+            wall,
+        )
+        self.emit(
+            "run_end",
+            policy=self.label,
+            engine=self.engine,
+            requests=requests,
+            blocks=stats.total.accesses,
+            seconds=round(wall, 6),
+        )
+
+
+def _engine_obs(policy, label: str, engine_name: str) -> Optional[_EngineObs]:
+    """Build engine hooks when observability is on, else ``None``."""
+    from repro.obs import runtime as _obs_runtime
+
+    context = _obs_runtime.get_context()
+    if context is None:
+        return None
+    from repro.obs import instrument
+
+    instrument.enable_policy_tracking(policy)
+    return _EngineObs(
+        registry=context.registry,
+        events=context.events,
+        label=label,
+        engine=engine_name,
+        boundary_hook=instrument.make_epoch_timer(
+            context.registry, label, engine_name
+        ),
+        health_observer=instrument.make_health_observer(
+            context.registry, label, context.events
+        ),
+    )
 
 
 def simulate(
@@ -286,6 +395,9 @@ def simulate(
     checkpoint_path: Optional[Union[str, Path]] = None,
     checkpoint_every: Optional[int] = None,
     checkpoint_context: Optional[dict] = None,
+    label: Optional[str] = None,
+    progress_every: Optional[int] = None,
+    progress_hook=None,
 ) -> SimulationResult:
     """Run one allocation policy over a trace.
 
@@ -332,6 +444,16 @@ def simulate(
         checkpoint_context: opaque dict stored verbatim inside each
             checkpoint (the CLI records its trace arguments here so
             ``--resume`` can regenerate the trace).
+        label: name used for observability metric labels and events
+            (defaults to ``policy.name``; suite runners pass the
+            registry key so e.g. ``aod-16`` and ``aod-32`` stay
+            distinguishable).  Never affects simulation output.
+        progress_every: invoke ``progress_hook(requests_done,
+            current_epoch)`` every this many requests (the CLI's
+            ``--progress`` heartbeat).  ``None`` disables it with zero
+            hot-loop cost beyond one predicate test per request.
+        progress_hook: callable receiving ``(requests_done,
+            current_epoch)``; must not mutate simulation state.
     """
     if epoch_seconds <= 0:
         raise ValueError(f"epoch_seconds must be positive, got {epoch_seconds}")
@@ -364,6 +486,16 @@ def simulate(
             capacity_blocks,
             replacement=make_replacement(replacement, seed=replacement_seed),
         )
+        obs = _engine_obs(policy, label or policy.name, "fast")
+        if obs is not None:
+            obs.emit(
+                "run_start",
+                policy=obs.label,
+                engine="fast",
+                requests=len(columns.issue_time),
+                days=days,
+                epoch_seconds=epoch_seconds,
+            )
         started = _time.perf_counter()
         checkpointer = None
         if checkpoint_path is not None:
@@ -389,6 +521,8 @@ def simulate(
                 started,
                 0.0,
             )
+        if obs is not None:
+            checkpointer = obs.wrap_checkpointer(checkpointer)
         stats, cache = simulate_fast(
             columns,
             policy,
@@ -402,8 +536,13 @@ def simulate(
             cache=cache,
             checkpoint_every=checkpoint_every,
             checkpointer=checkpointer,
+            boundary_hook=obs.boundary_hook if obs is not None else None,
+            progress_every=progress_every,
+            progress_hook=progress_hook,
         )
         wall = _time.perf_counter() - started
+        if obs is not None:
+            obs.finish(policy, len(columns.issue_time), stats, wall)
         stats.check_consistency()
         return SimulationResult(
             policy_name=policy.name,
@@ -428,6 +567,17 @@ def simulate(
         epoch_seconds=epoch_seconds,
         faults=FaultInjector(fault_plan) if fault_plan is not None else None,
     )
+    obs = _engine_obs(policy, label or policy.name, "object")
+    if obs is not None:
+        appliance.health_observer = obs.health_observer
+        obs.emit(
+            "run_start",
+            policy=obs.label,
+            engine="object",
+            requests=len(object_trace.requests),
+            days=days,
+            epoch_seconds=epoch_seconds,
+        )
 
     started = _time.perf_counter()
     checkpointer = None
@@ -452,6 +602,8 @@ def simulate(
             started,
             0.0,
         )
+    if obs is not None:
+        checkpointer = obs.wrap_checkpointer(checkpointer)
     _run_object_loop(
         appliance,
         object_trace.requests,
@@ -460,10 +612,15 @@ def simulate(
         days,
         checkpoint_every=checkpoint_every,
         checkpointer=checkpointer,
+        boundary_hook=obs.boundary_hook if obs is not None else None,
+        progress_every=progress_every,
+        progress_hook=progress_hook,
     )
     wall = _time.perf_counter() - started
 
     _finalize_faults(stats, appliance.faults, days)
+    if obs is not None:
+        obs.finish(policy, len(object_trace.requests), stats, wall)
     stats.check_consistency()
     return SimulationResult(
         policy_name=policy.name,
@@ -479,6 +636,8 @@ def resume_simulation(
     path: Union[str, Path],
     trace: Union[Trace, ColumnarTrace, None] = None,
     checkpoint_path: Optional[Union[str, Path]] = None,
+    progress_every: Optional[int] = None,
+    progress_hook=None,
 ) -> SimulationResult:
     """Continue a checkpointed run to completion.
 
@@ -532,6 +691,16 @@ def resume_simulation(
     started = _time.perf_counter()
     if engine_kind == "object":
         appliance = payload["appliance"]
+        obs = _engine_obs(appliance.policy, payload["policy_name"], "object")
+        if obs is not None:
+            appliance.health_observer = obs.health_observer
+            obs.emit(
+                "run_resume",
+                policy=obs.label,
+                engine="object",
+                cursor=payload["cursor"],
+                requests=len(object_trace.requests),
+            )
         checkpointer = _object_checkpointer(
             target,
             appliance,
@@ -541,6 +710,8 @@ def resume_simulation(
             started,
             base_elapsed,
         )
+        if obs is not None:
+            checkpointer = obs.wrap_checkpointer(checkpointer)
         _run_object_loop(
             appliance,
             object_trace.requests,
@@ -551,6 +722,9 @@ def resume_simulation(
             start_epoch=payload["current_epoch"],
             checkpoint_every=checkpoint_every,
             checkpointer=checkpointer,
+            boundary_hook=obs.boundary_hook if obs is not None else None,
+            progress_every=progress_every,
+            progress_hook=progress_hook,
         )
         stats = appliance.stats
         cache = appliance.cache
@@ -562,6 +736,15 @@ def resume_simulation(
         policy = payload["policy"]
         cache = payload["cache"]
         stats = payload["stats"]
+        obs = _engine_obs(policy, payload["policy_name"], "fast")
+        if obs is not None:
+            obs.emit(
+                "run_resume",
+                policy=obs.label,
+                engine="fast",
+                cursor=payload["cursor"],
+                requests=len(columns.issue_time),
+            )
         checkpointer = _fast_checkpointer(
             target,
             policy,
@@ -573,6 +756,8 @@ def resume_simulation(
             started,
             base_elapsed,
         )
+        if obs is not None:
+            checkpointer = obs.wrap_checkpointer(checkpointer)
         stats, cache = simulate_fast(
             columns,
             policy,
@@ -588,11 +773,16 @@ def resume_simulation(
             start_epoch=payload["current_epoch"],
             checkpoint_every=checkpoint_every,
             checkpointer=checkpointer,
+            boundary_hook=obs.boundary_hook if obs is not None else None,
+            progress_every=progress_every,
+            progress_hook=progress_hook,
         )
     else:
         raise CheckpointError(f"unknown checkpoint engine {engine_kind!r}")
 
     wall = base_elapsed + (_time.perf_counter() - started)
+    if obs is not None:
+        obs.finish(policy, payload["trace_fingerprint"]["requests"], stats, wall)
     stats.check_consistency()
     return SimulationResult(
         policy_name=payload["policy_name"],

@@ -205,12 +205,16 @@ def run_policy(
     checkpoint_path=None,
     checkpoint_every: Optional[int] = None,
     checkpoint_context: Optional[dict] = None,
+    progress_every: Optional[int] = None,
+    progress_hook=None,
 ) -> SimulationResult:
     """Build and simulate one configuration; result is renamed to ``name``.
 
     ``fault_plan`` (a :class:`~repro.faults.plan.FaultPlan`),
-    ``epoch_seconds``, and the checkpoint arguments are forwarded to
-    :func:`~repro.sim.engine.simulate` unchanged.
+    ``epoch_seconds``, the checkpoint arguments, and the progress hook
+    are forwarded to :func:`~repro.sim.engine.simulate` unchanged; the
+    configuration key doubles as the observability label so e.g.
+    ``aod-16`` and ``aod-32`` metrics stay distinguishable.
     """
     policy, capacity = build_policy(name, ctx)
     trace = ctx.columnar_trace() if fast_path else ctx.object_trace()
@@ -228,6 +232,9 @@ def run_policy(
         checkpoint_path=checkpoint_path,
         checkpoint_every=checkpoint_every,
         checkpoint_context=checkpoint_context,
+        label=name,
+        progress_every=progress_every,
+        progress_hook=progress_hook,
         **extra,
     )
     result.policy_name = name
@@ -245,6 +252,10 @@ def run_policy_suite(
     epoch_seconds: Optional[float] = None,
     checkpoint_dir=None,
     checkpoint_every: Optional[int] = None,
+    collect_metrics: Optional[bool] = None,
+    on_task_done=None,
+    progress_every: Optional[int] = None,
+    progress_hook=None,
 ) -> "SuiteRun":
     """Simulate a set of configurations over the same trace.
 
@@ -269,6 +280,15 @@ def run_policy_suite(
     requests (resume individual tasks with
     :func:`~repro.sim.engine.resume_simulation`).  Both are recorded
     per task in the run manifest.
+
+    ``collect_metrics`` gathers per-task metrics snapshots into
+    ``SuiteRun.metrics`` and a v3 manifest (``None`` follows the
+    process-wide observability switch); ``on_task_done`` receives each
+    finished task's :class:`~repro.sim.parallel.TaskRecord`.  The
+    per-request ``progress_every`` / ``progress_hook`` pair only
+    applies to serial (``jobs=1``) execution — hooks cannot cross the
+    worker process boundary; parallel runs report per task via
+    ``on_task_done``.
     """
     if jobs is None or jobs > 1:
         from repro.sim.parallel import run_suite_parallel
@@ -284,6 +304,8 @@ def run_policy_suite(
             epoch_seconds=epoch_seconds,
             checkpoint_dir=checkpoint_dir,
             checkpoint_every=checkpoint_every,
+            collect_metrics=collect_metrics,
+            on_task_done=on_task_done,
         )
     from repro.sim.parallel import run_suite_serial
 
@@ -291,6 +313,8 @@ def run_policy_suite(
         ctx, names, track_minutes=track_minutes, fast_path=fast_path,
         fault_plan=fault_plan, epoch_seconds=epoch_seconds,
         checkpoint_dir=checkpoint_dir, checkpoint_every=checkpoint_every,
+        collect_metrics=collect_metrics, on_task_done=on_task_done,
+        progress_every=progress_every, progress_hook=progress_hook,
     )
 
 

@@ -109,6 +109,9 @@ def simulate_fast(
     start_epoch: int = -1,
     checkpoint_every: int = None,
     checkpointer=None,
+    boundary_hook=None,
+    progress_every: int = None,
+    progress_hook=None,
 ) -> Tuple[CacheStats, BlockCache]:
     """Replay ``columns`` through ``policy``; LRU + write-through only.
 
@@ -121,6 +124,12 @@ def simulate_fast(
     ``checkpoint_every`` requests with the cache's resident set already
     resynced, so the callback can pickle ``policy``/``cache``/``stats``
     as-is.  The driver for both is :mod:`repro.sim.engine`.
+
+    Observability: ``boundary_hook(epoch, cursor)`` fires after each
+    epoch boundary is applied; ``progress_hook(requests_done,
+    current_epoch)`` fires every ``progress_every`` requests.  Both are
+    telemetry-only — they must not mutate simulation state — and when
+    left ``None`` cost one predicate test per boundary/request.
     """
     if stats is None:
         stats = CacheStats(days=days, track_minutes=track_minutes)
@@ -189,6 +198,8 @@ def simulate_fast(
             while current_epoch < epoch:
                 current_epoch += 1
                 apply_boundary(current_epoch)
+                if boundary_hook is not None:
+                    boundary_hook(current_epoch, j)
             if omode == _O_COUNTER:
                 counts = policy._epoch_counts
             elif omode == _O_SET:
@@ -328,11 +339,15 @@ def simulate_fast(
             if may_allocate:
                 cache._resident = set(od)
             checkpointer(j + 1, current_epoch)
+        if progress_every is not None and (j + 1) % progress_every == 0:
+            progress_hook(j + 1, current_epoch)
 
     # Trailing epoch boundaries (discrete policies close their books).
     while current_epoch < total_epochs - 1:
         current_epoch += 1
         apply_boundary(current_epoch)
+        if boundary_hook is not None:
+            boundary_hook(current_epoch, n_requests)
     if may_allocate:
         cache._resident = set(od)
     return stats, cache

@@ -62,6 +62,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Sequence, Union
 
+from repro.sim import engine as _engine
 from repro.sim.engine import DEFAULT_CHECKPOINT_EVERY, SimulationResult
 from repro.traces.columnar import ColumnarTrace
 
@@ -69,6 +70,11 @@ from repro.traces.columnar import ColumnarTrace
 #: v2 added per-task ``fault_plan`` (plan fingerprint) and
 #: ``checkpoint`` (path + cadence) metadata.
 MANIFEST_SCHEMA_VERSION = 2
+
+#: Manifest schema emitted when metrics collection is on: v3 adds a
+#: per-task ``"metrics"`` snapshot and a suite-level ``"metrics"``
+#: block.  Runs without observability keep emitting v2 byte-identically.
+MANIFEST_SCHEMA_VERSION_METRICS = 3
 
 #: Environment variable enabling fault injection (``mode:policy[:arg]``).
 FAULT_ENV_VAR = "SIEVESTORE_FAULT_INJECT"
@@ -165,20 +171,39 @@ def _run_one(
     epoch_seconds=None,
     checkpoint_dir=None,
     checkpoint_every=None,
+    collect_metrics: bool = False,
 ):
     from repro.sim.experiment import run_policy
 
     assert _WORKER_CONTEXT is not None, "worker initializer did not run"
+    # Warn-once state must not depend on what else ran in this worker
+    # process (workers execute several tasks back to back).
+    _engine._reset_fallback_warnings()
     _maybe_inject_fault(name, in_worker=True)
     meta = _checkpoint_meta(checkpoint_dir, name, checkpoint_every)
+    snapshot = None
     started = time.perf_counter()
-    result = run_policy(
-        name, _WORKER_CONTEXT, track_minutes=track_minutes, fast_path=fast_path,
-        fault_plan=fault_plan, epoch_seconds=epoch_seconds,
-        checkpoint_path=meta["path"] if meta else None,
-        checkpoint_every=checkpoint_every,
-    )
-    return name, os.getpid(), time.perf_counter() - started, result
+    if collect_metrics:
+        from repro.obs.runtime import scoped_registry
+
+        with scoped_registry() as obs_context:
+            result = run_policy(
+                name, _WORKER_CONTEXT, track_minutes=track_minutes,
+                fast_path=fast_path, fault_plan=fault_plan,
+                epoch_seconds=epoch_seconds,
+                checkpoint_path=meta["path"] if meta else None,
+                checkpoint_every=checkpoint_every,
+            )
+            snapshot = obs_context.registry.snapshot()
+    else:
+        result = run_policy(
+            name, _WORKER_CONTEXT, track_minutes=track_minutes,
+            fast_path=fast_path, fault_plan=fault_plan,
+            epoch_seconds=epoch_seconds,
+            checkpoint_path=meta["path"] if meta else None,
+            checkpoint_every=checkpoint_every,
+        )
+    return name, os.getpid(), time.perf_counter() - started, result, snapshot
 
 
 def default_jobs() -> int:
@@ -219,9 +244,12 @@ class TaskRecord:
     fault_plan: Optional[str] = None
     #: checkpoint metadata ({"path", "every"}; None when not checkpointing).
     checkpoint: Optional[dict] = None
+    #: JSON-safe metrics snapshot (manifest v3 only; None keeps the
+    #: manifest byte-identical to v2).
+    metrics: Optional[dict] = None
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "policy": self.policy,
             "outcome": self.outcome,
             "engine": self.engine,
@@ -233,6 +261,9 @@ class TaskRecord:
             "fault_plan": self.fault_plan,
             "checkpoint": self.checkpoint,
         }
+        if self.metrics is not None:
+            data["metrics"] = self.metrics
+        return data
 
 
 @dataclass
@@ -264,6 +295,9 @@ class SuiteRun(Mapping):
       completed ones;
     * :attr:`manifest` is the JSON-serializable run manifest (one
       :class:`TaskRecord` row per task; see the README for the schema);
+    * :attr:`metrics` is the suite's merged
+      :class:`~repro.obs.metrics.MetricsSnapshot` when metrics
+      collection was on (``None`` otherwise);
     * :attr:`ok` is True when every requested policy produced a result.
     """
 
@@ -272,10 +306,12 @@ class SuiteRun(Mapping):
         results: "OrderedDict[str, SimulationResult]",
         failures: Dict[str, PolicyFailure],
         manifest: dict,
+        metrics=None,
     ):
         self.results = results
         self.failures = failures
         self.manifest = manifest
+        self.metrics = metrics
 
     def __getitem__(self, name: str) -> SimulationResult:
         return self.results[name]
@@ -306,9 +342,14 @@ def _build_manifest(
     task_timeout: Optional[float],
     pool_broken: bool,
     wall_seconds: float,
+    suite_metrics: Optional[dict] = None,
 ) -> dict:
-    return {
-        "schema": MANIFEST_SCHEMA_VERSION,
+    manifest = {
+        "schema": (
+            MANIFEST_SCHEMA_VERSION_METRICS
+            if suite_metrics is not None
+            else MANIFEST_SCHEMA_VERSION
+        ),
         "requested": list(requested),
         "names": list(names),
         "jobs": jobs,
@@ -319,6 +360,63 @@ def _build_manifest(
         "wall_seconds": round(wall_seconds, 6),
         "tasks": [records[name].to_dict() for name in names if name in records],
     }
+    if suite_metrics is not None:
+        manifest["metrics"] = suite_metrics
+    return manifest
+
+
+def _resolve_collect_metrics(collect_metrics: Optional[bool]) -> bool:
+    """``None`` means "whatever the process-wide obs switch says"."""
+    if collect_metrics is not None:
+        return collect_metrics
+    from repro.obs import runtime as obs_runtime
+
+    return obs_runtime.enabled()
+
+
+def _suite_observer(collect_metrics: bool):
+    """Fresh suite-level registry, or ``None`` when metrics are off."""
+    if not collect_metrics:
+        return None
+    from repro.obs.metrics import MetricsRegistry
+
+    return MetricsRegistry()
+
+
+#: Bounds for parent-side wait on one task's result (seconds).
+_WAIT_BUCKETS = (
+    0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 15.0, 60.0, 300.0, 1800.0,
+)
+
+
+def _note_task(
+    suite_registry,
+    record: TaskRecord,
+    waited: Optional[float] = None,
+    on_task_done=None,
+) -> None:
+    """Record one finished task in the suite registry + progress hook."""
+    if suite_registry is not None:
+        suite_registry.counter(
+            "suite_tasks_total",
+            "Suite tasks by outcome and executor",
+            ("outcome", "executor"),
+        ).inc(outcome=record.outcome, executor=record.executor)
+        if record.retries:
+            suite_registry.counter(
+                "suite_retries_total",
+                "Task retries (second submissions)",
+                ("policy",),
+            ).inc(record.retries, policy=record.policy)
+        if waited is not None:
+            suite_registry.histogram(
+                "suite_task_wait_seconds",
+                "Parent wall time waiting on one task's result",
+                ("executor",),
+                buckets=_WAIT_BUCKETS,
+            ).observe(waited, executor=record.executor)
+    if on_task_done is not None:
+        on_task_done(record)
 
 
 def _dedupe(names: Sequence[str]) -> List[str]:
@@ -341,21 +439,46 @@ def _run_serial_task(
     epoch_seconds=None,
     checkpoint_dir=None,
     checkpoint_every=None,
+    collect_metrics: bool = False,
+    suite_registry=None,
+    on_task_done=None,
+    progress_every=None,
+    progress_hook=None,
 ) -> None:
     """Run one task in-process, recording outcome like a pool task."""
     from repro.sim.experiment import run_policy
 
+    # Same per-task warn-once scope as worker execution.
+    _engine._reset_fallback_warnings()
     plan_fp = fault_plan.fingerprint() if fault_plan is not None else None
     meta = _checkpoint_meta(checkpoint_dir, name, checkpoint_every)
+    snapshot = None
     started = time.perf_counter()
     try:
         _maybe_inject_fault(name, in_worker=False)
-        result = run_policy(
-            name, ctx, track_minutes=track_minutes, fast_path=fast_path,
-            fault_plan=fault_plan, epoch_seconds=epoch_seconds,
-            checkpoint_path=meta["path"] if meta else None,
-            checkpoint_every=checkpoint_every,
-        )
+        if collect_metrics:
+            from repro.obs.runtime import scoped_registry
+
+            with scoped_registry() as obs_context:
+                result = run_policy(
+                    name, ctx, track_minutes=track_minutes,
+                    fast_path=fast_path, fault_plan=fault_plan,
+                    epoch_seconds=epoch_seconds,
+                    checkpoint_path=meta["path"] if meta else None,
+                    checkpoint_every=checkpoint_every,
+                    progress_every=progress_every,
+                    progress_hook=progress_hook,
+                )
+                snapshot = obs_context.registry.snapshot()
+        else:
+            result = run_policy(
+                name, ctx, track_minutes=track_minutes, fast_path=fast_path,
+                fault_plan=fault_plan, epoch_seconds=epoch_seconds,
+                checkpoint_path=meta["path"] if meta else None,
+                checkpoint_every=checkpoint_every,
+                progress_every=progress_every,
+                progress_hook=progress_hook,
+            )
     except Exception as exc:
         wall = time.perf_counter() - started
         records[name] = TaskRecord(
@@ -389,7 +512,29 @@ def _run_serial_task(
             executor=executor,
             fault_plan=plan_fp,
             checkpoint=meta,
+            metrics=snapshot.to_jsonable() if snapshot is not None else None,
         )
+        if snapshot is not None and suite_registry is not None:
+            suite_registry.merge_snapshot(snapshot)
+    _note_task(
+        suite_registry,
+        records[name],
+        waited=records[name].wall_seconds,
+        on_task_done=on_task_done,
+    )
+
+
+def _finish_suite_metrics(suite_registry):
+    """Snapshot the suite registry and fold it into the global one."""
+    if suite_registry is None:
+        return None
+    snapshot = suite_registry.snapshot()
+    from repro.obs import runtime as obs_runtime
+
+    parent = obs_runtime.get_registry()
+    if parent is not None:
+        parent.merge_snapshot(snapshot)
+    return snapshot
 
 
 def run_suite_serial(
@@ -401,16 +546,25 @@ def run_suite_serial(
     epoch_seconds=None,
     checkpoint_dir=None,
     checkpoint_every=None,
+    collect_metrics: Optional[bool] = None,
+    on_task_done=None,
+    progress_every=None,
+    progress_hook=None,
 ) -> SuiteRun:
     """In-process reference execution of a policy suite.
 
     Same partial-result semantics and manifest as
     :func:`run_suite_parallel` (executor ``"serial"``, no retries), so
     callers can treat ``jobs=1`` and ``jobs=N`` runs uniformly.
+    ``collect_metrics`` / ``on_task_done`` also behave identically.
+    ``progress_every`` / ``progress_hook`` (serial-only: hooks cannot
+    cross the process boundary) forward to each run's engine loop.
     """
     started = time.perf_counter()
     requested = list(names)
     unique = _dedupe(requested)
+    collect = _resolve_collect_metrics(collect_metrics)
+    suite_registry = _suite_observer(collect)
     records: Dict[str, TaskRecord] = {}
     results: Dict[str, SimulationResult] = {}
     failures: Dict[str, PolicyFailure] = {}
@@ -421,15 +575,20 @@ def run_suite_serial(
             records=records, results=results, failures=failures,
             fault_plan=fault_plan, epoch_seconds=epoch_seconds,
             checkpoint_dir=checkpoint_dir, checkpoint_every=checkpoint_every,
+            collect_metrics=collect, suite_registry=suite_registry,
+            on_task_done=on_task_done,
+            progress_every=progress_every, progress_hook=progress_hook,
         )
+    snapshot = _finish_suite_metrics(suite_registry)
     manifest = _build_manifest(
         requested, unique, records,
         jobs=1, track_minutes=track_minutes, fast_path=fast_path,
         task_timeout=None, pool_broken=False,
         wall_seconds=time.perf_counter() - started,
+        suite_metrics=snapshot.to_jsonable() if snapshot is not None else None,
     )
     ordered = OrderedDict((n, results[n]) for n in unique if n in results)
-    return SuiteRun(ordered, failures, manifest)
+    return SuiteRun(ordered, failures, manifest, metrics=snapshot)
 
 
 def run_suite_parallel(
@@ -443,6 +602,8 @@ def run_suite_parallel(
     epoch_seconds=None,
     checkpoint_dir=None,
     checkpoint_every=None,
+    collect_metrics: Optional[bool] = None,
+    on_task_done=None,
 ) -> SuiteRun:
     """Run the named policy configurations across worker processes.
 
@@ -469,6 +630,13 @@ def run_suite_parallel(
             per task in the manifest).
         checkpoint_every: requests between checkpoints (engine default
             when None).
+        collect_metrics: gather per-task metrics snapshots (each task
+            runs under a fresh scoped registry, snapshots ship back and
+            merge) and emit a v3 manifest.  ``None`` (default) follows
+            the process-wide observability switch, so runs with
+            observability off stay byte-identical to v2.
+        on_task_done: optional callable receiving each finished task's
+            :class:`TaskRecord` as it completes (CLI progress).
 
     Returns a :class:`SuiteRun`: a mapping of successful results in
     ``names`` order, plus :attr:`~SuiteRun.failures` and the run
@@ -483,14 +651,20 @@ def run_suite_parallel(
         jobs = default_jobs()
     if jobs < 1:
         raise ValueError(f"jobs must be positive, got {jobs}")
+    collect = _resolve_collect_metrics(collect_metrics)
+    suite_registry = _suite_observer(collect)
     if not unique:
+        snapshot = _finish_suite_metrics(suite_registry)
         manifest = _build_manifest(
             requested, unique, {}, jobs=jobs,
             track_minutes=track_minutes, fast_path=fast_path,
             task_timeout=task_timeout, pool_broken=False,
             wall_seconds=time.perf_counter() - started,
+            suite_metrics=(
+                snapshot.to_jsonable() if snapshot is not None else None
+            ),
         )
-        return SuiteRun(OrderedDict(), {}, manifest)
+        return SuiteRun(OrderedDict(), {}, manifest, metrics=snapshot)
 
     records: Dict[str, TaskRecord] = {}
     results: Dict[str, SimulationResult] = {}
@@ -516,7 +690,7 @@ def run_suite_parallel(
                     futures[name] = pool.submit(
                         _run_one, name, track_minutes, fast_path,
                         fault_plan, epoch_seconds,
-                        checkpoint_dir, checkpoint_every,
+                        checkpoint_dir, checkpoint_every, collect,
                     )
                     attempts[name] += 1
             except BrokenProcessPool:
@@ -531,7 +705,7 @@ def run_suite_parallel(
                     future = pool.submit(
                         _run_one, name, track_minutes, fast_path,
                         fault_plan, epoch_seconds,
-                        checkpoint_dir, checkpoint_every,
+                        checkpoint_dir, checkpoint_every, collect,
                     )
                 except BrokenProcessPool:
                     pool_broken = True
@@ -550,7 +724,7 @@ def run_suite_parallel(
                 collect_started = time.perf_counter()
                 while True:
                     try:
-                        _rname, pid, wall, result = future.result(
+                        _rname, pid, wall, result, snapshot = future.result(
                             timeout=task_timeout
                         )
                     except _FuturesTimeout:
@@ -580,6 +754,10 @@ def run_suite_parallel(
                             policy=name, error_type="TimeoutError",
                             message=f"task exceeded {task_timeout}s timeout",
                             retries=attempts[name] - 1,
+                        )
+                        _note_task(
+                            suite_registry, records[name],
+                            waited=waited, on_task_done=on_task_done,
                         )
                         break
                     except BrokenProcessPool:
@@ -614,6 +792,10 @@ def run_suite_parallel(
                             policy=name, error_type=type(exc).__name__,
                             message=str(exc), retries=attempts[name] - 1,
                         )
+                        _note_task(
+                            suite_registry, records[name],
+                            waited=waited, on_task_done=on_task_done,
+                        )
                         break
                     else:
                         results[name] = result
@@ -625,6 +807,18 @@ def run_suite_parallel(
                             checkpoint=_checkpoint_meta(
                                 checkpoint_dir, name, checkpoint_every
                             ),
+                            metrics=(
+                                snapshot.to_jsonable()
+                                if snapshot is not None
+                                else None
+                            ),
+                        )
+                        if snapshot is not None and suite_registry is not None:
+                            suite_registry.merge_snapshot(snapshot)
+                        _note_task(
+                            suite_registry, records[name],
+                            waited=time.perf_counter() - collect_started,
+                            on_task_done=on_task_done,
                         )
                         break
         finally:
@@ -648,13 +842,17 @@ def run_suite_parallel(
                 records=records, results=results, failures=failures,
                 fault_plan=fault_plan, epoch_seconds=epoch_seconds,
                 checkpoint_dir=checkpoint_dir, checkpoint_every=checkpoint_every,
+                collect_metrics=collect, suite_registry=suite_registry,
+                on_task_done=on_task_done,
             )
 
+    snapshot = _finish_suite_metrics(suite_registry)
     manifest = _build_manifest(
         requested, unique, records, jobs=jobs,
         track_minutes=track_minutes, fast_path=fast_path,
         task_timeout=task_timeout, pool_broken=pool_broken,
         wall_seconds=time.perf_counter() - started,
+        suite_metrics=snapshot.to_jsonable() if snapshot is not None else None,
     )
     ordered = OrderedDict((n, results[n]) for n in unique if n in results)
-    return SuiteRun(ordered, failures, manifest)
+    return SuiteRun(ordered, failures, manifest, metrics=snapshot)

@@ -48,6 +48,16 @@ DEFAULT_CACHE_DIRNAME = ".sievestore-trace-cache"
 
 _DISABLED_VALUES = {"", "0", "off", "none"}
 
+#: Paths already warned about as non-directories (warn once per path
+#: per process; every cache lookup resolves the directory, and a run
+#: does many lookups).
+_NON_DIRECTORY_WARNED = set()
+
+
+def _reset_non_directory_warnings() -> None:
+    """Forget which bad cache paths were already warned about (tests)."""
+    _NON_DIRECTORY_WARNED.clear()
+
 
 def config_fingerprint(config: SyntheticTraceConfig) -> str:
     """Deterministic content hash of every generator-relevant field.
@@ -70,7 +80,11 @@ def trace_cache_dir(
 ) -> Optional[Path]:
     """Resolve the cache directory; ``None`` means caching is disabled.
 
-    An explicit ``cache_dir`` argument wins over the environment.
+    An explicit ``cache_dir`` argument wins over the environment.  An
+    environment path that exists but is **not** a directory (a stray
+    file where the cache should live) disables caching with a one-time
+    warning naming the path, instead of failing every cache write with
+    a confusing ``mkdir`` error.
     """
     if cache_dir is not None:
         return Path(cache_dir)
@@ -78,7 +92,20 @@ def trace_cache_dir(
     if env is not None:
         if env.strip().lower() in _DISABLED_VALUES:
             return None
-        return Path(env)
+        path = Path(env)
+        if path.exists() and not path.is_dir():
+            if str(path) not in _NON_DIRECTORY_WARNED:
+                _NON_DIRECTORY_WARNED.add(str(path))
+                warnings.warn(
+                    f"{CACHE_ENV_VAR}={env!r} points at an existing "
+                    "non-directory path; trace caching is disabled for "
+                    "this run (remove the file or point the variable "
+                    "at a directory)",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+            return None
+        return path
     return Path.cwd() / DEFAULT_CACHE_DIRNAME
 
 
@@ -107,8 +134,9 @@ def load_or_generate_columnar(
     path = cache_path_for(config, cache_dir)
     if path is not None and path.exists():
         try:
-            return ColumnarTrace.load_npz(path)
+            columns = ColumnarTrace.load_npz(path)
         except (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile) as exc:
+            _note_cache_outcome("corrupt")
             warnings.warn(
                 f"corrupt trace-cache entry {path} "
                 f"({type(exc).__name__}: {exc}); evicting and regenerating",
@@ -119,10 +147,28 @@ def load_or_generate_columnar(
                 path.unlink()
             except OSError:
                 pass  # eviction is best-effort; the overwrite below wins
+        else:
+            _note_cache_outcome("hit")
+            return columns
+    _note_cache_outcome("miss")
     columns = EnsembleTraceGenerator(config).generate_columnar()
     if path is not None:
         _atomic_save(columns, path)
     return columns
+
+
+def _note_cache_outcome(outcome: str) -> None:
+    """Count a cache lookup when observability is on (no-op otherwise)."""
+    from repro.obs import runtime as obs_runtime
+
+    registry = obs_runtime.get_registry()
+    if registry is None:
+        return
+    registry.counter(
+        "trace_cache_requests_total",
+        "Trace-cache lookups by outcome (hit / miss / corrupt)",
+        ("outcome",),
+    ).inc(outcome=outcome)
 
 
 def load_or_generate_trace(

@@ -1,0 +1,134 @@
+"""Event log: append-mode JSON lines, span/timer helpers, runtime switch."""
+
+import pytest
+
+from repro.obs import runtime
+from repro.obs.events import EventLog, read_events, span, timer
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture(autouse=True)
+def observability_off():
+    """Every test starts and ends with the process-wide switch off."""
+    runtime.disable()
+    yield
+    runtime.disable()
+
+
+class TestEventLog:
+    def test_emit_and_read_back(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLog(path) as log:
+            log.emit("run_start", policy="aod-16", requests=100)
+            log.emit("run_end", policy="aod-16")
+        events = read_events(path)
+        assert [e["event"] for e in events] == ["run_start", "run_end"]
+        assert events[0]["policy"] == "aod-16"
+        assert events[0]["requests"] == 100
+        assert isinstance(events[0]["ts"], float)
+
+    def test_append_mode_preserves_existing_lines(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLog(path) as log:
+            log.emit("run_start")
+        with EventLog(path) as log:
+            log.emit("run_resume")
+        assert [e["event"] for e in read_events(path)] == [
+            "run_start", "run_resume",
+        ]
+
+    def test_emit_after_close_is_a_noop(self, tmp_path):
+        log = EventLog(tmp_path / "events.jsonl")
+        log.close()
+        log.emit("late")  # must not raise
+        assert read_events(tmp_path / "events.jsonl") == []
+
+    def test_lines_are_flushed_as_written(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(path)
+        log.emit("crashy")
+        # Read *before* close: a crashed run keeps what it emitted.
+        assert [e["event"] for e in read_events(path)] == ["crashy"]
+        log.close()
+
+
+class TestSpan:
+    def test_span_emits_start_and_end(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLog(path) as log:
+            with span(log, "epoch", policy="ideal"):
+                pass
+        start, end = read_events(path)
+        assert start["event"] == "epoch_start"
+        assert end["event"] == "epoch_end"
+        assert end["ok"] is True
+        assert end["seconds"] >= 0
+        assert end["policy"] == "ideal"
+
+    def test_span_marks_failure_and_reraises(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLog(path) as log:
+            with pytest.raises(RuntimeError, match="boom"):
+                with span(log, "epoch"):
+                    raise RuntimeError("boom")
+        end = read_events(path)[-1]
+        assert end["event"] == "epoch_end"
+        assert end["ok"] is False
+
+    def test_none_log_is_free(self):
+        with span(None, "epoch"):
+            pass  # must not raise
+
+
+class TestTimer:
+    def test_observes_block_duration(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("t_seconds", buckets=(10.0,))
+        with timer(histogram):
+            pass
+        sample = histogram.value()
+        assert sample.count == 1
+        assert sample.sum >= 0
+
+    def test_none_histogram_is_free(self):
+        with timer(None):
+            pass  # must not raise
+
+
+class TestRuntimeSwitch:
+    def test_off_by_default(self):
+        assert not runtime.enabled()
+        assert runtime.get_context() is None
+        assert runtime.get_registry() is None
+        assert runtime.get_events() is None
+
+    def test_enable_installs_context(self, tmp_path):
+        context = runtime.enable(events_path=tmp_path / "ev.jsonl")
+        try:
+            assert runtime.enabled()
+            assert runtime.get_registry() is context.registry
+            assert runtime.get_events() is context.events
+        finally:
+            runtime.disable()
+        assert not runtime.enabled()
+
+    def test_observability_context_manager_restores_prior_state(self):
+        assert not runtime.enabled()
+        with runtime.observability() as context:
+            assert runtime.get_registry() is context.registry
+        assert not runtime.enabled()
+
+    def test_scoped_registry_isolates_and_restores(self, tmp_path):
+        outer = runtime.enable(events_path=tmp_path / "ev.jsonl")
+        try:
+            outer.registry.counter("outer_total").inc()
+            with runtime.scoped_registry() as scoped:
+                assert scoped.registry is not outer.registry
+                # The surrounding event log is kept.
+                assert scoped.events is outer.events
+                scoped.registry.counter("inner_total").inc()
+                assert scoped.registry.get("outer_total") is None
+            assert runtime.get_registry() is outer.registry
+            assert outer.registry.get("inner_total") is None
+        finally:
+            runtime.disable()

@@ -1,0 +1,113 @@
+"""Exporters: Prometheus text exposition, JSON, and the minimal parser."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    PrometheusParseError,
+    parse_prometheus,
+    to_json,
+    to_prometheus,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def build_snapshot():
+    registry = MetricsRegistry()
+    registry.counter(
+        "requests_total", "Requests by outcome", ("outcome",)
+    ).inc(3, outcome="ok")
+    registry.gauge("throughput", "Blocks per second").set(1234.5)
+    hist = registry.histogram(
+        "wait_seconds", "Wait time", ("executor",), buckets=(0.1, 1.0)
+    )
+    hist.observe(0.05, executor="pool")
+    hist.observe(0.5, executor="pool")
+    hist.observe(5.0, executor="pool")
+    return registry.snapshot()
+
+
+class TestToPrometheus:
+    def test_headers_and_samples(self):
+        text = to_prometheus(build_snapshot())
+        assert "# HELP requests_total Requests by outcome\n" in text
+        assert "# TYPE requests_total counter\n" in text
+        assert 'requests_total{outcome="ok"} 3\n' in text
+        assert "# TYPE throughput gauge\n" in text
+        assert "throughput 1234.5\n" in text
+
+    def test_histogram_expansion_is_cumulative(self):
+        text = to_prometheus(build_snapshot())
+        assert 'wait_seconds_bucket{executor="pool",le="0.1"} 1' in text
+        assert 'wait_seconds_bucket{executor="pool",le="1"} 2' in text
+        assert 'wait_seconds_bucket{executor="pool",le="+Inf"} 3' in text
+        assert 'wait_seconds_sum{executor="pool"} 5.55' in text
+        assert 'wait_seconds_count{executor="pool"} 3' in text
+
+    def test_label_value_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "", ("k",)).inc(k='a"b\\c\nd')
+        text = to_prometheus(registry.snapshot())
+        assert 'c_total{k="a\\"b\\\\c\\nd"} 1' in text
+
+    def test_empty_snapshot_renders_empty(self):
+        assert to_prometheus(MetricsRegistry().snapshot()) == ""
+
+
+class TestParsePrometheus:
+    def test_round_trip(self):
+        parsed = parse_prometheus(to_prometheus(build_snapshot()))
+        assert parsed["requests_total"]["type"] == "counter"
+        assert parsed["requests_total"]["help"] == "Requests by outcome"
+        assert parsed["requests_total"]["samples"][
+            ("requests_total", (("outcome", "ok"),))
+        ] == 3.0
+        assert parsed["throughput"]["samples"][("throughput", ())] == 1234.5
+        # Histogram series attribute to the base metric.
+        hist = parsed["wait_seconds"]["samples"]
+        assert hist[
+            ("wait_seconds_bucket", (("executor", "pool"), ("le", "+Inf")))
+        ] == 3.0
+        assert hist[("wait_seconds_count", (("executor", "pool"),))] == 3.0
+
+    def test_escaped_label_values_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "", ("k",)).inc(k='a"b\\c\nd')
+        parsed = parse_prometheus(to_prometheus(registry.snapshot()))
+        ((name, labels),) = parsed["c_total"]["samples"]
+        assert labels == (("k", 'a"b\\c\nd'),)
+
+    def test_sample_before_type_line_rejected(self):
+        with pytest.raises(PrometheusParseError, match="TYPE"):
+            parse_prometheus("orphan_total 3\n")
+
+    def test_bad_value_rejected(self):
+        with pytest.raises(PrometheusParseError, match="bad sample value"):
+            parse_prometheus(
+                "# TYPE a_total counter\na_total not_a_number\n"
+            )
+
+    def test_missing_value_rejected(self):
+        with pytest.raises(PrometheusParseError, match="without a value"):
+            parse_prometheus("# TYPE a_total counter\na_total{x=\"y\"}\n")
+
+    def test_duplicate_sample_rejected(self):
+        with pytest.raises(PrometheusParseError, match="duplicate"):
+            parse_prometheus(
+                "# TYPE a_total counter\na_total 1\na_total 2\n"
+            )
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(PrometheusParseError, match="unknown type"):
+            parse_prometheus("# TYPE a_total summary\n")
+
+
+class TestToJson:
+    def test_deterministic_and_parseable(self):
+        snapshot = build_snapshot()
+        first = to_json(snapshot)
+        assert first == to_json(snapshot)
+        data = json.loads(first)
+        assert data["requests_total"]["kind"] == "counter"
+        assert data["wait_seconds"]["buckets"] == [0.1, 1.0]

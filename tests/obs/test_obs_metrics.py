@@ -1,0 +1,208 @@
+"""Metrics registry: counters, gauges, histograms, snapshot merging."""
+
+import pickle
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    MetricsSnapshot,
+)
+
+
+class TestCounter:
+    def test_inc_accumulates_per_label_set(self):
+        counter = Counter("requests_total", labelnames=("outcome",))
+        counter.inc(outcome="ok")
+        counter.inc(3, outcome="ok")
+        counter.inc(outcome="failed")
+        assert counter.value(outcome="ok") == 4
+        assert counter.value(outcome="failed") == 1
+
+    def test_untouched_sample_reads_zero(self):
+        counter = Counter("requests_total", labelnames=("outcome",))
+        assert counter.value(outcome="never") == 0
+
+    def test_negative_inc_rejected(self):
+        counter = Counter("requests_total")
+        with pytest.raises(MetricError, match="cannot decrease"):
+            counter.inc(-1)
+
+    def test_set_total_adopts_external_tally(self):
+        counter = Counter("admissions_total", labelnames=("policy",))
+        counter.set_total(10, policy="c")
+        counter.set_total(25, policy="c")
+        assert counter.value(policy="c") == 25
+
+    def test_set_total_rejects_backwards_movement(self):
+        counter = Counter("admissions_total")
+        counter.set_total(10)
+        with pytest.raises(MetricError, match="moved backwards"):
+            counter.set_total(9)
+
+    def test_wrong_label_names_rejected(self):
+        counter = Counter("requests_total", labelnames=("outcome",))
+        with pytest.raises(MetricError, match="expected labels"):
+            counter.inc(status="ok")
+        with pytest.raises(MetricError, match="expected labels"):
+            counter.inc()  # missing the declared label entirely
+
+    def test_label_values_stringified(self):
+        counter = Counter("epochs_total", labelnames=("epoch",))
+        counter.inc(epoch=7)
+        assert counter.value(epoch="7") == 1
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("table_entries", labelnames=("policy",))
+        gauge.set(10, policy="c")
+        gauge.set(4, policy="c")
+        assert gauge.value(policy="c") == 4
+
+
+class TestHistogram:
+    def test_observe_buckets_sum_count(self):
+        histogram = Histogram("wait_seconds", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            histogram.observe(value)
+        sample = histogram.value()
+        assert sample.bucket_counts == [1, 2, 1]  # 50.0 only lands in +Inf
+        assert sample.count == 5
+        assert sample.sum == pytest.approx(56.05)
+
+    def test_default_buckets_used_when_unspecified(self):
+        assert Histogram("t").buckets == DEFAULT_BUCKETS
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(MetricError, match="sorted"):
+            Histogram("t", buckets=(1.0, 0.5))
+
+    def test_empty_buckets_rejected(self):
+        with pytest.raises(MetricError, match="non-empty"):
+            Histogram("t", buckets=())
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_metric(self):
+        registry = MetricsRegistry()
+        first = registry.counter("a_total", "help", ("x",))
+        second = registry.counter("a_total", "help", ("x",))
+        assert first is second
+        assert len(registry) == 1
+
+    def test_kind_clash_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total")
+        with pytest.raises(MetricError, match="already registered"):
+            registry.gauge("a_total")
+
+    def test_label_schema_clash_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total", labelnames=("x",))
+        with pytest.raises(MetricError, match="already registered"):
+            registry.counter("a_total", labelnames=("y",))
+
+    def test_histogram_bucket_clash_rejected(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(1.0, 2.0))
+        with pytest.raises(MetricError, match="buckets"):
+            registry.histogram("h", buckets=(1.0, 3.0))
+
+    def test_invalid_names_rejected(self):
+        with pytest.raises(MetricError):
+            Counter("")
+        with pytest.raises(MetricError):
+            Counter("has space")
+        with pytest.raises(MetricError):
+            Counter("9starts_with_digit")
+
+
+def build_snapshot(counter_by=2, gauge_value=1.0):
+    registry = MetricsRegistry()
+    registry.counter("c_total", "c", ("k",)).inc(counter_by, k="a")
+    registry.gauge("g", "g", ("k",)).set(gauge_value, k="a")
+    registry.histogram("h", "h", (), buckets=(1.0, 10.0)).observe(0.5)
+    return registry.snapshot()
+
+
+class TestSnapshot:
+    def test_snapshot_is_a_deep_copy(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total")
+        counter.inc(5)
+        snap = registry.snapshot()
+        counter.inc(5)
+        assert snap.metrics["c_total"]["samples"][()] == 5
+
+    def test_snapshot_pickles(self):
+        snap = build_snapshot()
+        clone = pickle.loads(pickle.dumps(snap))
+        assert clone.metrics == snap.metrics
+
+    def test_counters_and_histograms_add_gauges_keep_max(self):
+        merged = MetricsSnapshot.merged(
+            [build_snapshot(counter_by=2, gauge_value=7.0),
+             build_snapshot(counter_by=3, gauge_value=4.0)]
+        )
+        assert merged.metrics["c_total"]["samples"][("a",)] == 5
+        assert merged.metrics["g"]["samples"][("a",)] == 7.0
+        hist = merged.metrics["h"]["samples"][()]
+        assert hist == {"bucket_counts": [2, 0], "sum": 1.0, "count": 2}
+
+    def test_merge_is_order_independent_for_gauges(self):
+        a = build_snapshot(gauge_value=7.0)
+        b = build_snapshot(gauge_value=4.0)
+        ab = MetricsSnapshot.merged([a, b])
+        ba = MetricsSnapshot.merged([b, a])
+        assert ab.metrics == ba.metrics
+
+    def test_merge_rejects_schema_clash(self):
+        registry = MetricsRegistry()
+        registry.gauge("c_total", "", ("k",)).set(1, k="a")
+        with pytest.raises(MetricError, match="cannot merge"):
+            build_snapshot().merge(registry.snapshot())
+
+    def test_merge_rejects_bucket_mismatch(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", "h", (), buckets=(2.0, 20.0)).observe(0.5)
+        with pytest.raises(MetricError, match="bucket bounds differ"):
+            build_snapshot().merge(registry.snapshot())
+
+    def test_merge_does_not_alias_the_source(self):
+        target = MetricsSnapshot()
+        source = build_snapshot()
+        target.merge(source)
+        target.metrics["h"]["samples"][()]["count"] += 100
+        assert source.metrics["h"]["samples"][()]["count"] == 1
+
+    def test_to_jsonable_round_trips_through_json(self):
+        import json
+
+        data = json.loads(json.dumps(build_snapshot().to_jsonable()))
+        assert data["c_total"]["samples"] == [
+            {"labels": {"k": "a"}, "value": 2}
+        ]
+        assert data["h"]["buckets"] == [1.0, 10.0]
+
+
+class TestMergeSnapshotIntoRegistry:
+    def test_live_metrics_accumulate_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "c", ("k",)).inc(10, k="a")
+        registry.merge_snapshot(build_snapshot(counter_by=2))
+        assert registry.get("c_total").value(k="a") == 12
+        # Absent metrics are created with the snapshot's schema.
+        assert registry.get("g").value(k="a") == 1.0
+        assert registry.get("h").value().count == 1
+
+    def test_gauge_merge_keeps_maximum(self):
+        registry = MetricsRegistry()
+        registry.gauge("g", "g", ("k",)).set(9.0, k="a")
+        registry.merge_snapshot(build_snapshot(gauge_value=4.0))
+        assert registry.get("g").value(k="a") == 9.0

@@ -162,6 +162,23 @@ class TestEngineField:
                 fast_path=True, replacement="fifo",
             )
 
+    def test_fallback_warning_state_is_resettable(self, monkeypatch):
+        monkeypatch.setattr(engine_module, "_FALLBACK_WARNED", False)
+        trace = Trace([req(0, 1.0)])
+        with pytest.warns(RuntimeWarning, match="fell back"):
+            simulate(
+                trace, AllocateOnDemand(), 16, days=1,
+                fast_path=True, replacement="fifo",
+            )
+        # The suite runner resets per task so each task's first
+        # fallback warns again, no matter what ran before it.
+        engine_module._reset_fallback_warnings()
+        with pytest.warns(RuntimeWarning, match="fell back"):
+            simulate(
+                trace, AllocateOnDemand(), 16, days=1,
+                fast_path=True, replacement="fifo",
+            )
+
 
 class TestDailyCapture:
     def test_capture_series_shape(self):

@@ -83,3 +83,31 @@ class TestAggregates:
         zero = make_result("z", [(0, 0, 1, 1, 0)])
         other = make_result("o", [(1, 0, 1, 0, 0)])
         assert capture_improvement(other, zero) == float("inf")
+
+
+class TestEmptyDayEdges:
+    """Zero-access and skipped days must report 0.0, never divide by it."""
+
+    def test_capture_breakdown_zero_access_day_reports_zero(self):
+        results = {"q": make_result("q", [(0, 0, 0, 0, 0), (3, 1, 4, 0, 2)])}
+        quiet_day = capture_breakdown(results)["q"][0]
+        assert quiet_day == {
+            "read_hits": 0.0, "write_hits": 0.0, "captured": 0.0,
+        }
+
+    def test_capture_series_zero_access_day_reports_zero(self):
+        results = {"q": make_result("q", [(0, 0, 0, 0, 0), (1, 0, 1, 0, 0)])}
+        assert capture_series(results)["q"][0] == 0.0
+
+    def test_mean_capture_ignores_zero_access_days(self):
+        # An idle day must not drag the average toward zero.
+        result = make_result("q", [(0, 0, 0, 0, 0), (3, 1, 1, 0, 0)])
+        assert mean_capture(result) == pytest.approx(0.8)
+
+    def test_mean_capture_all_days_skipped_is_zero(self):
+        result = make_result("q", [(1, 0, 1, 0, 0), (1, 0, 1, 0, 0)])
+        assert mean_capture(result, skip_days=(0, 1)) == 0.0
+
+    def test_mean_capture_all_days_empty_is_zero(self):
+        result = make_result("q", [(0, 0, 0, 0, 0)])
+        assert mean_capture(result) == 0.0

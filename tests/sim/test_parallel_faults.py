@@ -105,10 +105,13 @@ class TestTaskTimeout:
     def test_hung_task_times_out_with_failure_record(
         self, tiny_context, monkeypatch
     ):
-        monkeypatch.setenv(FAULT_ENV_VAR, "hang:aod-16:1.0")
+        # The hang must outlast both timeout windows (first attempt +
+        # retry), and the timeout must leave the healthy task plenty of
+        # room for worker startup on a loaded single-core machine.
+        monkeypatch.setenv(FAULT_ENV_VAR, "hang:aod-16:10.0")
         run = run_suite_parallel(
             tiny_context, ("ideal", "aod-16"), track_minutes=False,
-            fast_path=True, jobs=2, task_timeout=0.2,
+            fast_path=True, jobs=2, task_timeout=2.0,
         )
         assert "ideal" in run
         failure = run.failures["aod-16"]

@@ -145,6 +145,40 @@ class TestInputValidation:
         ]) == 2
         assert "--checkpoint" in capsys.readouterr().err
 
+    def test_checkpoint_every_requires_checkpoint(self, capsys):
+        assert main([
+            "simulate", *TINY, "--checkpoint-every", "500",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "--checkpoint-every requires --checkpoint" in err
+
+    @pytest.mark.parametrize("flag", ["--metrics-out", "--events-out"])
+    def test_artifact_path_into_missing_directory(self, flag, tmp_path,
+                                                  capsys):
+        bad = tmp_path / "no-such-dir" / "out.prom"
+        assert main(["simulate", *TINY, flag, str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert flag in err and "does not exist" in err
+
+    def test_artifact_path_that_is_a_directory(self, tmp_path, capsys):
+        assert main([
+            "simulate", *TINY, "--metrics-out", str(tmp_path),
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "--metrics-out" in err and "directory, not a file" in err
+
+    def test_artifact_path_into_unwritable_directory(self, tmp_path, capsys):
+        import os
+
+        if os.geteuid() == 0:
+            pytest.skip("root ignores directory write permissions")
+        locked = tmp_path / "locked"
+        locked.mkdir(mode=0o555)
+        assert main([
+            "simulate", *TINY, "--metrics-out", str(locked / "m.prom"),
+        ]) == 2
+        assert "not writable" in capsys.readouterr().err
+
 
 class TestFaultAndCheckpointFlows:
     def test_fault_plan_reports_device_health(self, tmp_path, capsys):
@@ -178,6 +212,95 @@ class TestFaultAndCheckpointFlows:
         assert main(["simulate", "--resume", str(ckpt)]) == 0
         resumed = capsys.readouterr().out
         assert stable_lines(resumed) == stable_lines(baseline)
+
+
+class TestObservabilityOutputs:
+    def test_metrics_out_writes_parseable_prometheus(self, tmp_path, capsys):
+        from repro.obs import runtime
+        from repro.obs.export import parse_prometheus
+
+        out = tmp_path / "metrics.prom"
+        assert main([
+            "simulate", *TINY, "--policy", "sievestore-c",
+            "--metrics-out", str(out),
+        ]) == 0
+        assert "metrics written to" in capsys.readouterr().out
+        parsed = parse_prometheus(out.read_text())
+        assert parsed["sim_blocks_total"]["type"] == "counter"
+        assert any(
+            name == "sieve_admissions_total"
+            for name in parsed
+        )
+        # The CLI turns the switch off again after the run.
+        assert not runtime.enabled()
+
+    def test_metrics_out_json_flavour(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "metrics.json"
+        assert main([
+            "simulate", *TINY, "--metrics-out", str(out),
+        ]) == 0
+        capsys.readouterr()
+        data = json.loads(out.read_text())
+        assert data["sim_requests_total"]["kind"] == "counter"
+
+    def test_events_out_brackets_each_run(self, tmp_path, capsys):
+        from repro.obs.events import read_events
+
+        out = tmp_path / "events.jsonl"
+        assert main([
+            "simulate", *TINY, "--policy", "aod-16", "--policy", "ideal",
+            "--events-out", str(out),
+        ]) == 0
+        capsys.readouterr()
+        names = [e["event"] for e in read_events(out)]
+        assert names.count("run_start") == 2
+        assert names.count("run_end") == 2
+
+    def test_progress_heartbeat_goes_to_stderr(self, capsys):
+        assert main([
+            "simulate", *TINY, "--policy", "aod-16", "--progress", "0.0001",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "[progress]" in captured.err
+        assert "blocks/sec" in captured.err
+        assert "aod-16: ok" in captured.err
+        # The report itself stays on stdout, unpolluted.
+        assert "[progress]" not in captured.out
+
+    def test_progress_without_metrics_leaves_observability_off(self, capsys):
+        from repro.obs import runtime
+
+        assert main([
+            "simulate", *TINY, "--policy", "aod-16", "--progress", "60",
+        ]) == 0
+        capsys.readouterr()
+        assert not runtime.enabled()
+
+    def test_output_identical_with_and_without_metrics(self, tmp_path,
+                                                       capsys):
+        base = ["simulate", *TINY, "--policy", "sievestore-c", "--seed", "5"]
+        assert main(base) == 0
+        baseline = capsys.readouterr().out
+        out = tmp_path / "metrics.prom"
+        assert main([*base, "--metrics-out", str(out)]) == 0
+        observed = capsys.readouterr().out
+        observed = observed.replace(f"metrics written to {out}\n", "")
+        assert stable_lines(observed) == stable_lines(baseline)
+
+    def test_trace_cache_env_pointing_at_file_warns_not_fails(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        from repro.traces.store import _reset_non_directory_warnings
+
+        stray = tmp_path / "stray-file"
+        stray.write_text("oops")
+        monkeypatch.setenv("SIEVESTORE_TRACE_CACHE", str(stray))
+        _reset_non_directory_warnings()
+        with pytest.warns(RuntimeWarning, match="non-directory"):
+            assert main(["simulate", *TINY, "--policy", "aod-16"]) == 0
+        assert "aod-16" in capsys.readouterr().out
 
 
 class TestSkewCommand:

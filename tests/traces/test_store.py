@@ -8,6 +8,7 @@ from repro.traces import tiny_config
 from repro.traces.columnar import ColumnarTrace
 from repro.traces.store import (
     CACHE_ENV_VAR,
+    _reset_non_directory_warnings,
     cache_path_for,
     config_fingerprint,
     load_or_generate_columnar,
@@ -59,6 +60,47 @@ class TestDirectoryResolution:
         monkeypatch.delenv(CACHE_ENV_VAR, raising=False)
         monkeypatch.chdir(tmp_path)
         assert trace_cache_dir() == tmp_path / ".sievestore-trace-cache"
+
+    def test_env_pointing_at_a_file_disables_with_warning(
+        self, tmp_path, monkeypatch
+    ):
+        stray = tmp_path / "stray-file"
+        stray.write_text("not a directory")
+        monkeypatch.setenv(CACHE_ENV_VAR, str(stray))
+        _reset_non_directory_warnings()
+        with pytest.warns(RuntimeWarning, match="non-directory") as caught:
+            assert trace_cache_dir() is None
+        assert CACHE_ENV_VAR in str(caught[0].message)
+        assert str(stray) in str(caught[0].message)
+        assert cache_path_for(tiny_config()) is None
+
+    def test_non_directory_warning_fires_once_per_path(
+        self, tmp_path, monkeypatch
+    ):
+        import warnings
+
+        stray = tmp_path / "stray-file"
+        stray.write_text("not a directory")
+        monkeypatch.setenv(CACHE_ENV_VAR, str(stray))
+        _reset_non_directory_warnings()
+        with pytest.warns(RuntimeWarning, match="non-directory"):
+            trace_cache_dir()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert trace_cache_dir() is None
+
+    def test_non_directory_env_still_generates_the_trace(
+        self, tmp_path, monkeypatch
+    ):
+        stray = tmp_path / "stray-file"
+        stray.write_text("not a directory")
+        monkeypatch.setenv(CACHE_ENV_VAR, str(stray))
+        _reset_non_directory_warnings()
+        with pytest.warns(RuntimeWarning, match="non-directory"):
+            columns = load_or_generate_columnar(tiny_config())
+        fresh = EnsembleTraceGenerator(tiny_config()).generate_columnar()
+        assert columns.equals(fresh)
+        assert stray.read_text() == "not a directory"  # untouched
 
 
 class TestLoadOrGenerate:
