@@ -7,10 +7,9 @@ sieved caches turn their hits into real speedup, while unsieved caches
 burn the gains on allocation-writes.
 """
 
-import pytest
 
 from repro.analysis.report import render_table
-from repro.ssd.latency import ERA_2010, latency_report
+from repro.ssd.latency import latency_report
 
 CONFIGS = ("ideal", "sievestore-c", "sievestore-d", "randsieve-c",
            "aod-32", "wmna-32")

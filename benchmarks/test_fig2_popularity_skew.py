@@ -5,12 +5,10 @@
 2(c): the CDF zoomed into the top 5% (knee below 1%, share 14-53%).
 """
 
-import pytest
 
-from repro.analysis.report import render_series, render_table
+from repro.analysis.report import render_table
 from repro.analysis.skew import access_count_quantiles, daily_skew_profiles
 from repro.util.units import BLOCK_BYTES, GIB
-from benchmarks.conftest import DAYS
 
 
 def test_fig2a_access_count_distribution(benchmark, bench_context):

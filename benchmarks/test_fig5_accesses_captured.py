@@ -15,7 +15,6 @@ SieveStore-D/-C, both random sieves, and unsieved AOD/WMNA at 16 GB and
 Paper-vs-measured magnitudes are recorded in EXPERIMENTS.md.
 """
 
-import pytest
 
 from repro.analysis.report import render_series, render_table
 from repro.sim import capture_breakdown, capture_series, mean_capture

@@ -5,7 +5,6 @@ more than two orders of magnitude below AOD/WMNA's, and the random
 sieves sit in between (~8.5x worse than true sieving).
 """
 
-import pytest
 
 from repro.analysis.report import render_series, render_table
 from repro.sim import allocation_write_series, total_allocation_writes

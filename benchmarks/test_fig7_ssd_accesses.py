@@ -8,13 +8,11 @@ endurance argument of Section 5.1 (caching write-hot blocks does not
 wear the drive out).
 """
 
-import pytest
 
 from repro.analysis.report import render_table
 from repro.sim import ssd_operation_series
 from repro.ssd.device import INTEL_X25E
 from repro.ssd.endurance import endurance_report, paper_endurance_example
-from benchmarks.conftest import DAYS
 
 
 def test_fig7_ssd_operations(benchmark, bench_suite):

@@ -10,7 +10,6 @@ Two comparisons, both maximally generous to per-server caching:
   cost-performance.
 """
 
-import pytest
 
 from repro.analysis.report import render_series, render_table
 from repro.ensemble.per_server import (
@@ -19,7 +18,6 @@ from repro.ensemble.per_server import (
     whole_drive_cost_comparison,
 )
 from repro.sim import mean_capture
-from benchmarks.conftest import DAYS
 
 
 def test_sec53_iso_capacity(benchmark, bench_context):

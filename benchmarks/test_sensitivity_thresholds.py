@@ -10,7 +10,6 @@
   inflating allocation-writes — the reason the MCT tier exists.
 """
 
-import pytest
 
 from repro.analysis.report import render_table
 from repro.sim import (

@@ -5,7 +5,6 @@ summary of the generated synthetic trace (requests, block accesses,
 daily footprint), and benchmarks trace generation itself.
 """
 
-import pytest
 
 from repro.analysis.report import render_table
 from repro.traces import (

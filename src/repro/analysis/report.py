@@ -8,7 +8,7 @@ the corresponding table/figure ids.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import List, Mapping, Sequence
 
 
 def render_table(
@@ -27,7 +27,9 @@ def render_table(
             ]
         )
     widths = [
-        max(len(str(headers[i])), *(len(r[i]) for r in formatted)) if formatted else len(str(headers[i]))
+        max(len(str(headers[i])), *(len(r[i]) for r in formatted))
+        if formatted
+        else len(str(headers[i]))
         for i in range(len(headers))
     ]
     lines = []

@@ -10,7 +10,7 @@ command and handy when validating a newly imported trace.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List
 
 from repro.traces.model import Trace

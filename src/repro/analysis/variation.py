@@ -16,7 +16,6 @@ import numpy as np
 
 from repro.core.ideal import top_fraction_blocks
 from repro.traces.model import Trace, server_of_address
-from repro.traces.streams import daily_block_counts
 
 
 def cumulative_access_curve(counts: Counter, points: int = 100) -> List[dict]:

@@ -189,6 +189,18 @@ def _build_parser() -> argparse.ArgumentParser:
     table2 = sub.add_parser("table2", help="print the paper's Table 2")
     table2.add_argument("--hit-rate", type=float, default=0.35)
     table2.add_argument("--read-fraction", type=float, default=0.75)
+
+    check = sub.add_parser(
+        "check",
+        help="run the sievelint static invariant checker",
+        description=(
+            "AST-based invariant checker (sievelint): determinism, "
+            "worker-safety, and zero-overhead contracts."
+        ),
+    )
+    from repro.staticcheck.cli import configure_parser as _configure_check
+
+    _configure_check(check)
     return parser
 
 
@@ -709,6 +721,12 @@ def _cmd_table2(args) -> int:
     return 0
 
 
+def _cmd_check(args) -> int:
+    from repro.staticcheck.cli import run as run_staticcheck
+
+    return run_staticcheck(args)
+
+
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "skew": _cmd_skew,
@@ -716,6 +734,7 @@ _COMMANDS = {
     "validate": _cmd_validate,
     "drives": _cmd_drives,
     "table2": _cmd_table2,
+    "check": _cmd_check,
 }
 
 

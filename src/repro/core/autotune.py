@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Set, Tuple
+from typing import List, Optional, Set, Tuple
 
 from repro.core.sievestore_c import SieveStoreC, SieveStoreCConfig
 from repro.core.sievestore_d import SieveStoreD, SieveStoreDConfig

@@ -22,7 +22,6 @@ substitute for sieving:
 from __future__ import annotations
 
 import heapq
-from collections import defaultdict
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Sequence, Set
 

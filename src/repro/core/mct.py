@@ -13,7 +13,7 @@ implements — entries whose whole window has expired are dropped.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.core.windows import SubwindowCounter, WindowSpec
 

@@ -16,7 +16,7 @@ W = 8 hours with k = 4 subwindows of 2 hours.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List
 
 from repro.util.intervals import SECONDS_PER_HOUR

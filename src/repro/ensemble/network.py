@@ -12,7 +12,6 @@ it against measured simulation traffic.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
 
 from repro.cache.stats import CacheStats
 from repro.ssd.device import SSDModel
@@ -76,7 +75,7 @@ def network_report(
     peak_units = 0
     total_units = 0
     total_write_units = 0
-    for io in stats.per_minute.values():
+    for _minute, io in stats.minute_series():
         units = io.reads + io.writes
         peak_units = max(peak_units, units)
         total_units += units

@@ -19,14 +19,12 @@ SieveStore against *ideal* per-server configurations:
 
 from __future__ import annotations
 
-import math
 from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from repro.core.ideal import top_fraction_blocks
 from repro.ensemble.topology import per_server_daily_counts_from_ensemble
-from repro.ssd.device import SSDModel
 
 
 @dataclass(frozen=True)
@@ -72,7 +70,7 @@ def per_server_ideal_shares(
             shares.append(0.0)
             continue
         captured = 0
-        for counters in per_server.values():
+        for _server, counters in sorted(per_server.items()):
             counts = counters[day]
             for address in top_fraction_blocks(counts, fraction):
                 captured += counts[address]

@@ -10,12 +10,11 @@ per-server partitioning look like) for the Section 5.3 comparison.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
-from repro.traces.model import Trace, server_of_address
+from repro.traces.model import server_of_address
 from repro.traces.servers import ServerProfile
-from repro.traces.streams import daily_block_counts
 
 
 @dataclass

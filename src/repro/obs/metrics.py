@@ -359,7 +359,9 @@ class MetricsRegistry:
     def snapshot(self) -> MetricsSnapshot:
         """Deep-copied plain-data capture of every metric."""
         snap = MetricsSnapshot()
-        for metric in self._metrics.values():
+        # Exports must preserve metric registration order (fixed by
+        # deterministic module import order), not re-sort by name.
+        for metric in self._metrics.values():  # sievelint: disable=SVL006 -- registration order
             entry = {
                 "kind": metric.kind,
                 "help": metric.help,

@@ -24,7 +24,7 @@ in-memory simulation counters.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from typing import Iterator, List, Optional, Set, Tuple
 
 from repro.offline.logs import AccessLog
 

@@ -20,7 +20,6 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Unio
 
 from repro.cache.allocation import (
     AllocateOnDemand,
-    AllocationPolicy,
     WriteMissNoAllocate,
 )
 from repro.core.ideal import IdealDailySieve
@@ -32,7 +31,6 @@ from repro.sim.engine import SimulationResult, simulate
 from repro.traces.columnar import ColumnarTrace
 from repro.traces.model import Trace
 from repro.traces.streams import daily_block_counts
-from repro.traces.synthetic import SyntheticTraceConfig
 from repro.util.units import BLOCK_BYTES, GIB
 
 if TYPE_CHECKING:

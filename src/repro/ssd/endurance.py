@@ -12,7 +12,6 @@ yields a lifetime beyond 10 years:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
 
 from repro.cache.stats import CacheStats
 from repro.ssd.device import SSDModel

@@ -23,7 +23,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
-from repro.cache.stats import CacheStats, MinuteIO
+from repro.cache.stats import CacheStats
 from repro.ssd.device import SSDModel
 
 

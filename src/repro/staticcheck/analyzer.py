@@ -1,0 +1,165 @@
+"""Analysis driver: file discovery, rule execution, suppression.
+
+:func:`analyze_paths` is the programmatic entry point (the CLI is a
+thin shell around it); :func:`check_source` analyzes a single source
+string, which is what the fixture tests use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.staticcheck.astutil import module_name_for
+from repro.staticcheck.context import ModuleContext
+from repro.staticcheck.findings import Finding, Severity
+from repro.staticcheck.registry import Rule, all_codes, all_rules
+
+#: Pseudo-code for files the analyzer itself cannot parse.  Not a
+#: registered rule: it has no check, only a reporting channel.
+PARSE_ERROR_CODE = "SVL000"
+
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".venv", "build", "dist"})
+
+
+@dataclass
+class Report:
+    """Outcome of one analysis run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    suppressed: int = 0
+    #: Baseline keys with no matching finding left in the tree.
+    stale_baseline: List[str] = field(default_factory=list)
+
+    @property
+    def errors(self) -> int:
+        return sum(
+            1 for f in self.findings if f.severity == Severity.ERROR
+        )
+
+    @property
+    def warnings(self) -> int:
+        return sum(
+            1 for f in self.findings if f.severity == Severity.WARNING
+        )
+
+
+def iter_python_files(paths: Iterable[Path]) -> List[Path]:
+    """Every ``.py`` file under ``paths``, deterministically ordered."""
+    files = set()
+    for path in paths:
+        if path.is_file() and path.suffix == ".py":
+            files.add(path)
+        elif path.is_dir():
+            for candidate in path.rglob("*.py"):
+                if not _SKIP_DIRS.intersection(candidate.parts):
+                    files.add(candidate)
+    return sorted(files)
+
+
+def validate_codes(codes: Iterable[str]) -> List[str]:
+    """Uppercase and verify rule codes; raises ValueError on unknowns."""
+    known = set(all_codes()) | {PARSE_ERROR_CODE}
+    result = []
+    for code in codes:
+        upper = code.strip().upper()
+        if upper not in known:
+            raise ValueError(
+                f"unknown rule code {code!r} "
+                f"(known: {', '.join(sorted(known))})"
+            )
+        result.append(upper)
+    return result
+
+
+def analyze_paths(
+    paths: Sequence[Path],
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> Report:
+    """Run every (selected) rule over every file under ``paths``."""
+    rules = _filter_rules(all_rules(), select, ignore)
+    report = Report()
+    contexts: List[ModuleContext] = []
+    suppressions_by_path: Dict[str, ModuleContext] = {}
+    raw: List[Finding] = []
+
+    for file_path in iter_python_files([Path(p) for p in paths]):
+        report.files_scanned += 1
+        try:
+            source = file_path.read_text()
+            ctx = ModuleContext.from_source(source, file_path)
+        except (SyntaxError, UnicodeDecodeError, ValueError) as exc:
+            raw.append(_parse_error(file_path, exc))
+            continue
+        contexts.append(ctx)
+        suppressions_by_path[str(file_path)] = ctx
+        for rule in rules:
+            raw.extend(rule.check_module(ctx))
+
+    for rule in rules:
+        raw.extend(rule.check_project(contexts))
+
+    for finding in sorted(raw, key=Finding.sort_key):
+        ctx = suppressions_by_path.get(finding.path)
+        if ctx is not None and ctx.suppressions.is_suppressed(
+            finding.code, finding.line
+        ):
+            report.suppressed += 1
+        else:
+            report.findings.append(finding)
+    return report
+
+
+def check_source(
+    source: str,
+    path: str = "<fixture>",
+    module: str = "fixture",
+    select: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Analyze one in-memory source string (fixture-test entry point)."""
+    ctx = ModuleContext.from_source(source, Path(path), module=module)
+    rules = _filter_rules(all_rules(), select, None)
+    raw: List[Finding] = []
+    for rule in rules:
+        raw.extend(rule.check_module(ctx))
+        raw.extend(rule.check_project([ctx]))
+    return sorted(
+        (
+            f
+            for f in raw
+            if not ctx.suppressions.is_suppressed(f.code, f.line)
+        ),
+        key=Finding.sort_key,
+    )
+
+
+def _filter_rules(
+    rules: List[Rule],
+    select: Optional[Sequence[str]],
+    ignore: Optional[Sequence[str]],
+) -> List[Rule]:
+    if select:
+        wanted = set(validate_codes(select))
+        rules = [r for r in rules if r.meta.code in wanted]
+    if ignore:
+        unwanted = set(validate_codes(ignore))
+        rules = [r for r in rules if r.meta.code not in unwanted]
+    return rules
+
+
+def _parse_error(path: Path, exc: Exception) -> Finding:
+    line = getattr(exc, "lineno", None) or 1
+    col = getattr(exc, "offset", None) or 0
+    return Finding(
+        code=PARSE_ERROR_CODE,
+        severity=Severity.ERROR,
+        path=str(path),
+        line=line,
+        col=col,
+        message=f"file could not be parsed: {exc}",
+        module=module_name_for(path),
+        symbol="parse-error",
+    )

@@ -1,0 +1,147 @@
+"""Shared AST plumbing: module naming, import resolution, parent maps.
+
+Every rule needs the same three facilities: the dotted module name of
+the file under analysis (rules scope themselves to package prefixes),
+canonical resolution of call targets through import aliases
+(``np.random.rand`` -> ``numpy.random.rand``), and parent links (the
+stdlib AST has none).  They live here so rules stay small.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name of a source file, derived from package layout.
+
+    Climbs parent directories while they contain ``__init__.py``, so
+    ``src/repro/sim/parallel.py`` resolves to ``repro.sim.parallel``
+    regardless of the scan root.  A file outside any package resolves
+    to its bare stem.
+    """
+    resolved = path.resolve()
+    parts = [] if resolved.name == "__init__.py" else [resolved.stem]
+    parent = resolved.parent
+    while (parent / "__init__.py").exists():
+        parts.insert(0, parent.name)
+        parent = parent.parent
+    return ".".join(parts) if parts else resolved.stem
+
+
+def module_matches(module: str, prefixes: Iterable[str]) -> bool:
+    """True when ``module`` is one of ``prefixes`` or inside one."""
+    for prefix in prefixes:
+        if module == prefix or module.startswith(prefix + "."):
+            return True
+    return False
+
+
+class ImportMap:
+    """Canonicalizes names through a module's import statements.
+
+    ``import numpy as np`` maps the local root ``np`` to ``numpy``;
+    ``from datetime import datetime`` maps ``datetime`` to
+    ``datetime.datetime``.  :meth:`resolve` then renders attribute
+    chains rooted at an imported name as canonical dotted paths, which
+    is what rule ban-lists are written against.
+    """
+
+    def __init__(self, tree: ast.Module, module: str = "") -> None:
+        self.aliases: Dict[str, str] = {}
+        package = module.rsplit(".", 1)[0] if "." in module else module
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    self.aliases[local] = target
+            elif isinstance(node, ast.ImportFrom):
+                base = node.module or ""
+                if node.level:
+                    # Relative import: anchor at the current package.
+                    hops = package.split(".") if package else []
+                    hops = hops[: len(hops) - (node.level - 1)] if node.level > 1 else hops
+                    anchor = ".".join(hops)
+                    base = f"{anchor}.{base}" if base and anchor else (anchor or base)
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.aliases[local] = f"{base}.{alias.name}" if base else alias.name
+
+    def resolve(self, node: ast.expr) -> Optional[str]:
+        """Canonical dotted path of a Name/Attribute chain, or None.
+
+        Returns None when the chain is not rooted at an imported name
+        (locals, ``self`` attributes, call results) — rules that care
+        about builtins or module-local functions match those by name
+        themselves.
+        """
+        parts = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self.aliases.get(node.id)
+        if root is None:
+            return None
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+
+def walk_scope(stmts: List[ast.stmt]) -> Iterator[ast.AST]:
+    """Walk ``stmts`` without descending into nested function scopes.
+
+    Nested ``FunctionDef``/``Lambda`` nodes are still *yielded* (so
+    callers can note their existence) but their bodies are not entered:
+    scope-local analyses enumerate inner functions separately and walk
+    each with its own state.  Class bodies are entered — they execute
+    in the enclosing scope.
+    """
+    stack: List[ast.AST] = list(stmts)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def parent_map(tree: ast.Module) -> Dict[ast.AST, ast.AST]:
+    """Child -> parent links for every node under ``tree``."""
+    parents: Dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+def enclosing_function(
+    node: ast.AST, parents: Dict[ast.AST, ast.AST]
+) -> Optional[ast.AST]:
+    """Nearest enclosing function/lambda, or None at module/class level."""
+    current = parents.get(node)
+    while current is not None:
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            return current
+        current = parents.get(current)
+    return None
+
+
+def is_module_level(node: ast.AST, parents: Dict[ast.AST, ast.AST]) -> bool:
+    """True when ``node`` executes at import time (module or class body)."""
+    return enclosing_function(node, parents) is None
+
+
+def unparse_short(node: ast.AST, limit: int = 60) -> str:
+    """Source rendering of a node, truncated for symbols/messages."""
+    try:
+        text = ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse covers all valid ASTs
+        text = type(node).__name__
+    text = " ".join(text.split())
+    return text if len(text) <= limit else text[: limit - 3] + "..."

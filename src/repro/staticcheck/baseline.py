@@ -1,0 +1,80 @@
+"""Committed baseline of grandfathered findings.
+
+The baseline maps a line-number-independent key
+(``module::code::symbol``) to an occurrence count.  At check time each
+reported finding consumes one occurrence of its key; leftover findings
+are reported, leftover baseline entries are flagged as stale so the
+file shrinks as debt is paid down.  The file is JSON with sorted keys,
+so regenerating it on an unchanged tree is byte-stable — CI diffs it
+against the committed copy.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.staticcheck.findings import Finding
+
+BASELINE_FORMAT_VERSION = 1
+
+
+class Baseline:
+    """Occurrence-counted set of accepted findings."""
+
+    def __init__(self, entries: Optional[Dict[str, int]] = None) -> None:
+        self.entries: Dict[str, int] = dict(entries or {})
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        data = json.loads(path.read_text())
+        if not isinstance(data, dict) or "entries" not in data:
+            raise ValueError(f"{path}: not a sievelint baseline file")
+        version = data.get("version")
+        if version != BASELINE_FORMAT_VERSION:
+            raise ValueError(
+                f"{path}: unsupported baseline version {version!r} "
+                f"(expected {BASELINE_FORMAT_VERSION})"
+            )
+        entries = data["entries"]
+        if not isinstance(entries, dict) or not all(
+            isinstance(k, str) and isinstance(v, int) and v > 0
+            for k, v in entries.items()
+        ):
+            raise ValueError(f"{path}: malformed baseline entries")
+        return cls(entries)
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        counts = Counter(f.baseline_key() for f in findings)
+        return cls(dict(counts))
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "version": BASELINE_FORMAT_VERSION,
+            "entries": {k: self.entries[k] for k in sorted(self.entries)},
+        }
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    def apply(
+        self, findings: Iterable[Finding]
+    ) -> Tuple[List[Finding], List[str]]:
+        """Split findings into (new, stale-baseline-keys).
+
+        Each finding consumes one count of its key; findings beyond the
+        recorded count — or with no entry — come back as *new*.  Keys
+        with counts left over after all findings are matched are
+        *stale* and should be pruned by regenerating the baseline.
+        """
+        remaining = Counter(self.entries)
+        new: List[Finding] = []
+        for finding in findings:
+            key = finding.baseline_key()
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+            else:
+                new.append(finding)
+        stale = sorted(key for key, count in remaining.items() if count > 0)
+        return new, stale

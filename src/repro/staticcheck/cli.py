@@ -1,0 +1,179 @@
+"""``sievelint`` command line (also ``python -m repro check``).
+
+Exit codes are part of the contract CI gates on:
+
+* ``0`` — no new findings (clean tree, or everything baselined)
+* ``1`` — findings (or stale baseline entries, which mean the baseline
+  no longer reflects the tree and must be regenerated)
+* ``2`` — usage error (unknown rule code, unreadable baseline, bad path)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.staticcheck import analyzer, reporters
+from repro.staticcheck.baseline import Baseline
+from repro.staticcheck.registry import all_rules
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+#: Picked up automatically when present in the working directory.
+DEFAULT_BASELINE = "staticcheck-baseline.json"
+
+
+class UsageError(Exception):
+    """Invalid invocation; maps to exit code 2."""
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    """Attach sievelint arguments to ``parser`` (shared with ``repro check``)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        default=[],
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        default=[],
+        metavar="CODES",
+        help="comma-separated rule codes to skip",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help=(
+            "baseline file of grandfathered findings "
+            f"(default: {DEFAULT_BASELINE} when it exists)"
+        ),
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="regenerate the baseline from current findings and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="describe every registered rule and exit",
+    )
+
+
+def run(args: argparse.Namespace) -> int:
+    """Execute a configured invocation; returns the process exit code."""
+    try:
+        return _run(args)
+    except UsageError as exc:
+        print(f"sievelint: error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+
+def _run(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        for rule in all_rules():
+            meta = rule.meta
+            print(f"{meta.code} {meta.name} [{meta.severity}]")
+            print(f"    {meta.summary}")
+            print(f"    {meta.rationale}")
+        return EXIT_CLEAN
+
+    paths = [Path(p) for p in args.paths]
+    for path in paths:
+        if not path.exists():
+            raise UsageError(f"path does not exist: {path}")
+
+    select = _split_codes(args.select)
+    ignore = _split_codes(args.ignore)
+    try:
+        report = analyzer.analyze_paths(paths, select=select, ignore=ignore)
+    except ValueError as exc:  # unknown rule code
+        raise UsageError(str(exc)) from None
+
+    baseline_path = _resolve_baseline_path(args)
+    if args.write_baseline:
+        target = baseline_path or Path(DEFAULT_BASELINE)
+        Baseline.from_findings(report.findings).save(target)
+        print(
+            f"wrote {len(report.findings)} baselined findings to {target}",
+            file=sys.stderr,
+        )
+        return EXIT_CLEAN
+
+    if baseline_path is not None:
+        try:
+            baseline = Baseline.load(baseline_path)
+        except (OSError, ValueError) as exc:
+            raise UsageError(f"cannot read baseline: {exc}") from None
+        report.findings, report.stale_baseline = baseline.apply(
+            report.findings
+        )
+
+    if args.format == "json":
+        reporters.write_json(report, sys.stdout)
+    else:
+        print(
+            reporters.render_text(
+                report, stale_hint="rerun with --write-baseline"
+            )
+        )
+    clean = not report.findings and not report.stale_baseline
+    return EXIT_CLEAN if clean else EXIT_FINDINGS
+
+
+def _split_codes(groups: List[str]) -> List[str]:
+    codes: List[str] = []
+    for group in groups:
+        codes.extend(c for c in group.split(",") if c.strip())
+    return codes
+
+
+def _resolve_baseline_path(args: argparse.Namespace) -> Optional[Path]:
+    if args.baseline is not None:
+        path = Path(args.baseline)
+        if not path.exists():
+            raise UsageError(f"baseline file does not exist: {path}")
+        return path
+    default = Path(DEFAULT_BASELINE)
+    return default if default.exists() else None
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="sievelint",
+        description=(
+            "AST-based invariant checker for the SieveStore repro: "
+            "determinism, worker-safety, and zero-overhead contracts."
+        ),
+    )
+    configure_parser(parser)
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        # argparse exits 2 on bad usage already; normalize others.
+        return EXIT_USAGE if exc.code not in (0, None) else EXIT_CLEAN
+    return run(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

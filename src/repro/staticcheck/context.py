@@ -1,0 +1,43 @@
+"""Per-file analysis context shared by every rule."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.staticcheck.astutil import ImportMap, module_name_for
+from repro.staticcheck.suppressions import Suppressions, parse_suppressions
+
+
+@dataclass
+class ModuleContext:
+    """One parsed source file: path, dotted module name, AST, pragmas.
+
+    Built once per file by the analyzer and handed to every rule, so
+    parsing, import resolution, and suppression extraction happen once
+    regardless of how many rules run.
+    """
+
+    path: Path
+    module: str
+    source: str
+    tree: ast.Module
+    suppressions: Suppressions
+    imports: ImportMap
+
+    @classmethod
+    def from_source(
+        cls, source: str, path: Path, module: str = ""
+    ) -> "ModuleContext":
+        """Parse ``source`` into a context; raises SyntaxError as-is."""
+        name = module or module_name_for(path)
+        tree = ast.parse(source, filename=str(path))
+        return cls(
+            path=path,
+            module=name,
+            source=source,
+            tree=tree,
+            suppressions=parse_suppressions(source),
+            imports=ImportMap(tree, module=name),
+        )

@@ -1,0 +1,68 @@
+"""The unit of analyzer output: one :class:`Finding` per violation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple, Union
+
+
+class Severity:
+    """Finding severities, ordered from least to most severe."""
+
+    WARNING = "warning"
+    ERROR = "error"
+
+    ALL: Tuple[str, ...] = (WARNING, ERROR)
+
+    @classmethod
+    def rank(cls, severity: str) -> int:
+        """Numeric rank for sorting (higher is more severe)."""
+        return cls.ALL.index(severity)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``symbol`` is a short, line-number-independent identity for the
+    violation (typically the offending call or variable rendered as
+    source text); the baseline keys on it so grandfathered findings
+    survive unrelated edits that shift line numbers.
+    """
+
+    code: str
+    severity: str
+    path: str
+    line: int
+    col: int
+    message: str
+    module: str
+    symbol: str = ""
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        """Deterministic report ordering: path, position, code."""
+        return (self.path, self.line, self.col, self.code)
+
+    def baseline_key(self) -> str:
+        """Stable identity used by the committed findings baseline."""
+        return f"{self.module}::{self.code}::{self.symbol}"
+
+    def to_dict(self) -> Dict[str, Union[str, int]]:
+        """Plain-JSON form for the JSON reporter."""
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "module": self.module,
+            "message": self.message,
+            "symbol": self.symbol,
+        }
+
+    def render(self) -> str:
+        """One-line human-readable form for the text reporter."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.code} [{self.severity}] {self.message}"
+        )

@@ -1,0 +1,85 @@
+"""Pluggable rule registry.
+
+Rules are classes decorated with :func:`register`; each carries a
+:class:`RuleMeta` describing its code, default severity, and the
+contract it enforces.  The analyzer instantiates every registered rule
+fresh per run, so rules may keep per-run state (SVL005 accumulates
+cross-module facts in :meth:`Rule.check_project`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Type
+
+from repro.staticcheck.findings import Finding
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.staticcheck.context import ModuleContext
+
+
+@dataclass(frozen=True)
+class RuleMeta:
+    """Static description of a rule: its code, severity, and rationale."""
+
+    code: str
+    name: str
+    severity: str
+    summary: str
+    rationale: str
+
+
+class Rule:
+    """Base class for analyzer rules.
+
+    Subclasses override :meth:`check_module` (called once per parsed
+    file) and/or :meth:`check_project` (called once after every file,
+    for cross-file rules such as the schema registry check).  Both
+    return findings; suppression and baseline filtering happen in the
+    analyzer, not here.
+    """
+
+    meta: RuleMeta
+
+    def check_module(self, ctx: "ModuleContext") -> List[Finding]:
+        return []
+
+    def check_project(self, modules: List["ModuleContext"]) -> List[Finding]:
+        return []
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    code = rule_cls.meta.code
+    if code in _REGISTRY:
+        raise ValueError(f"duplicate rule code {code!r}")
+    _REGISTRY[code] = rule_cls
+    return rule_cls
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of every registered rule, sorted by code."""
+    # Importing the rules package triggers registration exactly once.
+    import repro.staticcheck.rules  # noqa: F401
+
+    return [_REGISTRY[code]() for code in sorted(_REGISTRY)]
+
+
+def all_codes() -> List[str]:
+    """Sorted codes of every registered rule."""
+    import repro.staticcheck.rules  # noqa: F401
+
+    return sorted(_REGISTRY)
+
+
+def get_rule(code: str) -> Rule:
+    """Instantiate the rule registered under ``code``."""
+    import repro.staticcheck.rules  # noqa: F401
+
+    try:
+        return _REGISTRY[code]()
+    except KeyError:
+        raise KeyError(f"no rule registered for code {code!r}") from None

@@ -1,0 +1,55 @@
+"""Text and JSON renderings of an analysis :class:`Report`."""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Dict, List
+
+from repro.staticcheck.analyzer import Report
+
+#: Version of the JSON report envelope (not the baseline format).
+REPORT_FORMAT_VERSION = 1
+
+
+def render_text(report: Report, stale_hint: str = "") -> str:
+    """Human-readable report: one line per finding plus a summary."""
+    lines: List[str] = [f.render() for f in report.findings]
+    for key in report.stale_baseline:
+        lines.append(
+            f"stale baseline entry {key!r}: no matching finding remains"
+            + (f" ({stale_hint})" if stale_hint else "")
+        )
+    noun = "finding" if len(report.findings) == 1 else "findings"
+    summary = (
+        f"{len(report.findings)} {noun} "
+        f"({report.errors} errors, {report.warnings} warnings) "
+        f"in {report.files_scanned} files"
+    )
+    if report.suppressed:
+        summary += f"; {report.suppressed} suppressed inline"
+    if report.stale_baseline:
+        summary += f"; {len(report.stale_baseline)} stale baseline entries"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(report: Report) -> Dict[str, object]:
+    """Machine-readable report envelope (stable schema for CI tooling)."""
+    return {
+        "version": REPORT_FORMAT_VERSION,
+        "findings": [f.to_dict() for f in report.findings],
+        "stale_baseline": list(report.stale_baseline),
+        "summary": {
+            "files_scanned": report.files_scanned,
+            "findings": len(report.findings),
+            "errors": report.errors,
+            "warnings": report.warnings,
+            "suppressed": report.suppressed,
+            "stale_baseline": len(report.stale_baseline),
+        },
+    }
+
+
+def write_json(report: Report, stream: IO[str]) -> None:
+    json.dump(render_json(report), stream, indent=2, sort_keys=True)
+    stream.write("\n")

@@ -1,0 +1,12 @@
+"""Rule implementations.  Importing this package registers every rule."""
+
+from __future__ import annotations
+
+from repro.staticcheck.rules import (  # noqa: F401
+    obsguard,
+    ordering,
+    picklable,
+    randomness,
+    schema,
+    wallclock,
+)

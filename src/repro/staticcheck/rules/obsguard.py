@@ -1,0 +1,256 @@
+"""SVL004 — observability handles must be None-guarded at use.
+
+``repro.obs`` accessors (``get_context``/``get_registry``/
+``get_events``, and the engine's ``_engine_obs`` bundle) return None
+when observability is off — which is the default, and the mode whose
+output the byte-identity tests pin.  Dereferencing such a handle
+without the None-predicate guard either crashes metrics-off runs or,
+worse, tempts a truthiness rewrite that silently perturbs them.  This
+rule tracks every variable assigned from an accessor and requires each
+attribute/subscript access on it to sit under an ``is not None`` guard
+(plain ``if``, early-exit, conditional expression, or short-circuit
+``and``/``or``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set, Tuple
+
+from repro.staticcheck.astutil import module_matches
+from repro.staticcheck.context import ModuleContext
+from repro.staticcheck.findings import Finding, Severity
+from repro.staticcheck.registry import Rule, RuleMeta, register
+
+#: The accessors themselves (and the checker) are exempt.
+EXEMPT_MODULES = ("repro.obs", "repro.staticcheck")
+
+#: repro.obs accessor function names returning Optional handles.
+ACCESSOR_NAMES = frozenset({"get_context", "get_registry", "get_events"})
+
+#: Module-local producers of Optional observation bundles.
+LOCAL_PRODUCERS = frozenset({"_engine_obs"})
+
+
+@register
+class ObsGuardRule(Rule):
+    meta = RuleMeta(
+        code="SVL004",
+        name="obs-none-guard",
+        severity=Severity.ERROR,
+        summary="unguarded dereference of an Optional observability handle",
+        rationale=(
+            "Observability accessors return None when metrics are off "
+            "(the default, byte-identity-pinned mode).  Every use must "
+            "sit under the `is not None` guard so the hot path stays "
+            "zero-overhead and crash-free with metrics disabled."
+        ),
+    )
+
+    def check_module(self, ctx: ModuleContext) -> List[Finding]:
+        if not ctx.module.startswith("repro."):
+            return []
+        if module_matches(ctx.module, EXEMPT_MODULES):
+            return []
+        self._ctx = ctx
+        self._findings: List[Finding] = []
+        self._walk_block(ctx.tree.body, tracked=set(), guarded=set())
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._walk_block(node.body, tracked=set(), guarded=set())
+        return self._findings
+
+    # -- producer detection -------------------------------------------------
+
+    def _is_producer(self, value: ast.expr) -> bool:
+        if not isinstance(value, ast.Call):
+            return False
+        func = value.func
+        if isinstance(func, ast.Name) and func.id in (
+            ACCESSOR_NAMES | LOCAL_PRODUCERS
+        ):
+            # Bare name: either `from repro.obs.runtime import get_x`
+            # (the import map resolves it) or a module-local producer.
+            resolved = self._ctx.imports.resolve(func)
+            if resolved is None:
+                return func.id in LOCAL_PRODUCERS
+            return resolved.startswith("repro.obs")
+        resolved = self._ctx.imports.resolve(func)
+        return (
+            resolved is not None
+            and resolved.startswith("repro.obs")
+            and resolved.rsplit(".", 1)[-1] in ACCESSOR_NAMES
+        )
+
+    # -- statement walker ---------------------------------------------------
+
+    def _walk_block(
+        self, stmts: List[ast.stmt], tracked: Set[str], guarded: Set[str]
+    ) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue  # nested scopes get their own fresh walk
+            if isinstance(stmt, ast.Assign):
+                self._scan_expr(stmt.value, tracked, guarded)
+                names = [
+                    t.id for t in stmt.targets if isinstance(t, ast.Name)
+                ]
+                for target in stmt.targets:
+                    if not isinstance(target, ast.Name):
+                        self._scan_expr(target, tracked, guarded)
+                if self._is_producer(stmt.value):
+                    for name in names:
+                        tracked.add(name)
+                        guarded.discard(name)
+                else:
+                    for name in names:
+                        tracked.discard(name)
+                        guarded.discard(name)
+                continue
+            if isinstance(stmt, ast.If):
+                self._scan_expr(stmt.test, tracked, guarded)
+                pos, neg = self._guards_from_test(stmt.test, tracked)
+                self._walk_block(stmt.body, tracked, guarded | pos)
+                self._walk_block(stmt.orelse, tracked, guarded | neg)
+                # Early-exit promotion: `if x is None: return` guards
+                # the rest of the block.
+                if neg and stmt.body and _terminates(stmt.body[-1]):
+                    guarded |= neg
+                continue
+            if isinstance(stmt, (ast.For, ast.AsyncFor)):
+                self._scan_expr(stmt.iter, tracked, guarded)
+                self._walk_block(stmt.body, tracked, guarded)
+                self._walk_block(stmt.orelse, tracked, guarded)
+                continue
+            if isinstance(stmt, ast.While):
+                self._scan_expr(stmt.test, tracked, guarded)
+                pos, _neg = self._guards_from_test(stmt.test, tracked)
+                self._walk_block(stmt.body, tracked, guarded | pos)
+                self._walk_block(stmt.orelse, tracked, guarded)
+                continue
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                for item in stmt.items:
+                    self._scan_expr(item.context_expr, tracked, guarded)
+                self._walk_block(stmt.body, tracked, guarded)
+                continue
+            if isinstance(stmt, ast.Try):
+                self._walk_block(stmt.body, tracked, guarded)
+                for handler in stmt.handlers:
+                    self._walk_block(handler.body, tracked, guarded)
+                self._walk_block(stmt.orelse, tracked, guarded)
+                self._walk_block(stmt.finalbody, tracked, guarded)
+                continue
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self._scan_expr(child, tracked, guarded)
+
+    def _guards_from_test(
+        self, test: ast.expr, tracked: Set[str]
+    ) -> Tuple[Set[str], Set[str]]:
+        """(names non-None when true, names non-None when false)."""
+        name = _is_not_none_test(test)
+        if name is not None and name in tracked:
+            return {name}, set()
+        name = _is_none_test(test)
+        if name is not None and name in tracked:
+            return set(), {name}
+        if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And):
+            pos: Set[str] = set()
+            for value in test.values:
+                sub_pos, _ = self._guards_from_test(value, tracked)
+                pos |= sub_pos
+            return pos, set()
+        return set(), set()
+
+    # -- expression scanner -------------------------------------------------
+
+    def _scan_expr(
+        self, expr: ast.expr, tracked: Set[str], guarded: Set[str]
+    ) -> None:
+        if isinstance(expr, ast.IfExp):
+            self._scan_expr(expr.test, tracked, guarded)
+            pos, neg = self._guards_from_test(expr.test, tracked)
+            self._scan_expr(expr.body, tracked, guarded | pos)
+            self._scan_expr(expr.orelse, tracked, guarded | neg)
+            return
+        if isinstance(expr, ast.BoolOp):
+            # Short-circuit: `x is not None and x.y` / `x is None or x.y`.
+            accum: Set[str] = set()
+            for value in expr.values:
+                self._scan_expr(value, tracked, guarded | accum)
+                pos, neg = self._guards_from_test(value, tracked)
+                accum |= pos if isinstance(expr.op, ast.And) else neg
+            return
+        if isinstance(expr, (ast.Attribute, ast.Subscript)):
+            base = expr.value
+            if (
+                isinstance(base, ast.Name)
+                and base.id in tracked
+                and base.id not in guarded
+            ):
+                self._report(base)
+            self._scan_expr(base, tracked, guarded)
+            if isinstance(expr, ast.Subscript):
+                self._scan_expr(expr.slice, tracked, guarded)
+            return
+        if isinstance(expr, ast.Lambda):
+            return  # separate scope; captured names analyzed conservatively
+        for child in ast.iter_child_nodes(expr):
+            if isinstance(child, ast.expr):
+                self._scan_expr(child, tracked, guarded)
+
+    def _report(self, name_node: ast.Name) -> None:
+        self._findings.append(
+            Finding(
+                code=self.meta.code,
+                severity=self.meta.severity,
+                path=str(self._ctx.path),
+                line=name_node.lineno,
+                col=name_node.col_offset,
+                message=(
+                    f"{name_node.id!r} comes from a repro.obs accessor and "
+                    "may be None when metrics are off; guard the access "
+                    f"with `if {name_node.id} is not None:`"
+                ),
+                module=self._ctx.module,
+                symbol=name_node.id,
+            )
+        )
+
+
+def _is_not_none_test(test: ast.expr) -> Optional[str]:
+    """Name proven non-None when ``test`` is true, else None."""
+    if (
+        isinstance(test, ast.Compare)
+        and len(test.ops) == 1
+        and isinstance(test.ops[0], ast.IsNot)
+        and isinstance(test.left, ast.Name)
+        and isinstance(test.comparators[0], ast.Constant)
+        and test.comparators[0].value is None
+    ):
+        return test.left.id
+    if isinstance(test, ast.Name):
+        return test.id  # truthy handle implies non-None
+    return None
+
+
+def _is_none_test(test: ast.expr) -> Optional[str]:
+    """Name proven non-None when ``test`` is *false*, else None."""
+    if (
+        isinstance(test, ast.Compare)
+        and len(test.ops) == 1
+        and isinstance(test.ops[0], ast.Is)
+        and isinstance(test.left, ast.Name)
+        and isinstance(test.comparators[0], ast.Constant)
+        and test.comparators[0].value is None
+    ):
+        return test.left.id
+    if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+        if isinstance(test.operand, ast.Name):
+            return test.operand.id
+    return None
+
+
+def _terminates(stmt: ast.stmt) -> bool:
+    """The statement unconditionally leaves the enclosing block."""
+    return isinstance(stmt, (ast.Return, ast.Raise, ast.Continue, ast.Break))

@@ -1,0 +1,174 @@
+"""SVL006 — no unordered iteration feeding accumulation.
+
+Aggregation loops in stats/allocation paths must visit elements in an
+order fixed by the data, not by hash seeding or container identity:
+iterating a ``set`` (hash-randomized for strings across processes) or a
+bare ``dict.values()``/``.keys()`` view while accumulating makes the
+visit order an implementation detail.  For today's integer counters the
+sum is order-independent; the rule exists so tomorrow's float
+accumulation or order-sensitive merge does not silently become
+run-dependent.  Wrap the iterable in ``sorted(...)`` (or iterate a
+structure with contractual order) to state the order explicitly.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set
+
+from repro.staticcheck.astutil import module_matches, unparse_short, walk_scope
+from repro.staticcheck.context import ModuleContext
+from repro.staticcheck.findings import Finding, Severity
+from repro.staticcheck.registry import Rule, RuleMeta, register
+
+#: Packages whose aggregation loops feed counted results.
+SCOPED_MODULES = (
+    "repro.cache",
+    "repro.core",
+    "repro.sim",
+    "repro.obs",
+    "repro.ensemble",
+    "repro.traces",
+)
+
+UNORDERED_VIEWS = frozenset({"values", "keys"})
+
+
+@register
+class OrderingRule(Rule):
+    meta = RuleMeta(
+        code="SVL006",
+        name="ordered-accumulation",
+        severity=Severity.WARNING,
+        summary="accumulation over an unordered set/dict view without sorted()",
+        rationale=(
+            "Aggregation order must be fixed by the data, not hash "
+            "seeding: sets and bare dict views make visit order an "
+            "implementation detail, which breaks cross-run determinism "
+            "the moment accumulation becomes order-sensitive.  Wrap the "
+            "iterable in sorted(...)."
+        ),
+    )
+
+    def check_module(self, ctx: ModuleContext) -> List[Finding]:
+        if not module_matches(ctx.module, SCOPED_MODULES):
+            return []
+        findings: List[Finding] = []
+        for scope_body in self._scopes(ctx.tree):
+            set_names = self._setish_names(scope_body)
+            for node in walk_scope(scope_body):
+                if isinstance(node, (ast.For, ast.AsyncFor)):
+                    if self._accumulates(node.body) and self._unordered(
+                        node.iter, set_names
+                    ):
+                        findings.append(self._finding(ctx, node.iter))
+                elif isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+                    # Comprehensions flagged only over set-ish sources,
+                    # and only when the output order can matter
+                    # (lists/generators; set results are unordered
+                    # anyway, dict views follow insertion order).
+                    for gen in node.generators:
+                        if self._is_setish(gen.iter, set_names):
+                            findings.append(self._finding(ctx, gen.iter))
+        return findings
+
+    def _scopes(self, tree: ast.Module) -> List[List[ast.stmt]]:
+        scopes = [tree.body]
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scopes.append(node.body)
+        return scopes
+
+    def _setish_names(self, body: List[ast.stmt]) -> Set[str]:
+        """Local names bound to set-valued expressions in this scope."""
+        names: Set[str] = set()
+        for node in walk_scope(body):
+            if isinstance(node, ast.Assign) and self._is_setish(
+                node.value, set()
+            ):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+            elif (
+                isinstance(node, ast.AnnAssign)
+                and isinstance(node.target, ast.Name)
+                and self._is_set_annotation(node.annotation)
+            ):
+                names.add(node.target.id)
+        return names
+
+    def _unordered(self, iterable: ast.expr, set_names: Set[str]) -> bool:
+        if self._is_sorted_call(iterable):
+            return False
+        if (
+            isinstance(iterable, ast.Call)
+            and isinstance(iterable.func, ast.Attribute)
+            and iterable.func.attr in UNORDERED_VIEWS
+            and not iterable.args
+        ):
+            return True
+        return self._is_setish(iterable, set_names)
+
+    def _is_setish(self, expr: ast.expr, set_names: Set[str]) -> bool:
+        if self._is_sorted_call(expr):
+            return False
+        if isinstance(expr, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name):
+            if expr.func.id in ("set", "frozenset"):
+                return True
+        if isinstance(expr, ast.Name) and expr.id in set_names:
+            return True
+        if isinstance(expr, ast.BinOp) and isinstance(
+            expr.op, (ast.BitOr, ast.BitAnd, ast.Sub)
+        ):
+            # Set algebra: `seen | pending`, `all - done`.
+            return self._is_setish(expr.left, set_names) or self._is_setish(
+                expr.right, set_names
+            )
+        return False
+
+    def _is_set_annotation(self, annotation: ast.expr) -> bool:
+        root = annotation
+        if isinstance(root, ast.Subscript):
+            root = root.value
+        return (
+            isinstance(root, ast.Name)
+            and root.id in ("set", "Set", "FrozenSet", "frozenset")
+        ) or (
+            isinstance(root, ast.Attribute)
+            and root.attr in ("Set", "FrozenSet")
+        )
+
+    def _is_sorted_call(self, expr: ast.expr) -> bool:
+        return (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Name)
+            and expr.func.id == "sorted"
+        )
+
+    def _accumulates(self, body: List[ast.stmt]) -> bool:
+        for node in walk_scope(body):
+            if isinstance(node, ast.AugAssign):
+                return True
+            if isinstance(node, ast.Assign) and any(
+                isinstance(t, ast.Subscript) for t in node.targets
+            ):
+                return True
+        return False
+
+    def _finding(self, ctx: ModuleContext, iterable: ast.expr) -> Finding:
+        return Finding(
+            code=self.meta.code,
+            severity=self.meta.severity,
+            path=str(ctx.path),
+            line=iterable.lineno,
+            col=iterable.col_offset,
+            message=(
+                f"accumulation iterates {unparse_short(iterable)} whose "
+                "order is an implementation detail; wrap it in sorted(...) "
+                "to fix the visit order"
+            ),
+            module=ctx.module,
+            symbol=unparse_short(iterable),
+        )

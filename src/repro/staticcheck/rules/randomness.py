@@ -1,0 +1,121 @@
+"""SVL002 — randomness in simulation packages must be explicitly seeded.
+
+Table 2's write-elimination percentages are exact counts; an unseeded
+RNG (or the process-global ``random``/``np.random`` state, seedable
+from anywhere) silently decouples runs from their recorded seeds.  The
+repo's convention: construct ``random.Random(seed)`` /
+``np.random.default_rng(seed)`` inside the function that uses it, with
+the seed flowing in as a parameter.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional
+
+from repro.staticcheck.astutil import (
+    is_module_level,
+    module_matches,
+    parent_map,
+    unparse_short,
+)
+from repro.staticcheck.context import ModuleContext
+from repro.staticcheck.findings import Finding, Severity
+from repro.staticcheck.registry import Rule, RuleMeta, register
+
+#: Packages whose outputs feed the paper's counted results.
+SCOPED_MODULES = (
+    "repro.core",
+    "repro.cache",
+    "repro.sim",
+    "repro.faults",
+    "repro.traces",
+)
+
+#: Constructors of explicit RNG instances (fine when seeded, inside a
+#: function).  Everything else under random./numpy.random. is the
+#: process-global generator and always flagged.
+RNG_CONSTRUCTORS = frozenset(
+    {
+        "random.Random",
+        "random.SystemRandom",
+        "numpy.random.default_rng",
+        "numpy.random.Generator",
+        "numpy.random.RandomState",
+    }
+)
+
+
+@register
+class RandomnessRule(Rule):
+    meta = RuleMeta(
+        code="SVL002",
+        name="seeded-randomness",
+        severity=Severity.ERROR,
+        summary="module-level or unseeded randomness in a simulation package",
+        rationale=(
+            "Write/allocation counts are exact; global or unseeded RNG "
+            "state decouples runs from recorded seeds.  Construct "
+            "random.Random(seed) / np.random.default_rng(seed) inside "
+            "the consuming function, seed passed as a parameter."
+        ),
+    )
+
+    def check_module(self, ctx: ModuleContext) -> List[Finding]:
+        if not module_matches(ctx.module, SCOPED_MODULES):
+            return []
+        parents = parent_map(ctx.tree)
+        findings = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = ctx.imports.resolve(node.func)
+            if resolved is None:
+                continue
+            problem = self._classify(node, resolved, parents)
+            if problem is not None:
+                findings.append(
+                    Finding(
+                        code=self.meta.code,
+                        severity=self.meta.severity,
+                        path=str(ctx.path),
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=problem,
+                        module=ctx.module,
+                        symbol=unparse_short(node.func),
+                    )
+                )
+        return findings
+
+    def _classify(
+        self,
+        node: ast.Call,
+        resolved: str,
+        parents: Dict[ast.AST, ast.AST],
+    ) -> Optional[str]:
+        is_global_rng = (
+            resolved.startswith("random.") or resolved.startswith("numpy.random.")
+        ) and resolved not in RNG_CONSTRUCTORS
+        if is_global_rng:
+            return (
+                f"{resolved}() uses process-global RNG state; construct "
+                "an explicit seeded generator instead"
+            )
+        if resolved in RNG_CONSTRUCTORS:
+            if resolved == "random.SystemRandom":
+                return (
+                    "random.SystemRandom is unseedable by design and can "
+                    "never reproduce a recorded run"
+                )
+            if is_module_level(node, parents):
+                return (
+                    f"{resolved}(...) at import time creates shared RNG "
+                    "state; construct it inside the consuming function"
+                )
+            if not node.args and not node.keywords:
+                return (
+                    f"{resolved}() without a seed draws entropy from the "
+                    "OS; pass the run's seed explicitly"
+                )
+        return None

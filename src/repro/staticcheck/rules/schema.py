@@ -1,0 +1,166 @@
+"""SVL005 — serialized-schema drift without a version bump.
+
+Cross-file rule: re-extracts the field set of every schema in
+:mod:`repro.staticcheck.schema_registry` from the scanned ASTs and
+compares fields *and* version-constant values against the recorded
+expectations.  Fields drifted while the version stayed put is the
+contract violation; a bumped version with a stale registry is flagged
+too, so the registry itself cannot rot.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, List, Optional, Tuple
+
+from repro.staticcheck import schema_registry
+from repro.staticcheck.context import ModuleContext
+from repro.staticcheck.findings import Finding, Severity
+from repro.staticcheck.registry import Rule, RuleMeta, register
+from repro.staticcheck.schema_registry import SchemaSpec
+
+REGISTRY_PATH = "src/repro/staticcheck/schema_registry.py"
+
+
+@register
+class SchemaVersionRule(Rule):
+    meta = RuleMeta(
+        code="SVL005",
+        name="schema-version-bump",
+        severity=Severity.ERROR,
+        summary="serialized-schema field set changed without a version bump",
+        rationale=(
+            "Loaders refuse unknown schema versions by contract; a "
+            "field-set change without the matching SCHEMA_VERSION bump "
+            "ships files old readers mis-parse.  Bump the constant and "
+            "update the checked field-registry together."
+        ),
+    )
+
+    def check_project(self, modules: List[ModuleContext]) -> List[Finding]:
+        by_module = {ctx.module: ctx for ctx in modules}
+        findings: List[Finding] = []
+        for spec in schema_registry.SPECS:
+            ctx = by_module.get(spec.fields_module)
+            if ctx is None:
+                continue  # schema's module not under this scan
+            extracted = self._extract(ctx, spec)
+            if extracted is None:
+                findings.append(
+                    self._finding(
+                        ctx,
+                        1,
+                        spec,
+                        f"schema registry is stale: {spec.symbol!r} not "
+                        f"found in {spec.fields_module}; update "
+                        f"{REGISTRY_PATH}",
+                    )
+                )
+                continue
+            line, actual_fields = extracted
+            fields_ok = actual_fields == spec.fields
+            version_ctx = by_module.get(spec.version_module)
+            versions_ok, version_detail = self._check_versions(
+                spec, version_ctx
+            )
+            if fields_ok and versions_ok:
+                continue
+            if not fields_ok and versions_ok:
+                added = sorted(actual_fields - spec.fields)
+                removed = sorted(spec.fields - actual_fields)
+                delta = "; ".join(
+                    part
+                    for part in (
+                        f"added {', '.join(added)}" if added else "",
+                        f"removed {', '.join(removed)}" if removed else "",
+                    )
+                    if part
+                )
+                constants = ", ".join(name for name, _ in spec.versions)
+                findings.append(
+                    self._finding(
+                        ctx,
+                        line,
+                        spec,
+                        f"schema {spec.name!r} field set changed ({delta}) "
+                        f"without bumping {constants}; bump the version "
+                        f"and update {REGISTRY_PATH}",
+                    )
+                )
+            else:
+                # Version constants moved (with or without a field
+                # change): the registry's expectations are stale.
+                target_ctx = version_ctx or ctx
+                findings.append(
+                    self._finding(
+                        target_ctx,
+                        line if version_ctx is None else version_detail[1],
+                        spec,
+                        f"schema {spec.name!r}: {version_detail[0]}; update "
+                        f"the {REGISTRY_PATH} entry to the new contract",
+                    )
+                )
+        return findings
+
+    def _extract(
+        self, ctx: ModuleContext, spec: SchemaSpec
+    ) -> Optional[Tuple[int, FrozenSet[str]]]:
+        if spec.kind == "dataclass":
+            return schema_registry.extract_dataclass_fields(
+                ctx.tree, spec.symbol
+            )
+        return schema_registry.extract_dict_fields(
+            ctx.tree, spec.symbol, spec.track_var
+        )
+
+    def _check_versions(
+        self, spec: SchemaSpec, version_ctx: Optional[ModuleContext]
+    ) -> Tuple[bool, Tuple[str, int]]:
+        """(all version constants match, (detail message, line))."""
+        if version_ctx is None:
+            # Version module outside the scan: trust the field check
+            # alone rather than guessing.
+            return True, ("", 1)
+        actual = schema_registry.extract_versions(version_ctx.tree)
+        for name, expected in spec.versions:
+            if name not in actual:
+                return False, (
+                    f"version constant {name} missing from "
+                    f"{spec.version_module}",
+                    1,
+                )
+            if actual[name] != expected:
+                line = _constant_line(version_ctx.tree, name)
+                return False, (
+                    f"{name} is {actual[name]!r} but the registry expects "
+                    f"{expected!r}",
+                    line,
+                )
+        return True, ("", 1)
+
+    def _finding(
+        self, ctx: ModuleContext, line: int, spec: SchemaSpec, message: str
+    ) -> Finding:
+        return Finding(
+            code=self.meta.code,
+            severity=self.meta.severity,
+            path=str(ctx.path),
+            line=line,
+            col=0,
+            message=message,
+            module=ctx.module,
+            symbol=spec.name,
+        )
+
+
+def _constant_line(tree: ast.Module, name: str) -> int:
+    for stmt in tree.body:
+        targets = []
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+        elif isinstance(stmt, ast.AnnAssign):
+            targets = [stmt.target]
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == name:
+                return stmt.lineno
+    return 1

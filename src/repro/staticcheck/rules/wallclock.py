@@ -1,0 +1,83 @@
+"""SVL001 — no wall-clock reads outside ``repro.obs`` and the CLI.
+
+Checkpoint/resume promises final statistics bit-identical to an
+uninterrupted run; a ``time.time()`` in a simulation path makes output
+depend on when the process ran.  Monotonic duration measurement
+(``time.perf_counter``) is allowed — elapsed wall-seconds are reported,
+never fed back into simulated state.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.staticcheck.astutil import module_matches, unparse_short
+from repro.staticcheck.context import ModuleContext
+from repro.staticcheck.findings import Finding, Severity
+from repro.staticcheck.registry import Rule, RuleMeta, register
+
+#: Canonical callables that read the wall clock.
+BANNED_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.localtime",
+        "time.gmtime",
+        "time.ctime",
+        "time.asctime",
+        "datetime.datetime.now",
+        "datetime.datetime.today",
+        "datetime.datetime.utcnow",
+        "datetime.date.today",
+    }
+)
+
+#: Modules allowed to read the wall clock: observability timestamps
+#: events (explicitly excluded from byte-identity), and the CLI stamps
+#: user-facing output.  The checker itself is also exempt.
+ALLOWED_MODULES = ("repro.obs", "repro.cli", "repro.staticcheck")
+
+
+@register
+class WallClockRule(Rule):
+    meta = RuleMeta(
+        code="SVL001",
+        name="no-wall-clock",
+        severity=Severity.ERROR,
+        summary="wall-clock read outside repro.obs / the CLI",
+        rationale=(
+            "Checkpoint/resume and cross-run comparisons require "
+            "bit-identical statistics; wall-clock reads make output "
+            "depend on when the process ran.  Use time.perf_counter "
+            "for durations, or route timestamps through repro.obs."
+        ),
+    )
+
+    def check_module(self, ctx: ModuleContext) -> List[Finding]:
+        if module_matches(ctx.module, ALLOWED_MODULES):
+            return []
+        findings = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = ctx.imports.resolve(node.func)
+            if resolved in BANNED_CALLS:
+                findings.append(
+                    Finding(
+                        code=self.meta.code,
+                        severity=self.meta.severity,
+                        path=str(ctx.path),
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=(
+                            f"wall-clock call {resolved}() outside "
+                            "repro.obs/the CLI breaks checkpoint/resume "
+                            "bit-identity; use time.perf_counter for "
+                            "durations or pass timestamps in"
+                        ),
+                        module=ctx.module,
+                        symbol=unparse_short(node.func),
+                    )
+                )
+        return findings

@@ -1,0 +1,69 @@
+"""Inline suppression comments.
+
+``# sievelint: disable=SVL006 -- reason`` silences the named codes on
+that physical line; ``disable-file=`` silences them for the whole file.
+Comments are read with :mod:`tokenize` rather than regex-over-source so
+string literals that merely *look* like suppressions are never honored.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Set
+
+_PRAGMA = re.compile(
+    r"#\s*sievelint:\s*(?P<kind>disable(?:-file)?)\s*=\s*"
+    r"(?P<codes>[A-Za-z0-9_,\s]+)"
+)
+
+
+@dataclass
+class Suppressions:
+    """Per-line and per-file suppressed rule codes for one source file."""
+
+    by_line: Dict[int, Set[str]] = field(default_factory=dict)
+    file_wide: Set[str] = field(default_factory=set)
+
+    def is_suppressed(self, code: str, line: int) -> bool:
+        if code in self.file_wide or "ALL" in self.file_wide:
+            return True
+        codes = self.by_line.get(line, ())
+        return code in codes or "ALL" in codes
+
+
+def parse_suppressions(source: str) -> Suppressions:
+    """Extract sievelint pragmas from every comment token in ``source``."""
+    supp = Suppressions()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _PRAGMA.search(tok.string)
+            if match is None:
+                continue
+            codes = _parse_codes(match.group("codes"))
+            if match.group("kind") == "disable-file":
+                supp.file_wide.update(codes)
+            else:
+                supp.by_line.setdefault(tok.start[0], set()).update(codes)
+    except tokenize.TokenizeError:
+        # The analyzer reports the parse error separately (SVL000);
+        # suppression parsing just degrades to "none".
+        pass
+    return supp
+
+
+def _parse_codes(raw: str) -> FrozenSet[str]:
+    # Trailing prose after the code list ("SVL006 -- reason") arrives
+    # here as extra whitespace-separated words; keep only code-shaped
+    # leading tokens so the justification text is ignored.
+    codes = []
+    for chunk in raw.split(","):
+        word = chunk.split()[0].strip().upper() if chunk.split() else ""
+        if word:
+            codes.append(word)
+    return frozenset(codes)

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import csv
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Union
+from typing import Dict, List, Optional, Union
 
 from repro.traces.model import IOKind, IORequest, Trace
 from repro.util.units import BLOCK_BYTES, IO_UNIT_BYTES

@@ -21,7 +21,7 @@ the paper's observations O1 and O2 rather than assuming it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
 

@@ -1,6 +1,5 @@
 """Plain-text report renderers."""
 
-import pytest
 
 from repro.analysis.report import (
     format_ratio,

@@ -12,7 +12,6 @@ from repro.analysis.variation import (
     top_set_server_composition,
     volume_gini,
 )
-from repro.traces.model import pack_address
 from repro.traces.servers import PAPER_SERVERS
 
 

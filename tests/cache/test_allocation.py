@@ -1,6 +1,5 @@
 """Unsieved allocation policies (Table 3)."""
 
-import pytest
 
 from repro.cache.allocation import (
     AllocateOnDemand,

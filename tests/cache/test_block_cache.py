@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.cache import BlockCache, FIFOReplacement, LRUReplacement
+from repro.cache import BlockCache, FIFOReplacement
 
 
 class TestBasicOperations:

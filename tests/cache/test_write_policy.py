@@ -1,7 +1,6 @@
 """Write-through vs write-back (extension): dirty tracking and backing
 write accounting."""
 
-import pytest
 
 from repro.cache import AllocateOnDemand, BlockCache, NeverAllocate, WriteMode
 from repro.cache.stats import CacheStats

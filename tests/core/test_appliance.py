@@ -1,6 +1,5 @@
 """The SieveStore appliance: request processing and SSD accounting."""
 
-import pytest
 
 from repro.cache import AllocateOnDemand, BlockCache, NeverAllocate, StaticSet
 from repro.cache.stats import CacheStats

@@ -1,6 +1,5 @@
 """Belady MIN, selective allocation, and the Section 3.1 counterexample."""
 
-import random
 
 import pytest
 from hypothesis import given, settings, strategies as st

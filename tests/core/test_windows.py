@@ -5,8 +5,6 @@ from hypothesis import given, settings, strategies as st
 
 from repro.core.windows import (
     COUNTER_SATURATION,
-    DEFAULT_SUBWINDOWS,
-    DEFAULT_WINDOW_SECONDS,
     SubwindowCounter,
     WindowSpec,
 )

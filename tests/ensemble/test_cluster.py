@@ -5,7 +5,6 @@ import pytest
 from repro.cache.allocation import AllocateOnDemand
 from repro.core.sievestore_c import SieveStoreC, SieveStoreCConfig
 from repro.ensemble.cluster import simulate_cluster
-from repro.sim import run_policy
 from repro.sim.engine import simulate
 
 DAYS = 8

@@ -9,7 +9,6 @@ from repro.ensemble.scaling import (
     partitioned_ideal_shares,
     scaling_profile,
 )
-from repro.traces.model import pack_address
 
 
 class TestPartitioning:

@@ -8,7 +8,6 @@ classes, not absolute numbers.
 import pytest
 
 from repro.sim import (
-    context_for_trace,
     mean_capture,
     run_policy_suite,
     total_allocation_writes,

@@ -11,7 +11,7 @@ from collections import OrderedDict
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.cache import AllocateOnDemand, BlockCache, WriteMissNoAllocate
+from repro.cache import AllocateOnDemand, WriteMissNoAllocate
 from repro.cache.stats import CacheStats
 from repro.core.sievestore_c import SieveStoreC, SieveStoreCConfig
 from repro.core.sievestore_d import SieveStoreD, SieveStoreDConfig

@@ -4,7 +4,6 @@ in-memory sieve (the paper's offline pipeline for SieveStore-D)."""
 import random
 from collections import Counter
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.sievestore_d import SieveStoreD, SieveStoreDConfig

@@ -9,7 +9,6 @@ default one-day epoch must keep its historical bucketing (boundary k at
 k * 86400 == start of day k).
 """
 
-import pytest
 
 from repro.core.sievestore_d import SieveStoreD, SieveStoreDConfig
 from repro.sim.engine import simulate, total_epoch_count

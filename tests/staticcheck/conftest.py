@@ -1,0 +1,19 @@
+"""Shared helpers for the sievelint test suite."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+@pytest.fixture
+def fixture_source():
+    """Loader returning the text of a named fixture file."""
+
+    def load(name: str) -> str:
+        return (FIXTURES / name).read_text()
+
+    return load

@@ -1,0 +1,15 @@
+# Fixture: violates nothing — anchor for the exit-0 end-to-end test.
+import time
+
+
+def measure(work):
+    start = time.perf_counter()
+    work()
+    return time.perf_counter() - start
+
+
+def total(values):
+    result = 0
+    for value in sorted(values):
+        result += value
+    return result

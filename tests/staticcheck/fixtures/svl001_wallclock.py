@@ -1,0 +1,20 @@
+# Fixture: SVL001 positive (wall clock in a simulation module) and a
+# guarded alternative on the same file.
+import time
+from datetime import datetime
+
+
+def stamp_epoch():
+    return time.time()  # HIT: wall clock
+
+
+def stamp_day():
+    return datetime.now()  # HIT: wall clock
+
+
+def measure():
+    return time.perf_counter()  # ok: monotonic duration
+
+
+def suppressed_stamp():
+    return time.time()  # sievelint: disable=SVL001 -- fixture exercises suppression

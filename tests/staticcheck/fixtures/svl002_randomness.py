@@ -1,0 +1,29 @@
+# Fixture: SVL002 positives (global/unseeded/module-level RNG) and the
+# sanctioned seeded-parameter pattern.
+import random
+
+import numpy as np
+
+_SHARED = random.Random(7)  # HIT: module-level RNG even when seeded
+
+
+def draw_global():
+    return random.randint(0, 10)  # HIT: process-global RNG
+
+
+def draw_unseeded():
+    return random.Random()  # HIT: unseeded constructor
+
+
+def draw_np_unseeded():
+    return np.random.default_rng()  # HIT: unseeded numpy generator
+
+
+def draw_np_global():
+    return np.random.rand()  # HIT: numpy global RNG
+
+
+def draw_seeded(seed):
+    rng = random.Random(seed)  # ok: explicit seed, function scope
+    gen = np.random.default_rng(seed)  # ok
+    return rng.random() + gen.random()

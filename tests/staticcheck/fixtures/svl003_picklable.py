@@ -1,0 +1,37 @@
+# Fixture: SVL003 positives (lambda / nested function / open handle /
+# lock submitted to the pool) and the sanctioned module-level callable.
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+
+def _module_level_task(x):
+    return x + 1
+
+
+def submit_lambda(pool):
+    return pool.submit(lambda x: x + 1, 2)  # HIT: lambda
+
+
+def submit_nested(pool):
+    def task(x):  # noqa: local function
+        return x
+
+    return pool.submit(task, 1)  # HIT: nested function
+
+
+def submit_handle(pool, path):
+    handle = open(path)
+    return pool.submit(_module_level_task, handle)  # HIT: open file
+
+
+def submit_lock(pool):
+    return pool.submit(_module_level_task, threading.Lock())  # HIT: lock
+
+
+def bad_initializer():
+    mark = lambda: None  # noqa: E731
+    return ProcessPoolExecutor(initializer=mark)  # HIT: lambda initializer
+
+
+def submit_ok(pool):
+    return pool.submit(_module_level_task, 3)  # ok: module-level callable

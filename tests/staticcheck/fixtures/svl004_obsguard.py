@@ -1,0 +1,38 @@
+# Fixture: SVL004 positive (unguarded dereference of an Optional obs
+# handle) plus every accepted guard shape.
+from repro.obs import runtime as obs_runtime
+from repro.obs.runtime import get_registry
+
+
+def unguarded():
+    reg = obs_runtime.get_registry()
+    reg.counter("x")  # HIT: may be None when metrics are off
+
+
+def guarded_if():
+    reg = get_registry()
+    if reg is not None:
+        reg.counter("x")  # ok
+
+
+def guarded_early_exit():
+    reg = get_registry()
+    if reg is None:
+        return
+    reg.counter("x")  # ok
+
+
+def guarded_ifexp():
+    reg = get_registry()
+    return reg.counter if reg is not None else None  # ok
+
+
+def guarded_boolop():
+    reg = get_registry()
+    return reg is not None and reg.counter("x")  # ok
+
+
+def reassigned():
+    reg = get_registry()
+    reg = object()
+    return reg.__class__  # ok: no longer the Optional handle

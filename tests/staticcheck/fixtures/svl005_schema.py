@@ -1,0 +1,29 @@
+# Fixture: a stand-in for repro.sim.serialize that satisfies the
+# schema registry exactly.  Tests derive drifted variants from it by
+# string substitution (extra field, version bump) and assert SVL005
+# fires or stays quiet accordingly.
+SCHEMA_VERSION = 1
+CHECKPOINT_SCHEMA_VERSION = 1
+
+
+def stats_to_dict(stats):
+    payload = {
+        "days": stats.days,
+        "per_day": list(stats.per_day),
+        "per_minute": dict(stats.per_minute),
+    }
+    if stats.degraded_seconds:
+        payload["degraded_seconds"] = stats.degraded_seconds
+    if stats.bypass_seconds:
+        payload["bypass_seconds"] = stats.bypass_seconds
+    return payload
+
+
+def result_to_dict(result):
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "policy_name": result.policy_name,
+        "wall_seconds": result.wall_seconds,
+        "engine": result.engine,
+        "stats": stats_to_dict(result.stats),
+    }

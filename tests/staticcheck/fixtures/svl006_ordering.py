@@ -1,0 +1,39 @@
+# Fixture: SVL006 positives (accumulation over dict views / sets) and
+# the sorted()-wrapped forms that pass.
+def sum_values(table):
+    total = 0
+    for value in table.values():  # HIT: unordered view feeds +=
+        total += value
+    return total
+
+
+def sum_set(blocks):
+    pending = set(blocks)
+    total = 0
+    for block in pending:  # HIT: set iteration feeds +=
+        total += block
+    return total
+
+
+def collect_set(blocks):
+    pending = {b for b in blocks}
+    return [b * 2 for b in pending]  # HIT: list built from a set
+
+
+def sum_sorted(table):
+    total = 0
+    for _key, value in sorted(table.items()):  # ok: explicit order
+        total += value
+    return total
+
+
+def sum_items(table):
+    total = 0
+    for _key, value in table.items():  # ok: .items() follows insertion
+        total += value
+    return total
+
+
+def no_accumulation(table):
+    for value in table.values():  # ok: nothing accumulates
+        print(value)

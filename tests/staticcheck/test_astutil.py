@@ -1,0 +1,60 @@
+"""Import resolution and module naming plumbing."""
+
+import ast
+from pathlib import Path
+
+from repro.staticcheck.astutil import ImportMap, module_matches, module_name_for
+
+
+def _resolve(source, expr):
+    tree = ast.parse(source + "\n_probe = " + expr)
+    imports = ImportMap(tree, module="repro.sim.engine")
+    probe = tree.body[-1].value
+    return imports.resolve(probe)
+
+
+def test_plain_import():
+    assert _resolve("import time", "time.time") == "time.time"
+
+
+def test_aliased_import():
+    assert _resolve("import numpy as np", "np.random.rand") == (
+        "numpy.random.rand"
+    )
+
+
+def test_from_import_with_alias():
+    assert _resolve(
+        "from datetime import datetime as dt", "dt.now"
+    ) == "datetime.datetime.now"
+
+
+def test_from_import_submodule():
+    assert _resolve(
+        "from repro.obs import runtime as obs_runtime",
+        "obs_runtime.get_registry",
+    ) == "repro.obs.runtime.get_registry"
+
+
+def test_relative_import_anchored_at_package():
+    assert _resolve("from . import serialize", "serialize.save_checkpoint") == (
+        "repro.sim.serialize.save_checkpoint"
+    )
+
+
+def test_unimported_root_unresolved():
+    assert _resolve("import time", "self.clock") is None
+    assert _resolve("import time", "local_var.field") is None
+
+
+def test_module_name_for_package_file():
+    path = Path(__file__).resolve().parents[2] / "src/repro/sim/parallel.py"
+    assert module_name_for(path) == "repro.sim.parallel"
+    init = Path(__file__).resolve().parents[2] / "src/repro/obs/__init__.py"
+    assert module_name_for(init) == "repro.obs"
+
+
+def test_module_matches_prefix_semantics():
+    assert module_matches("repro.sim.engine", ("repro.sim",))
+    assert module_matches("repro.sim", ("repro.sim",))
+    assert not module_matches("repro.simulator", ("repro.sim",))

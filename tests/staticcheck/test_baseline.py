@@ -1,0 +1,65 @@
+"""Baseline round-trip, consumption, and staleness semantics."""
+
+import json
+
+import pytest
+
+from repro.staticcheck.baseline import Baseline
+from repro.staticcheck.findings import Finding
+
+
+def _finding(line, symbol="time.time", code="SVL001"):
+    return Finding(
+        code=code,
+        severity="error",
+        path="src/repro/sim/x.py",
+        line=line,
+        col=0,
+        message="m",
+        module="repro.sim.x",
+        symbol=symbol,
+    )
+
+
+def test_round_trip_is_byte_stable(tmp_path):
+    findings = [_finding(1), _finding(9), _finding(4, symbol="dt.now")]
+    baseline = Baseline.from_findings(findings)
+    path = tmp_path / "baseline.json"
+    baseline.save(path)
+    first = path.read_bytes()
+    Baseline.load(path).save(path)
+    assert path.read_bytes() == first
+    data = json.loads(first)
+    assert data["version"] == 1
+    assert data["entries"]["repro.sim.x::SVL001::time.time"] == 2
+
+
+def test_apply_consumes_counts():
+    baseline = Baseline.from_findings([_finding(1), _finding(2)])
+    # Same two findings on new line numbers: fully absorbed.
+    new, stale = baseline.apply([_finding(10), _finding(20)])
+    assert new == [] and stale == []
+    # A third occurrence exceeds the recorded count.
+    new, stale = baseline.apply([_finding(1), _finding(2), _finding(3)])
+    assert [f.line for f in new] == [3]
+    assert stale == []
+
+
+def test_stale_entries_reported():
+    baseline = Baseline.from_findings([_finding(1), _finding(2, "dt.now")])
+    new, stale = baseline.apply([_finding(5)])
+    assert new == []
+    assert stale == ["repro.sim.x::SVL001::dt.now"]
+
+
+def test_malformed_baseline_rejected(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text('{"version": 99, "entries": {}}')
+    with pytest.raises(ValueError):
+        Baseline.load(path)
+    path.write_text('{"entries": {"k": -1}, "version": 1}')
+    with pytest.raises(ValueError):
+        Baseline.load(path)
+    path.write_text("[]")
+    with pytest.raises(ValueError):
+        Baseline.load(path)

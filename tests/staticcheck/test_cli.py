@@ -1,0 +1,110 @@
+"""End-to-end exit-code contract of ``python -m repro check``."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def _run_check(*args, cwd=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "check", *args],
+        capture_output=True,
+        text=True,
+        cwd=cwd or REPO,
+        env=env,
+    )
+
+
+def test_exit_0_on_clean_file(tmp_path):
+    target = tmp_path / "clean.py"
+    target.write_text((FIXTURES / "clean.py").read_text())
+    proc = _run_check(str(target))
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "0 findings" in proc.stdout
+
+
+def test_exit_0_on_src_tree():
+    """The merged tree stays sievelint-clean (acceptance criterion)."""
+    proc = _run_check("src")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_exit_1_on_violation(tmp_path):
+    target = tmp_path / "dirty.py"
+    target.write_text("import time\nstamp = time.time()\n")
+    proc = _run_check(str(target), cwd=tmp_path)
+    assert proc.returncode == 1
+    assert "SVL001" in proc.stdout
+
+
+def test_exit_2_on_usage_error(tmp_path):
+    proc = _run_check("--select", "NOPE", str(tmp_path))
+    assert proc.returncode == 2
+    assert "unknown rule code" in proc.stderr
+
+    proc = _run_check(str(tmp_path / "missing-dir"))
+    assert proc.returncode == 2
+
+
+def test_json_format(tmp_path):
+    target = tmp_path / "dirty.py"
+    target.write_text("import time\nstamp = time.time()\n")
+    proc = _run_check(str(target), "--format", "json", cwd=tmp_path)
+    assert proc.returncode == 1
+    payload = json.loads(proc.stdout)
+    assert payload["summary"]["findings"] == 1
+    assert payload["findings"][0]["code"] == "SVL001"
+
+
+def test_baseline_workflow(tmp_path):
+    target = tmp_path / "legacy.py"
+    target.write_text("import time\nstamp = time.time()\n")
+    baseline = tmp_path / "staticcheck-baseline.json"
+
+    # Grandfather the finding, then the same check passes.
+    proc = _run_check(str(target), "--write-baseline", cwd=tmp_path)
+    assert proc.returncode == 0
+    assert baseline.exists()
+    proc = _run_check(str(target), cwd=tmp_path)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    # Fixing the violation makes the baseline stale — that also fails,
+    # forcing a regenerate so the debt ledger stays honest.
+    target.write_text("import time\nstamp = time.perf_counter()\n")
+    proc = _run_check(str(target), cwd=tmp_path)
+    assert proc.returncode == 1
+    assert "stale baseline" in proc.stdout
+
+
+def test_list_rules():
+    proc = _run_check("--list-rules")
+    assert proc.returncode == 0
+    for code in ("SVL001", "SVL002", "SVL003", "SVL004", "SVL005", "SVL006"):
+        assert code in proc.stdout
+
+
+def test_committed_baseline_is_empty():
+    """Debt-free tree: the committed baseline grandfathers nothing."""
+    data = json.loads((REPO / "staticcheck-baseline.json").read_text())
+    assert data == {"entries": {}, "version": 1}
+
+
+def test_sievelint_module_entry_point(tmp_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.staticcheck", "--list-rules"],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=tmp_path,
+    )
+    assert proc.returncode == 0
+    assert "SVL001" in proc.stdout

@@ -1,0 +1,77 @@
+"""Text and JSON reporter output shapes."""
+
+from repro.staticcheck.analyzer import Report
+from repro.staticcheck.findings import Finding
+from repro.staticcheck.reporters import render_json, render_text
+
+
+def _report():
+    report = Report(files_scanned=3, suppressed=1)
+    report.findings = [
+        Finding(
+            code="SVL001",
+            severity="error",
+            path="src/a.py",
+            line=4,
+            col=8,
+            message="wall clock",
+            module="a",
+            symbol="time.time",
+        ),
+        Finding(
+            code="SVL006",
+            severity="warning",
+            path="src/b.py",
+            line=9,
+            col=0,
+            message="unordered",
+            module="b",
+            symbol="d.values()",
+        ),
+    ]
+    return report
+
+
+def test_text_reporter_lines_and_summary():
+    text = render_text(_report())
+    lines = text.splitlines()
+    assert lines[0] == "src/a.py:4:8: SVL001 [error] wall clock"
+    assert lines[1] == "src/b.py:9:0: SVL006 [warning] unordered"
+    assert "2 findings (1 errors, 1 warnings) in 3 files" in lines[-1]
+    assert "1 suppressed inline" in lines[-1]
+
+
+def test_json_reporter_schema():
+    payload = render_json(_report())
+    assert payload["version"] == 1
+    assert payload["summary"] == {
+        "files_scanned": 3,
+        "findings": 2,
+        "errors": 1,
+        "warnings": 1,
+        "suppressed": 1,
+        "stale_baseline": 0,
+    }
+    first = payload["findings"][0]
+    assert set(first) == {
+        "code",
+        "severity",
+        "path",
+        "line",
+        "col",
+        "module",
+        "message",
+        "symbol",
+    }
+    assert first["code"] == "SVL001"
+
+
+def test_stale_baseline_rendered():
+    report = _report()
+    report.findings = []
+    report.stale_baseline = ["a::SVL001::time.time"]
+    text = render_text(report, stale_hint="regenerate")
+    assert "stale baseline entry" in text
+    assert "regenerate" in text
+    payload = render_json(report)
+    assert payload["stale_baseline"] == ["a::SVL001::time.time"]

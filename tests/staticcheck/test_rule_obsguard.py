@@ -1,0 +1,91 @@
+"""SVL004: Optional observability handles must be None-guarded."""
+
+from repro.staticcheck.analyzer import check_source
+
+MODULE = "repro.sim.fixture"
+
+
+def _lines(source, module=MODULE):
+    return [
+        f.line for f in check_source(source, module=module, select=["SVL004"])
+    ]
+
+
+def test_fixture_single_hit(fixture_source):
+    findings = check_source(
+        fixture_source("svl004_obsguard.py"),
+        module=MODULE,
+        select=["SVL004"],
+    )
+    assert [(f.code, f.line) for f in findings] == [("SVL004", 9)]
+    assert "reg" in findings[0].message
+
+
+def test_engine_obs_local_producer_tracked():
+    source = (
+        "def _engine_obs(policy):\n"
+        "    return None\n"
+        "def run(policy):\n"
+        "    obs = _engine_obs(policy)\n"
+        "    obs.epoch_hook()\n"
+    )
+    assert _lines(source) == [5]
+
+
+def test_guard_shapes_accepted():
+    source = (
+        "from repro.obs.runtime import get_context\n"
+        "def a():\n"
+        "    ctx = get_context()\n"
+        "    if ctx is not None:\n"
+        "        ctx.flush()\n"
+        "def b():\n"
+        "    ctx = get_context()\n"
+        "    if ctx is None:\n"
+        "        return 0\n"
+        "    return ctx.value\n"
+        "def c():\n"
+        "    ctx = get_context()\n"
+        "    hook = ctx.hook if ctx is not None else None\n"
+        "    return hook\n"
+        "def d():\n"
+        "    ctx = get_context()\n"
+        "    return ctx is not None and ctx.live\n"
+        "def e():\n"
+        "    ctx = get_context()\n"
+        "    if ctx:\n"
+        "        ctx.flush()\n"
+    )
+    assert _lines(source) == []
+
+
+def test_obs_package_itself_exempt():
+    source = (
+        "from repro.obs.runtime import get_context\n"
+        "def f():\n"
+        "    return get_context().flush()\n"
+    )
+    assert _lines(source, module="repro.obs.export") == []
+
+
+def test_chained_call_dereference_flagged():
+    source = (
+        "from repro.obs.runtime import get_events\n"
+        "def f():\n"
+        "    log = get_events()\n"
+        "    log.emit('run_start')\n"
+    )
+    assert _lines(source) == [4]
+
+
+def test_else_branch_of_none_check_guarded():
+    source = (
+        "from repro.obs.runtime import get_context\n"
+        "def f():\n"
+        "    ctx = get_context()\n"
+        "    if ctx is None:\n"
+        "        pass\n"
+        "    else:\n"
+        "        ctx.flush()\n"
+    )
+    assert _lines(source) == []

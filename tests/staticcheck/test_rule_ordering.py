@@ -1,0 +1,76 @@
+"""SVL006: accumulation must not iterate unordered containers."""
+
+from repro.staticcheck.analyzer import check_source
+
+MODULE = "repro.cache.fixture"
+
+
+def _lines(source, module=MODULE):
+    return [
+        f.line for f in check_source(source, module=module, select=["SVL006"])
+    ]
+
+
+def test_fixture_hits(fixture_source):
+    findings = check_source(
+        fixture_source("svl006_ordering.py"),
+        module=MODULE,
+        select=["SVL006"],
+    )
+    assert [f.line for f in findings] == [5, 13, 20]
+    assert all(f.severity == "warning" for f in findings)
+
+
+def test_sorted_wrapping_passes():
+    source = (
+        "def f(d):\n"
+        "    out = 0\n"
+        "    for v in sorted(d.values()):\n"
+        "        out += v\n"
+        "    return out\n"
+    )
+    assert _lines(source) == []
+
+
+def test_items_iteration_not_flagged():
+    source = (
+        "def f(d):\n"
+        "    out = 0\n"
+        "    for k, v in d.items():\n"
+        "        out += v\n"
+        "    return out\n"
+    )
+    assert _lines(source) == []
+
+
+def test_out_of_scope_module_ignored():
+    source = (
+        "def f(d):\n"
+        "    out = 0\n"
+        "    for v in d.values():\n"
+        "        out += v\n"
+        "    return out\n"
+    )
+    assert _lines(source, module="repro.analysis.report") == []
+
+
+def test_subscript_store_counts_as_accumulation():
+    source = (
+        "def f(d):\n"
+        "    out = {}\n"
+        "    for v in d.values():\n"
+        "        out[v.name] = v\n"
+        "    return out\n"
+    )
+    assert _lines(source) == [3]
+
+
+def test_set_algebra_flagged():
+    source = (
+        "def f(a, b):\n"
+        "    total = 0\n"
+        "    for x in set(a) | set(b):\n"
+        "        total += x\n"
+        "    return total\n"
+    )
+    assert _lines(source) == [3]

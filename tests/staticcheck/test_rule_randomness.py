@@ -1,0 +1,52 @@
+"""SVL002: randomness must be explicitly seeded in simulation packages."""
+
+from repro.staticcheck.analyzer import check_source
+
+
+def _lines(source, module="repro.sim.fixture"):
+    return [
+        f.line for f in check_source(source, module=module, select=["SVL002"])
+    ]
+
+
+def test_fixture_hits(fixture_source):
+    findings = check_source(
+        fixture_source("svl002_randomness.py"),
+        module="repro.traces.fixture",
+        select=["SVL002"],
+    )
+    assert [f.line for f in findings] == [7, 11, 15, 19, 23]
+    assert all(f.code == "SVL002" for f in findings)
+
+
+def test_seeded_function_scope_passes(fixture_source):
+    source = (
+        "import random\n"
+        "def f(seed):\n"
+        "    return random.Random(seed).random()\n"
+    )
+    assert _lines(source) == []
+
+
+def test_out_of_scope_module_ignored():
+    source = "import random\nx = random.random()\n"
+    assert _lines(source, module="repro.analysis.skew") == []
+    assert _lines(source, module="repro.sim.engine") == [2]
+
+
+def test_numpy_alias_resolution():
+    source = (
+        "import numpy as np\n"
+        "def f():\n"
+        "    return np.random.shuffle([1, 2])\n"
+    )
+    assert _lines(source) == [3]
+
+
+def test_system_random_always_flagged():
+    source = (
+        "import random\n"
+        "def f(seed):\n"
+        "    return random.SystemRandom(seed)\n"
+    )
+    assert _lines(source) == [3]

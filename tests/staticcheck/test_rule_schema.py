@@ -1,0 +1,100 @@
+"""SVL005: serialized-schema drift must come with a version bump."""
+
+from repro.staticcheck.analyzer import check_source
+
+MODULE = "repro.sim.serialize"
+
+
+def _findings(source):
+    return check_source(source, module=MODULE, select=["SVL005"])
+
+
+def test_clean_fixture_matches_registry(fixture_source):
+    assert _findings(fixture_source("svl005_schema.py")) == []
+
+
+def test_field_added_without_bump_flagged(fixture_source):
+    drifted = fixture_source("svl005_schema.py").replace(
+        '"engine": result.engine,',
+        '"engine": result.engine,\n        "hostname": result.hostname,',
+    )
+    findings = _findings(drifted)
+    assert len(findings) == 1
+    finding = findings[0]
+    assert finding.code == "SVL005"
+    assert finding.symbol == "result-json"
+    assert "hostname" in finding.message
+    assert "SCHEMA_VERSION" in finding.message
+
+
+def test_field_removed_without_bump_flagged(fixture_source):
+    drifted = fixture_source("svl005_schema.py").replace(
+        '        "wall_seconds": result.wall_seconds,\n', ""
+    )
+    findings = _findings(drifted)
+    assert [f.symbol for f in findings] == ["result-json"]
+    assert "removed wall_seconds" in findings[0].message
+
+
+def test_version_bump_without_registry_update_flagged(fixture_source):
+    bumped = fixture_source("svl005_schema.py").replace(
+        "SCHEMA_VERSION = 1", "SCHEMA_VERSION = 2"
+    )
+    findings = _findings(bumped)
+    # Both serialize-owned schemas reference SCHEMA_VERSION, so both
+    # report the stale registry expectation.
+    assert sorted(f.symbol for f in findings) == ["result-json", "stats-json"]
+    assert all("schema_registry" in f.message for f in findings)
+
+
+def test_bump_plus_registry_is_the_documented_fix(fixture_source):
+    # Field drift *with* a bump still flags until the registry entry is
+    # updated — the registry is the second half of the contract.
+    drifted = (
+        fixture_source("svl005_schema.py")
+        .replace("SCHEMA_VERSION = 1", "SCHEMA_VERSION = 2")
+        .replace(
+            '"engine": result.engine,',
+            '"engine": result.engine,\n        "hostname": result.hostname,',
+        )
+    )
+    findings = _findings(drifted)
+    assert findings, "drift plus bump still needs a registry update"
+
+
+def test_tracked_var_subscript_stores_extracted(fixture_source):
+    # Removing a conditional subscript store counts as field removal.
+    drifted = fixture_source("svl005_schema.py").replace(
+        '    if stats.degraded_seconds:\n'
+        '        payload["degraded_seconds"] = stats.degraded_seconds\n',
+        "",
+    )
+    findings = _findings(drifted)
+    assert [f.symbol for f in findings] == ["stats-json"]
+    assert "degraded_seconds" in findings[0].message
+
+
+def test_missing_symbol_reports_stale_registry(fixture_source):
+    gutted = fixture_source("svl005_schema.py").replace(
+        "def result_to_dict", "def renamed_to_dict"
+    )
+    findings = _findings(gutted)
+    assert [f.symbol for f in findings] == ["result-json"]
+    assert "not found" in findings[0].message
+
+
+def test_unrelated_module_skipped():
+    assert check_source(
+        "X = 1\n", module="repro.analysis.report", select=["SVL005"]
+    ) == []
+
+
+def test_real_tree_specs_hold():
+    """The committed registry matches the live source files."""
+    from pathlib import Path
+
+    from repro.staticcheck.analyzer import analyze_paths
+
+    root = Path(__file__).resolve().parents[2]
+    report = analyze_paths([root / "src"], select=["SVL005"])
+    assert report.findings == []

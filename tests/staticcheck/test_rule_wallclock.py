@@ -1,0 +1,50 @@
+"""SVL001: wall-clock reads outside repro.obs / the CLI."""
+
+from repro.staticcheck.analyzer import check_source
+
+
+def _codes(source, module):
+    return [
+        (f.code, f.line)
+        for f in check_source(source, module=module, select=["SVL001"])
+    ]
+
+
+def test_fixture_hits_and_suppression(fixture_source):
+    findings = check_source(
+        fixture_source("svl001_wallclock.py"),
+        module="repro.sim.fixture",
+        select=["SVL001"],
+    )
+    assert [f.line for f in findings] == [8, 12]
+    assert all(f.code == "SVL001" for f in findings)
+    assert all(f.severity == "error" for f in findings)
+    # time.perf_counter (line 16) and the suppressed time.time (line 20)
+    # produce nothing.
+
+
+def test_allowed_in_obs_and_cli():
+    source = "import time\nstamp = time.time()\n"
+    assert _codes(source, "repro.obs.events") == []
+    assert _codes(source, "repro.cli") == []
+    assert _codes(source, "repro.sim.engine") == [("SVL001", 2)]
+
+
+def test_datetime_variants_and_aliases():
+    source = (
+        "from datetime import datetime as dt\n"
+        "import datetime\n"
+        "a = dt.now()\n"
+        "b = datetime.date.today()\n"
+        "c = datetime.datetime.utcnow()\n"
+    )
+    assert _codes(source, "repro.core.sieve") == [
+        ("SVL001", 3),
+        ("SVL001", 4),
+        ("SVL001", 5),
+    ]
+
+
+def test_perf_counter_is_not_flagged():
+    source = "import time\nelapsed = time.perf_counter()\n"
+    assert _codes(source, "repro.sim.engine") == []

@@ -1,0 +1,53 @@
+"""Inline suppression pragmas and their parsing."""
+
+from repro.staticcheck.analyzer import check_source
+from repro.staticcheck.suppressions import parse_suppressions
+
+VIOLATION = "import time\nx = time.time()\n"
+MODULE = "repro.sim.fixture"
+
+
+def test_line_suppression_silences_only_that_line():
+    source = (
+        "import time\n"
+        "a = time.time()  # sievelint: disable=SVL001 -- needed here\n"
+        "b = time.time()\n"
+    )
+    findings = check_source(source, module=MODULE, select=["SVL001"])
+    assert [f.line for f in findings] == [3]
+
+
+def test_file_wide_suppression():
+    source = (
+        "# sievelint: disable-file=SVL001\n"
+        "import time\n"
+        "a = time.time()\n"
+        "b = time.time()\n"
+    )
+    assert check_source(source, module=MODULE, select=["SVL001"]) == []
+
+
+def test_multiple_codes_one_pragma():
+    supp = parse_suppressions("x = 1  # sievelint: disable=SVL001,SVL006\n")
+    assert supp.is_suppressed("SVL001", 1)
+    assert supp.is_suppressed("SVL006", 1)
+    assert not supp.is_suppressed("SVL002", 1)
+
+
+def test_trailing_reason_tolerated():
+    supp = parse_suppressions(
+        "x = 1  # sievelint: disable=SVL004 -- hook runs pre-fork\n"
+    )
+    assert supp.is_suppressed("SVL004", 1)
+
+
+def test_pragma_in_string_literal_ignored():
+    source = 's = "# sievelint: disable=SVL001"\nimport time\nx = time.time()\n'
+    findings = check_source(source, module=MODULE, select=["SVL001"])
+    assert [f.line for f in findings] == [3]
+
+
+def test_unrelated_comments_ignored():
+    supp = parse_suppressions("x = 1  # a plain comment\n")
+    assert not supp.is_suppressed("SVL001", 1)
+    assert supp.file_wide == set()

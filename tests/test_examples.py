@@ -1,6 +1,5 @@
 """Smoke tests: every shipped example must run end to end."""
 
-import runpy
 import subprocess
 import sys
 from pathlib import Path

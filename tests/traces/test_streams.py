@@ -13,7 +13,6 @@ from repro.traces import (
     per_server_daily_counts,
     split_by_day,
 )
-from repro.traces.model import pack_address
 from repro.util.intervals import SECONDS_PER_DAY
 
 

@@ -1,6 +1,5 @@
 """Trace fidelity validation."""
 
-import pytest
 
 from repro.traces import validate_trace
 from repro.traces.model import IOKind, IORequest, Trace
