@@ -1,28 +1,42 @@
 """Perf regression harness — columnar fast path vs the object reference.
 
-Runs one engine-bound configuration (AOD at 16 GB: every block goes
-through the hit/miss/allocate machinery, no sieve-policy overhead) over
-the shared bench trace through both simulation paths, records both in
-``BENCH_perf.json``, and asserts:
+Runs two configurations over the shared bench trace through both
+simulation paths, records each in ``BENCH_perf.json``, and asserts the
+paths produce bit-identical statistics (the fast path is an
+optimization, not an approximation):
 
-* the two paths produce bit-identical statistics (the fast path is an
-  optimization, not an approximation);
-* at the default ``small`` preset the fast path clears a minimum
-  throughput multiple over the object path.  The guard is skipped at
-  smoke scales (trace too small for stable timing) and can be tuned
-  with ``SIEVESTORE_FASTPATH_MIN_SPEEDUP``.
+* AOD at 16 GB — engine-bound: every block goes through the
+  hit/miss/allocate machinery with no sieve-policy overhead.  At the
+  default ``small`` preset the fast path must clear a minimum
+  throughput multiple over the object path
+  (``SIEVESTORE_FASTPATH_MIN_SPEEDUP``, default 2x).
+* SieveStore-C — sieve-bound: exercises the array-backed sieve kernel
+  (:mod:`repro.core.sieve_kernel`, the fast engine's ``_W_SIEVE``
+  branch).  Its guard (``SIEVESTORE_SIEVE_MIN_SPEEDUP``, default 4x
+  over the object path) holds the kernel at AOD-class throughput.
+
+Each engine is timed as the best of two back-to-back runs — the
+standard damping for scheduler/frequency noise on a shared machine —
+and the repetitions double as a determinism check (identical per-day
+statistics run to run).  Both guards are skipped at smoke scales
+(trace too small for stable timing).
 """
 
 from __future__ import annotations
 
 import os
+from dataclasses import replace
 
 from repro.sim import run_policy
+from repro.sim.engine import SimulationResult
 
 from benchmarks.conftest import bench_scale, record_perf
 
 #: Engine-bound configuration used for the throughput measurement.
 PERF_POLICY = "aod-16"
+
+#: Sieve-bound configuration exercising the array-backed sieve kernel.
+SIEVE_POLICY = "sievestore-c"
 
 #: Below this scale the trace is a smoke run — timings are noise.
 MIN_SCALE_FOR_GUARD = 1e-4
@@ -32,10 +46,31 @@ def min_speedup() -> float:
     return float(os.environ.get("SIEVESTORE_FASTPATH_MIN_SPEEDUP", "2.0"))
 
 
+def sieve_min_speedup() -> float:
+    return float(os.environ.get("SIEVESTORE_SIEVE_MIN_SPEEDUP", "4.0"))
+
+
+def best_of(name, ctx, fast_path, runs=2) -> SimulationResult:
+    """Run a configuration ``runs`` times; keep the best wall clock.
+
+    The repetitions must be deterministic — identical per-day stats —
+    so the minimum is a noise-damped measurement of the same work, not
+    a different run.
+    """
+    results = [run_policy(name, ctx, fast_path=fast_path) for _ in range(runs)]
+    first = results[0]
+    for other in results[1:]:
+        assert other.engine == first.engine
+        assert other.stats.per_day == first.stats.per_day
+    return replace(
+        first, wall_seconds=min(r.wall_seconds for r in results)
+    )
+
+
 def test_perf_fastpath_speedup(benchmark, bench_context, bench_config):
-    slow = run_policy(PERF_POLICY, bench_context, fast_path=False)
+    slow = best_of(PERF_POLICY, bench_context, fast_path=False)
     fast = benchmark.pedantic(
-        lambda: run_policy(PERF_POLICY, bench_context, fast_path=True),
+        lambda: best_of(PERF_POLICY, bench_context, fast_path=True),
         iterations=1,
         rounds=1,
     )
@@ -63,4 +98,40 @@ def test_perf_fastpath_speedup(benchmark, bench_context, bench_config):
         assert speedup >= min_speedup(), (
             f"fast path regressed: {speedup:.2f}x < {min_speedup():.1f}x "
             f"minimum over the object path"
+        )
+
+
+def test_perf_sieve_kernel_speedup(benchmark, bench_context, bench_config):
+    slow = best_of(SIEVE_POLICY, bench_context, fast_path=False)
+    fast = benchmark.pedantic(
+        lambda: best_of(SIEVE_POLICY, bench_context, fast_path=True),
+        iterations=1,
+        rounds=1,
+    )
+
+    record_perf(f"{SIEVE_POLICY}-object", slow, bench_config.scale)
+    record_perf(f"{SIEVE_POLICY}-fast", fast, bench_config.scale)
+
+    assert slow.engine == "object"
+    assert fast.engine == "fast"
+
+    # The kernel is an optimization, not an approximation: identical
+    # statistics and identical sieve telemetry.
+    assert fast.stats.per_day == slow.stats.per_day
+    assert fast.stats.per_minute == slow.stats.per_minute
+    assert fast.policy.admissions == slow.policy.admissions
+    assert fast.policy.imct_rejections == slow.policy.imct_rejections
+    assert fast.policy.metastate_entries() == slow.policy.metastate_entries()
+
+    speedup = slow.wall_seconds / fast.wall_seconds
+    blocks = fast.stats.total.accesses
+    print(
+        f"\n{SIEVE_POLICY}: object {slow.wall_seconds:.2f}s, "
+        f"fast {fast.wall_seconds:.2f}s ({speedup:.2f}x) over "
+        f"{blocks:,} block accesses"
+    )
+    if bench_scale() >= MIN_SCALE_FOR_GUARD:
+        assert speedup >= sieve_min_speedup(), (
+            f"sieve kernel regressed: {speedup:.2f}x < "
+            f"{sieve_min_speedup():.1f}x minimum over the object path"
         )

@@ -145,6 +145,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "other trace/policy options are ignored)",
     )
     sim.add_argument(
+        "--resume-engine", choices=("fast", "object"), default=None,
+        help="resume on a different engine than the one that wrote the "
+        "checkpoint (fast<->object conversion; final statistics stay "
+        "bit-identical)",
+    )
+    sim.add_argument(
         "--metrics-out", metavar="FILE", default=None,
         help="collect run telemetry and write it at exit: Prometheus "
         "text exposition for .prom/.txt suffixes, JSON otherwise",
@@ -478,6 +484,7 @@ def _cmd_resume(args) -> int:
             checkpoint_path=args.checkpoint,
             progress_every=progress_every,
             progress_hook=progress_hook,
+            engine=args.resume_engine,
         )
     except CheckpointError as exc:
         print(f"error: {exc}", file=sys.stderr)

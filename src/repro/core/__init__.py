@@ -58,6 +58,11 @@ from repro.core.autotune import (
     AdmissionBudget,
     AutoThresholdSieveStoreD,
 )
+from repro.core.sieve_kernel import (
+    ArrayIMCT,
+    SieveStoreCKernel,
+    mix64_array,
+)
 
 __all__ = [
     "DEFAULT_SUBWINDOWS",
@@ -92,4 +97,7 @@ __all__ = [
     "AdaptiveSieveStoreC",
     "AdmissionBudget",
     "AutoThresholdSieveStoreD",
+    "ArrayIMCT",
+    "SieveStoreCKernel",
+    "mix64_array",
 ]

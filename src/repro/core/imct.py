@@ -20,7 +20,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.core.windows import SubwindowCounter, WindowSpec
-from repro.util.hashing import stable_bucket
+from repro.util.hashing import mix64
 
 
 class ImpreciseMissCountTable:
@@ -40,6 +40,10 @@ class ImpreciseMissCountTable:
         self.slots = slots
         self.window = window
         self.salt = salt
+        #: ``mix64(salt)`` hoisted out of the per-address hash — with it,
+        #: :meth:`slot_of` is a single mix, bit-identical to
+        #: :func:`repro.util.hashing.stable_bucket`.
+        self._salted = mix64(salt)
         self._counters: List[SubwindowCounter] = [
             SubwindowCounter(window.subwindows) for _ in range(slots)
         ]
@@ -65,7 +69,7 @@ class ImpreciseMissCountTable:
 
     def slot_of(self, address: int) -> int:
         """Table slot an address maps to (many-to-one)."""
-        return stable_bucket(address, self.slots, salt=self.salt)
+        return mix64(address ^ self._salted) % self.slots
 
     def record_miss(self, address: int, time: float) -> int:
         """Count a miss for the address's slot; returns the slot's

@@ -77,6 +77,12 @@ class SieveStoreC(AllocationPolicy):
             slots=self.config.imct_slots, window=self.config.window
         )
         self.mct = MissCountTable(window=self.config.window)
+        # Config is frozen, so the per-miss mode/threshold lookups are
+        # hoisted out of wants().  Named to stay clear of the mutable
+        # controller state AdaptiveSieveStoreC layers on top (its _t2).
+        self._single_tier = self.config.single_tier_admission
+        self._t1 = self.config.t1
+        self._tier2_threshold = self.config.t2
         #: blocks admitted through the sieve (allocation decisions)
         self.admissions = 0
         #: misses rejected at tier 1
@@ -94,12 +100,12 @@ class SieveStoreC(AllocationPolicy):
         (imprecise counting).  A block is admitted when its MCT count
         reaches t2 — i.e. on the t2-th exact miss after promotion.
         """
-        if self.config.single_tier_admission:
+        if self._single_tier:
             return self._tier1_only(address, time)
         if address in self.mct:
             return self._tier2(address, time)
         slot_count = self.imct.record_miss(address, time)
-        if slot_count < self.config.t1:
+        if slot_count < self._t1:
             self.imct_rejections += 1
             return False
         # Promotion: the block graduates to exact counting with a zero
@@ -113,7 +119,7 @@ class SieveStoreC(AllocationPolicy):
 
     def _tier2(self, address: int, time: float) -> bool:
         exact = self.mct.record_miss(address, time)
-        if exact < self.config.t2:
+        if exact < self._tier2_threshold:
             self.mct_rejections += 1
             return False
         self.mct.forget(address)
@@ -123,7 +129,7 @@ class SieveStoreC(AllocationPolicy):
     def _tier1_only(self, address: int, time: float) -> bool:
         """Single-tier ablation: admit on the IMCT threshold alone."""
         slot_count = self.imct.record_miss(address, time)
-        if slot_count < self.config.t1:
+        if slot_count < self._t1:
             self.imct_rejections += 1
             return False
         self.imct.reset_slot(address)

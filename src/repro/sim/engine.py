@@ -284,6 +284,61 @@ def _run_object_loop(
     appliance.flush_dirty(time=float(days) * SECONDS_PER_DAY - 1.0)
 
 
+def _convert_checkpoint_engine(payload: dict, target: str) -> dict:
+    """Rewrite a checkpoint payload in the other engine's layout.
+
+    The two engines snapshot the same logical state — policy metastate,
+    cache contents (resident set resynced before every checkpoint), and
+    statistics — in different containers: the object engine pickles the
+    whole appliance, the fast engine the three pieces.  Because both
+    produce bit-identical state at any request cursor, a checkpoint
+    written by one can seed the other: fast -> object wraps the pieces
+    in a fresh appliance (write-through means the dirty tracker is
+    empty and health starts HEALTHY), object -> fast extracts them,
+    refusing configurations the fast loop cannot replay.
+    """
+    from repro.sim.serialize import CheckpointError
+
+    source = payload["engine"]
+    if target == source:
+        return payload
+    config = payload["config"]
+    converted = dict(payload)
+    converted["engine"] = target
+    if target == "object":
+        appliance = SieveStoreAppliance(
+            payload["cache"],
+            payload["policy"],
+            payload["stats"],
+            batch_moves_staggered=config["batch_moves_staggered"],
+            write_mode=WriteMode[config["write_mode"]],
+            epoch_seconds=config["epoch_seconds"],
+            faults=None,
+        )
+        for key in ("policy", "cache", "stats"):
+            del converted[key]
+        converted["appliance"] = appliance
+        return converted
+    if target != "fast":
+        raise CheckpointError(f"unknown resume engine {target!r}")
+    if config["replacement"] != "lru" or config["write_mode"] != "WRITE_THROUGH":
+        raise CheckpointError(
+            "cannot resume on the fast engine: it supports only LRU "
+            f"write-through, checkpoint has replacement="
+            f"{config['replacement']!r}, write_mode={config['write_mode']!r}"
+        )
+    appliance = payload["appliance"]
+    if appliance.faults is not None:
+        raise CheckpointError(
+            "cannot resume a fault-injected run on the fast engine"
+        )
+    del converted["appliance"]
+    converted["policy"] = appliance.policy
+    converted["cache"] = appliance.cache
+    converted["stats"] = appliance.stats
+    return converted
+
+
 def _finalize_faults(
     stats: CacheStats, faults: Optional[FaultInjector], days: int
 ) -> None:
@@ -638,6 +693,7 @@ def resume_simulation(
     checkpoint_path: Optional[Union[str, Path]] = None,
     progress_every: Optional[int] = None,
     progress_hook=None,
+    engine: Optional[str] = None,
 ) -> SimulationResult:
     """Continue a checkpointed run to completion.
 
@@ -654,10 +710,16 @@ def resume_simulation(
             trace arguments stored in the checkpoint context.
         checkpoint_path: where to keep writing checkpoints (defaults to
             overwriting ``path``).
+        engine: resume on this engine (``"fast"`` or ``"object"``)
+            instead of the one that wrote the checkpoint.  Both engines
+            snapshot the same logical state, so final statistics stay
+            bit-identical either way; resuming a non-LRU, write-back,
+            or fault-injected checkpoint on the fast engine raises.
 
     Raises:
         CheckpointError: unreadable/corrupt/incompatible checkpoint, a
-            missing trace, or a trace that does not match.
+            missing trace, a trace that does not match, or an ``engine``
+            the checkpointed configuration cannot run on.
     """
     from repro.sim.serialize import CheckpointError, load_checkpoint
 
@@ -667,6 +729,8 @@ def resume_simulation(
             "checkpoints do not embed the trace; pass the original trace "
             "(the CLI's --resume regenerates it from the checkpoint context)"
         )
+    if engine is not None:
+        payload = _convert_checkpoint_engine(payload, engine)
     config = payload["config"]
     days = config["days"]
     epoch_seconds = config["epoch_seconds"]

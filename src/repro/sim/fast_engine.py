@@ -32,7 +32,7 @@ two paths produce bit-identical :class:`~repro.cache.stats.CacheStats`.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 from repro.cache.allocation import (
     AllocateOnDemand,
@@ -46,7 +46,13 @@ from repro.cache.replacement import LRUReplacement
 from repro.cache.stats import CacheStats
 from repro.core.ideal import IdealDailySieve
 from repro.core.random_sieve import RandSieveBlkD
+import numpy as np
+
+from repro.core.sieve_kernel import SieveStoreCKernel
+from repro.core.sieve_kernel import subwindow_indices
+from repro.core.sieve_kernel import supports as _sieve_supported
 from repro.core.sievestore_d import SieveStoreD
+from repro.core.windows import COUNTER_SATURATION
 from repro.traces.columnar import ColumnarTrace
 from repro.util.intervals import SECONDS_PER_DAY
 
@@ -55,6 +61,10 @@ _W_TRUE = 0  # allocate every miss (AOD)
 _W_FALSE = 1  # never allocate continuously (discrete sieves, oracles)
 _W_NOT_WRITE = 2  # allocate read misses only (WMNA)
 _W_CALL = 3  # stateful/unknown: call policy.wants per miss
+_W_SIEVE = 4  # plain SieveStore-C: inline array-backed sieve kernel
+
+#: Requests per vectorized sieve-kernel precompute pass.
+_SIEVE_CHUNK = 1 << 16
 
 # observe() specializations.
 _O_NONE = 0  # the base-class no-op
@@ -80,6 +90,11 @@ def _wants_mode(policy: AllocationPolicy) -> int:
         return _W_NOT_WRITE
     if any(wants is known for known in _CONSTANT_FALSE_WANTS):
         return _W_FALSE
+    if _sieve_supported(policy):
+        # Exact type only: subclasses (e.g. AdaptiveSieveStoreC) may
+        # change tier internals without redefining wants, so they take
+        # the general per-miss-call path.
+        return _W_SIEVE
     return _W_CALL
 
 
@@ -161,6 +176,56 @@ def simulate_fast(
     # modes mutate the OrderedDict only; resync before batches/at end.
     may_allocate = wmode != _W_FALSE
 
+    # -- sieve-kernel state (only when wmode == _W_SIEVE) -----------------
+    # The kernel owns the IMCT as flat lists for the run; every counter
+    # the object path maintains is tracked in plain locals (deliberately
+    # not a closure — cell variables would slow the per-miss increments)
+    # and written back into the policy object before any checkpoint
+    # pickle and at end of run, so the policy stays the engine-agnostic
+    # source of truth.
+    kernel = None
+    if wmode == _W_SIEVE:
+        kernel = SieveStoreCKernel(policy)
+        s_counts = kernel.counts
+        s_last = kernel.last
+        s_totals = kernel.totals
+        k_w = kernel.k
+        n_slots = kernel.n_slots
+        saturation = COUNTER_SATURATION
+        imct = policy.imct
+        s_lastaddr = imct._last_address  # None unless collision tracking
+        tracking = s_lastaddr is not None
+        mct = policy.mct
+        mct_counters = mct._counters
+        mct_record = mct.record_miss
+        mct_track = mct.track
+        mct_forget = mct.forget
+        single_tier = policy.config.single_tier_admission
+        t1 = policy.config.t1
+        t2 = policy.config.t2
+        s_collisions = imct.alias_collisions
+        s_promos = policy.promotions
+        s_mct_rej = policy.mct_rejections
+        s_adms = policy.admissions
+        # imct_rejections (the dominant outcome by design) and
+        # recorded_misses are derived, not incremented per miss: every
+        # miss block ends in exactly one of {IMCT rejection, promotion,
+        # MCT rejection, admission}, the rare outcomes all keep
+        # counters, and the per-day stats already count misses — so the
+        # two hot-path totals fall out of the deltas at sync time and
+        # the hot loop saves an increment per sieved miss.
+        s_recorded0 = imct.recorded_misses
+        s_imct_rej0 = policy.imct_rejections
+        s_promos0 = s_promos
+        s_mct_rej0 = s_mct_rej
+        s_adms0 = s_adms
+        s_misses0 = sum(
+            d.accesses - d.read_hits - d.write_hits for d in per_day
+        )
+        chunk_start = chunk_end = start_index
+        c_subs: List[int] = []
+        cis_iter: Iterator[int] = iter(())
+
     def apply_boundary(epoch: int) -> None:
         batch = policy.epoch_boundary(epoch)
         if batch is None:
@@ -188,12 +253,21 @@ def simulate_fast(
     count_l = columns.block_count.tolist()
     write_l = columns.is_write.tolist()
     n_requests = len(issue_l)
+    # Per-request epoch and calendar-day indices, floor-divided in one
+    # vectorized pass with Python `//` boundary semantics
+    # (subwindow_indices is that generic primitive — the
+    # ColumnarTrace.issue_days contract) instead of two float
+    # divisions per request in the loop.  Day indices are pre-capped.
+    epoch_l = subwindow_indices(columns.issue_time, epoch_seconds).tolist()
+    d_issue_l = np.minimum(
+        subwindow_indices(columns.issue_time, day_seconds), last_day
+    ).tolist()
 
     current_epoch = start_epoch
     general = wmode == _W_CALL or omode == _O_CALL
     for j in range(start_index, n_requests):
         issue = issue_l[j]
-        epoch = int(issue // epoch_seconds)
+        epoch = epoch_l[j]
         if epoch > current_epoch:
             while current_epoch < epoch:
                 current_epoch += 1
@@ -211,11 +285,9 @@ def simulate_fast(
         end = addr + k
         hit = 0
         allocated = 0
-        alloc_offsets: List[int] = ()  # type: ignore[assignment]
+        alloc_offsets: Optional[List[int]] = None
 
-        d_issue = int(issue // day_seconds)
-        if d_issue > last_day:
-            d_issue = last_day
+        d_issue = d_issue_l[j]
 
         if general:
             # Reference-order general body: observe every block, ask
@@ -250,6 +322,187 @@ def simulate_fast(
                             allocated += 1
                         else:
                             alloc_offsets.append(off)
+        elif wmode == _W_SIEVE:
+            # Inline SieveStore-C: the two-tier sieve of
+            # SieveStoreC.wants unrolled over the kernel's flat lists.
+            # Decision order matches the reference exactly — hits move
+            # recency first, every miss is counted in exactly one tier,
+            # and the (rare) MCT tier calls the live object so prune
+            # timing and insert counting stay bit-identical.
+            if j >= chunk_end:
+                chunk_start = j
+                chunk_end = j + _SIEVE_CHUNK
+                if chunk_end > n_requests:
+                    chunk_end = n_requests
+                c_subs, c_cis = kernel.precompute_chunk(
+                    columns.address[chunk_start:chunk_end],
+                    columns.block_count[chunk_start:chunk_end],
+                    columns.issue_time[chunk_start:chunk_end],
+                )
+                # Blocks are consumed strictly in chunk order (every
+                # request walks all k of its blocks), so one iterator
+                # replaces per-block index arithmetic into c_cis.
+                cis_iter = iter(c_cis)
+            # Completion-day bucketing is only consulted when a block is
+            # admitted (rare: that is the whole point of the sieve), so
+            # rct/same_day are computed lazily at the first admission of
+            # the request (d_rct == -1 marks "not yet computed";
+            # same_day is assigned there before its first read).
+            d_rct = -1
+            sub = c_subs[j - chunk_start]
+            # The request's column base in the column-major counts list;
+            # a block's slot is its precomputed cell index minus this.
+            colbase = sub % k_w * n_slots
+            if not tracking:
+                # Dominant configuration: no collision diagnostics.
+                # (The tracking copy below must mirror any change here.)
+                for a, ci in zip(range(addr, end), cis_iter):
+                    if a in od:
+                        od_move(a)
+                        hit += 1
+                        continue
+                    if a in mct_counters:
+                        # Tier 2: exact counting (IMCT-promoted only).
+                        exact = mct_record(a, issue)
+                        if exact < t2:
+                            s_mct_rej += 1
+                            continue
+                        mct_forget(a)
+                        s_adms += 1
+                    else:
+                        # Tier 1: the IMCT recording, inlined.  Running
+                        # totals hold each slot's row sum, which equals
+                        # its windowed total after lazy advancement
+                        # (expired positions are zeroed on record,
+                        # untouched positions are zero).
+                        slot = ci - colbase
+                        if sub != s_last[slot]:
+                            ls = s_last[slot]
+                            if ls < 0 or sub - ls >= k_w:
+                                c = slot
+                                for _ in range(k_w):
+                                    s_counts[c] = 0
+                                    c += n_slots
+                                s_totals[slot] = 0
+                            else:
+                                t = s_totals[slot]
+                                for g in range(ls + 1, sub + 1):
+                                    c = g % k_w * n_slots + slot
+                                    t -= s_counts[c]
+                                    s_counts[c] = 0
+                                s_totals[slot] = t
+                            s_last[slot] = sub
+                        cv = s_counts[ci]
+                        if cv < saturation:
+                            s_counts[ci] = cv + 1
+                            tot = s_totals[slot] + 1
+                            s_totals[slot] = tot
+                        else:
+                            tot = s_totals[slot]
+                        if tot < t1:
+                            continue
+                        if not single_tier:
+                            mct_track(a)
+                            s_promos += 1
+                            continue
+                        # Ablation: admit on tier 1 alone; the slot is
+                        # reset exactly like imct.reset_slot.
+                        c = slot
+                        for _ in range(k_w):
+                            s_counts[c] = 0
+                            c += n_slots
+                        s_totals[slot] = 0
+                        s_last[slot] = -1
+                        s_adms += 1
+                    # Admission (either tier): install the block.
+                    if d_rct < 0:
+                        rct = rct_l[j]
+                        d_rct = int(rct // day_seconds)
+                        if d_rct > last_day:
+                            d_rct = last_day
+                        same_day = d_rct == d_issue
+                    if len(od) >= capacity:
+                        od_pop(False)
+                    od[a] = None
+                    if same_day:
+                        allocated += 1
+                    elif alloc_offsets is None:
+                        alloc_offsets = [a - addr]
+                    else:
+                        alloc_offsets.append(a - addr)
+            else:
+                # Collision-tracking copy: identical to the loop above
+                # plus the per-recording last-address bookkeeping of
+                # ImpreciseMissCountTable.enable_collision_tracking.
+                for a, ci in zip(range(addr, end), cis_iter):
+                    if a in od:
+                        od_move(a)
+                        hit += 1
+                        continue
+                    if a in mct_counters:
+                        exact = mct_record(a, issue)
+                        if exact < t2:
+                            s_mct_rej += 1
+                            continue
+                        mct_forget(a)
+                        s_adms += 1
+                    else:
+                        slot = ci - colbase
+                        prev = s_lastaddr[slot]
+                        if prev is not None and prev != a:
+                            s_collisions += 1
+                        s_lastaddr[slot] = a
+                        if sub != s_last[slot]:
+                            ls = s_last[slot]
+                            if ls < 0 or sub - ls >= k_w:
+                                c = slot
+                                for _ in range(k_w):
+                                    s_counts[c] = 0
+                                    c += n_slots
+                                s_totals[slot] = 0
+                            else:
+                                t = s_totals[slot]
+                                for g in range(ls + 1, sub + 1):
+                                    c = g % k_w * n_slots + slot
+                                    t -= s_counts[c]
+                                    s_counts[c] = 0
+                                s_totals[slot] = t
+                            s_last[slot] = sub
+                        cv = s_counts[ci]
+                        if cv < saturation:
+                            s_counts[ci] = cv + 1
+                            tot = s_totals[slot] + 1
+                            s_totals[slot] = tot
+                        else:
+                            tot = s_totals[slot]
+                        if tot < t1:
+                            continue
+                        if not single_tier:
+                            mct_track(a)
+                            s_promos += 1
+                            continue
+                        c = slot
+                        for _ in range(k_w):
+                            s_counts[c] = 0
+                            c += n_slots
+                        s_totals[slot] = 0
+                        s_last[slot] = -1
+                        s_adms += 1
+                    if d_rct < 0:
+                        rct = rct_l[j]
+                        d_rct = int(rct // day_seconds)
+                        if d_rct > last_day:
+                            d_rct = last_day
+                        same_day = d_rct == d_issue
+                    if len(od) >= capacity:
+                        od_pop(False)
+                    od[a] = None
+                    if same_day:
+                        allocated += 1
+                    elif alloc_offsets is None:
+                        alloc_offsets = [a - addr]
+                    else:
+                        alloc_offsets.append(a - addr)
         elif wmode == _W_FALSE:
             if omode == _O_COUNTER:
                 for a in range(addr, end):
@@ -338,6 +591,33 @@ def simulate_fast(
         if checkpoint_every is not None and (j + 1) % checkpoint_every == 0:
             if may_allocate:
                 cache._resident = set(od)
+            if kernel is not None:
+                # Flush kernel lists and counter locals into the policy
+                # object, so the pickled checkpoint is engine-agnostic.
+                # Counter assignments come after sync(): write_back
+                # restores a stale recorded_misses from the kernel's
+                # init-time snapshot; the locals are authoritative.
+                # The derived counters (see the setup comment): this
+                # segment's stats misses split exactly across the four
+                # sieve outcomes, of which only IMCT rejections went
+                # uncounted in the loop.
+                kernel.sync()
+                misses = sum(
+                    d.accesses - d.read_hits - d.write_hits for d in per_day
+                ) - s_misses0
+                adms_d = s_adms - s_adms0
+                if single_tier:
+                    recorded = misses
+                    rejections = misses - adms_d
+                else:
+                    recorded = misses - (s_mct_rej - s_mct_rej0) - adms_d
+                    rejections = recorded - (s_promos - s_promos0)
+                imct.recorded_misses = s_recorded0 + recorded
+                imct.alias_collisions = s_collisions
+                policy.imct_rejections = s_imct_rej0 + rejections
+                policy.promotions = s_promos
+                policy.mct_rejections = s_mct_rej
+                policy.admissions = s_adms
             checkpointer(j + 1, current_epoch)
         if progress_every is not None and (j + 1) % progress_every == 0:
             progress_hook(j + 1, current_epoch)
@@ -350,4 +630,25 @@ def simulate_fast(
             boundary_hook(current_epoch, n_requests)
     if may_allocate:
         cache._resident = set(od)
+    if kernel is not None:
+        # The policy object must reflect the run before the caller
+        # samples sieve telemetry or pickles a final state (counter
+        # derivation as at the checkpoint site, after sync()).
+        kernel.sync()
+        misses = sum(
+            d.accesses - d.read_hits - d.write_hits for d in per_day
+        ) - s_misses0
+        adms_d = s_adms - s_adms0
+        if single_tier:
+            recorded = misses
+            rejections = misses - adms_d
+        else:
+            recorded = misses - (s_mct_rej - s_mct_rej0) - adms_d
+            rejections = recorded - (s_promos - s_promos0)
+        imct.recorded_misses = s_recorded0 + recorded
+        imct.alias_collisions = s_collisions
+        policy.imct_rejections = s_imct_rej0 + rejections
+        policy.promotions = s_promos
+        policy.mct_rejections = s_mct_rej
+        policy.admissions = s_adms
     return stats, cache

@@ -15,7 +15,7 @@ Two concerns live here:
   bit-identical to the uninterrupted run (see
   :func:`repro.sim.engine.resume_simulation`).
 
-Checkpoint file format (version 1)::
+Checkpoint file format (version 2)::
 
     bytes 0..7   magic  b"SSCKPT\\x00\\n"
     bytes 8..11  schema version (big-endian uint32)
@@ -45,7 +45,11 @@ SCHEMA_VERSION = 1
 
 #: Checkpoint file magic + schema version (see module docs).
 CHECKPOINT_MAGIC = b"SSCKPT\x00\n"
-CHECKPOINT_SCHEMA_VERSION = 1
+#: Version 2: SieveStoreC/ImpreciseMissCountTable pickles gained hoisted
+#: attributes (the sieve-kernel fast path), so version-1 policy payloads
+#: would rehydrate without them.  No migration — checkpoints are
+#: short-lived crash-recovery artifacts.
+CHECKPOINT_SCHEMA_VERSION = 2
 
 
 class CheckpointError(Exception):

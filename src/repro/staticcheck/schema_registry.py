@@ -91,7 +91,7 @@ SPECS: Tuple[SchemaSpec, ...] = (
             "checkpoint_every",
         ),
         "repro.sim.serialize",
-        (("CHECKPOINT_SCHEMA_VERSION", 1),),
+        (("CHECKPOINT_SCHEMA_VERSION", 2),),
     ),
     _spec(
         "checkpoint-fast",
@@ -112,7 +112,7 @@ SPECS: Tuple[SchemaSpec, ...] = (
             "stats",
         ),
         "repro.sim.serialize",
-        (("CHECKPOINT_SCHEMA_VERSION", 1),),
+        (("CHECKPOINT_SCHEMA_VERSION", 2),),
     ),
     _spec(
         "checkpoint-object",
@@ -131,7 +131,7 @@ SPECS: Tuple[SchemaSpec, ...] = (
             "appliance",
         ),
         "repro.sim.serialize",
-        (("CHECKPOINT_SCHEMA_VERSION", 1),),
+        (("CHECKPOINT_SCHEMA_VERSION", 2),),
     ),
     _spec(
         "day-stats",

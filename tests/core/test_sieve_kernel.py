@@ -1,0 +1,257 @@
+"""Unit tests for the array-backed sieve kernel (repro.core.sieve_kernel).
+
+Every vectorized primitive is checked bit-for-bit against its scalar
+oracle: ``mix64_array`` against ``mix64``, ``bucket_array`` against
+``stable_bucket``, ``subwindow_indices`` against
+``WindowSpec.subwindow_index`` (including float boundary adversaries),
+and ``ArrayIMCT.record_batch`` against sequential
+``SubwindowCounter.record`` calls.  Engine-level equivalence lives in
+``tests/sim/test_sieve_equivalence.py``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AdaptiveSieveStoreC,
+    ImpreciseMissCountTable,
+    SieveStoreC,
+    SieveStoreCConfig,
+    SubwindowCounter,
+    WindowSpec,
+)
+from repro.core.sieve_kernel import (
+    ArrayIMCT,
+    SieveStoreCKernel,
+    bucket_array,
+    mix64_array,
+    subwindow_indices,
+    supports,
+)
+from repro.core.windows import COUNTER_SATURATION
+from repro.util.hashing import mix64, stable_bucket
+
+
+class TestVectorizedHashing:
+    def test_mix64_array_matches_scalar(self):
+        rng = np.random.default_rng(7)
+        values = rng.integers(0, 2**64, size=4096, dtype=np.uint64)
+        values[:4] = (0, 1, 2**63, 2**64 - 1)
+        mixed = mix64_array(values)
+        for value, got in zip(values.tolist(), mixed.tolist()):
+            assert got == mix64(value)
+
+    def test_mix64_array_does_not_mutate_input(self):
+        values = np.arange(16, dtype=np.uint64)
+        mix64_array(values)
+        assert values.tolist() == list(range(16))
+
+    def test_bucket_array_matches_stable_bucket(self):
+        rng = np.random.default_rng(11)
+        addresses = rng.integers(0, 2**40, size=2048, dtype=np.int64)
+        salt = 0x13C7
+        for buckets in (1, 2, 257, 1 << 16):
+            slots = bucket_array(addresses, buckets, mix64(salt))
+            assert slots.dtype == np.int64
+            for address, slot in zip(addresses.tolist(), slots.tolist()):
+                assert slot == stable_bucket(address, buckets, salt=salt)
+
+    def test_bucket_array_rejects_nonpositive_buckets(self):
+        with pytest.raises(ValueError, match="buckets must be positive"):
+            bucket_array(np.arange(4, dtype=np.int64), 0, 1)
+
+
+class TestSubwindowIndices:
+    def test_matches_windowspec_on_boundary_adversaries(self):
+        spec = WindowSpec(window_seconds=8 * 3600.0, subwindows=4)
+        sw = spec.subwindow_seconds
+        # Exact boundaries plus the representable floats straddling them
+        # — the one-ulp regime where numpy.floor_divide can disagree
+        # with Python's ``//``.
+        boundaries = [j * sw for j in range(0, 64, 7)]
+        adversaries = []
+        for b in boundaries:
+            adversaries.append(b)
+            adversaries.append(np.nextafter(b, np.inf))
+            if b > 0:
+                adversaries.append(np.nextafter(b, 0.0))
+        rng = np.random.default_rng(3)
+        adversaries.extend((rng.random(256) * 40 * sw).tolist())
+        times = np.array(adversaries, dtype=np.float64)
+        got = subwindow_indices(times, sw)
+        for t, index in zip(times.tolist(), got.tolist()):
+            assert index == spec.subwindow_index(t)
+
+
+def sequential_oracle(slots, subwindows):
+    return [SubwindowCounter(subwindows) for _ in range(slots)]
+
+
+def oracle_state(counters):
+    return (
+        [list(c._counts) for c in counters],
+        [c._last_subwindow for c in counters],
+    )
+
+
+def array_state(array):
+    return array.counts.tolist(), array.last_subwindow.tolist()
+
+
+class TestArrayIMCT:
+    def test_rejects_nonpositive_shape(self):
+        with pytest.raises(ValueError, match="slots must be positive"):
+            ArrayIMCT(0, 4)
+        with pytest.raises(ValueError, match="subwindows must be positive"):
+            ArrayIMCT(4, 0)
+
+    def test_from_table_write_back_round_trip(self):
+        window = WindowSpec(window_seconds=8 * 3600.0, subwindows=4)
+        table = ImpreciseMissCountTable(slots=31, window=window)
+        rng = np.random.default_rng(5)
+        time = 0.0
+        for address in rng.integers(0, 10_000, size=500).tolist():
+            table.record_miss(address, time)
+            time += 97.0
+        array = ArrayIMCT.from_table(table)
+        fresh = ImpreciseMissCountTable(slots=31, window=window)
+        array.write_back(fresh)
+        for original, restored in zip(table._counters, fresh._counters):
+            assert restored._counts == original._counts
+            assert restored._last_subwindow == original._last_subwindow
+        assert fresh.recorded_misses == table.recorded_misses
+
+    def test_write_back_rejects_shape_mismatch(self):
+        window = WindowSpec(window_seconds=8 * 3600.0, subwindows=4)
+        array = ArrayIMCT(8, 4)
+        other = ImpreciseMissCountTable(slots=9, window=window)
+        with pytest.raises(ValueError, match="shape mismatch"):
+            array.write_back(other)
+
+    def test_slots_of_matches_table_hash(self):
+        window = WindowSpec()
+        table = ImpreciseMissCountTable(slots=257, window=window)
+        array = ArrayIMCT.from_table(table)
+        addresses = np.arange(0, 5000, 13, dtype=np.int64)
+        slots = array.slots_of(addresses)
+        for address, slot in zip(addresses.tolist(), slots.tolist()):
+            assert slot == table.slot_of(address)
+
+    @pytest.mark.parametrize(
+        "gaps",
+        [
+            # Every advancement regime: same subwindow, partial expiry
+            # (gap < k), exact-k and beyond-k full expiry.
+            [0, 0, 1, 0, 2, 3, 0, 4, 5, 0, 1, 9],
+        ],
+    )
+    def test_record_batch_matches_sequential_record(self, gaps):
+        slots, k = 17, 4
+        array = ArrayIMCT(slots, k)
+        oracle = sequential_oracle(slots, k)
+        rng = np.random.default_rng(13)
+        subwindow = 0
+        for gap in gaps:
+            subwindow += gap
+            batch = rng.integers(0, slots, size=int(rng.integers(1, 60)))
+            batch = batch.astype(np.int64)
+            totals = array.record_batch(batch, subwindow)
+            expected = [oracle[s].record(subwindow) for s in batch.tolist()]
+            assert totals.tolist() == expected
+            assert array_state(array) == oracle_state(oracle)
+        # recorded_misses counts every entry of every batch.
+        fresh = ArrayIMCT(slots, k)
+        fresh.record_batch(np.zeros(5, dtype=np.int64), 0)
+        assert fresh.recorded_misses == 5
+
+    def test_record_batch_repeated_slot_ordinals(self):
+        # One slot hit many times in a single batch: the i-th recording
+        # must see total base+i+1, exactly like i sequential records.
+        array = ArrayIMCT(3, 4)
+        oracle = sequential_oracle(3, 4)
+        batch = np.array([1] * 7 + [0, 1, 2, 1], dtype=np.int64)
+        totals = array.record_batch(batch, 5)
+        expected = [oracle[s].record(5) for s in batch.tolist()]
+        assert totals.tolist() == expected
+        assert array_state(array) == oracle_state(oracle)
+
+    def test_record_batch_saturates_at_counter_ceiling(self):
+        array = ArrayIMCT(2, 4)
+        oracle = sequential_oracle(2, 4)
+        batch = np.zeros(COUNTER_SATURATION + 45, dtype=np.int64)
+        totals = array.record_batch(batch, 3)
+        expected = [oracle[0].record(3) for _ in batch.tolist()]
+        assert totals.tolist() == expected
+        assert int(array.counts[0].max()) == COUNTER_SATURATION
+        assert array_state(array) == oracle_state(oracle)
+
+    def test_record_batch_empty(self):
+        array = ArrayIMCT(4, 4)
+        totals = array.record_batch(np.zeros(0, dtype=np.int64), 9)
+        assert totals.size == 0
+        assert array.recorded_misses == 0
+        assert array.last_subwindow.tolist() == [-1] * 4
+
+    def test_row_totals_equal_stored_sums(self):
+        array = ArrayIMCT(5, 4)
+        rng = np.random.default_rng(17)
+        for subwindow in (0, 1, 4, 5):
+            array.record_batch(
+                rng.integers(0, 5, size=20).astype(np.int64), subwindow
+            )
+        assert array.row_totals().tolist() == [
+            sum(row) for row in array.counts.tolist()
+        ]
+
+
+class TestKernelDispatch:
+    def test_supports_exact_type_only(self):
+        assert supports(SieveStoreC())
+        assert not supports(AdaptiveSieveStoreC())
+
+    def test_kernel_rejects_subclass(self):
+        with pytest.raises(TypeError, match="plain SieveStoreC"):
+            SieveStoreCKernel(AdaptiveSieveStoreC())
+
+
+class TestSieveStoreCKernel:
+    def test_precompute_chunk_expands_blocks(self):
+        policy = SieveStoreC(SieveStoreCConfig(imct_slots=64))
+        kernel = SieveStoreCKernel(policy)
+        addresses = np.array([10, 900, 7], dtype=np.int64)
+        block_counts = np.array([1, 3, 2], dtype=np.int64)
+        issue_times = np.array([0.0, 3600.0, 6.5 * 3600.0])
+        subs, cis = kernel.precompute_chunk(
+            addresses, block_counts, issue_times
+        )
+        assert subs == [
+            policy.imct.window.subwindow_index(t) for t in issue_times.tolist()
+        ]
+        k = policy.imct.window.subwindows
+        # Each block's flat count-cell index in the column-major layout:
+        # the owning request's subwindow column base plus the block's
+        # IMCT slot.
+        expanded = [10, 900, 901, 902, 7, 8]
+        request_of_block = [0, 1, 1, 1, 2, 2]
+        assert cis == [
+            subs[r] % k * kernel.n_slots + policy.imct.slot_of(b)
+            for b, r in zip(expanded, request_of_block)
+        ]
+
+    def test_sync_writes_flat_state_back(self):
+        policy = SieveStoreC(SieveStoreCConfig(imct_slots=8))
+        for address in range(40):
+            policy.imct.record_miss(address, float(address) * 600.0)
+        kernel = SieveStoreCKernel(policy)
+        before = oracle_state(policy.imct._counters)
+        kernel.sync()  # no mutation yet: table must be unchanged
+        assert oracle_state(policy.imct._counters) == before
+        # Mutate the flat lists the way the engine's inline loop does
+        # (column-major: cell (slot, col) lives at col * n_slots + slot).
+        kernel.counts[1 * kernel.n_slots + 3] = 42
+        kernel.last[3] = 77
+        kernel.array.recorded_misses += 5
+        kernel.sync()
+        assert policy.imct._counters[3]._counts[1] == 42
+        assert policy.imct._counters[3]._last_subwindow == 77
+        assert policy.imct.recorded_misses == 45

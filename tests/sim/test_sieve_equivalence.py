@@ -1,0 +1,252 @@
+"""Fast-engine sieve specialization vs the object engine, bit for bit.
+
+The ``_W_SIEVE`` path in :mod:`repro.sim.fast_engine` runs SieveStore-C
+through :class:`repro.core.sieve_kernel.SieveStoreCKernel` instead of
+per-miss ``wants()`` calls.  These tests drive both engines over the
+same trace and demand *complete* state equality: per-day and per-minute
+statistics, the resident set, every sieve telemetry counter, the MCT's
+insert/eviction/peak accounting, and the full per-slot IMCT counter
+matrix — across default, aliased, saturated, single-tier, pruning, and
+sub-day-epoch configurations, and across SIGKILL-style checkpoint
+resume on either engine (including fast<->object conversion).
+"""
+
+import pytest
+
+from repro.core import SieveStoreC, SieveStoreCConfig, WindowSpec
+from repro.core.autotune import AdaptiveSieveStoreC
+from repro.core.windows import COUNTER_SATURATION
+from repro.sim import resume_simulation, simulate
+from repro.sim.experiment import build_policy
+from repro.sim.fast_engine import _W_CALL, _W_SIEVE, _wants_mode
+from repro.sim.serialize import (
+    CheckpointError,
+    load_checkpoint,
+    stats_to_dict,
+)
+
+#: Mid-trace checkpoint cadence (see tests/sim/test_checkpoint.py).
+EVERY = 997
+
+
+def run_engine(ctx, policy, fast, **kwargs):
+    trace = ctx.columnar_trace() if fast else ctx.object_trace()
+    return simulate(
+        trace, policy, capacity_blocks=ctx.sieved_capacity, days=ctx.days,
+        track_minutes=True, fast_path=fast, **kwargs
+    )
+
+
+def run_pair(ctx, config=None, collision_tracking=False, **kwargs):
+    """Run the same SieveStore-C configuration on both engines."""
+    results = []
+    for fast in (False, True):
+        if config is None:
+            policy, _capacity = build_policy("sievestore-c", ctx)
+        else:
+            policy = SieveStoreC(config)
+        if collision_tracking:
+            policy.imct.enable_collision_tracking()
+        results.append(run_engine(ctx, policy, fast, **kwargs))
+    return results
+
+
+def imct_matrix(policy):
+    """The full per-slot IMCT state (counts + last subwindow)."""
+    return (
+        [list(c._counts) for c in policy.imct._counters],
+        [c._last_subwindow for c in policy.imct._counters],
+    )
+
+
+def assert_sieve_identical(obj_result, fast_result):
+    assert obj_result.engine == "object"
+    assert fast_result.engine == "fast"
+    assert stats_to_dict(fast_result.stats) == stats_to_dict(obj_result.stats)
+    assert sorted(fast_result.cache.residents()) == sorted(
+        obj_result.cache.residents()
+    )
+    obj, fast = obj_result.policy, fast_result.policy
+    for counter in ("admissions", "imct_rejections", "promotions",
+                    "mct_rejections"):
+        assert getattr(fast, counter) == getattr(obj, counter), counter
+    assert fast.imct.recorded_misses == obj.imct.recorded_misses
+    assert fast.imct.alias_collisions == obj.imct.alias_collisions
+    for counter in ("inserts", "evictions", "peak_entries"):
+        assert getattr(fast.mct, counter) == getattr(obj.mct, counter), counter
+    assert fast.metastate_entries() == obj.metastate_entries()
+    assert imct_matrix(fast) == imct_matrix(obj)
+
+
+class TestDispatch:
+    def test_plain_sievestore_c_takes_the_sieve_path(self):
+        assert _wants_mode(SieveStoreC()) == _W_SIEVE
+
+    def test_adaptive_subclass_takes_the_general_path(self):
+        # AdaptiveSieveStoreC mutates its t2 mid-run; the kernel must
+        # never capture it.
+        assert _wants_mode(AdaptiveSieveStoreC()) == _W_CALL
+
+
+class TestEngineEquivalence:
+    def test_default_config(self, tiny_context):
+        obj, fast = run_pair(tiny_context)
+        assert_sieve_identical(obj, fast)
+
+    def test_aliased_tiny_table(self, tiny_context):
+        # 257 slots over tens of thousands of blocks: heavy aliasing,
+        # so tier-1 promotions lean on piggy-backed counts.
+        config = SieveStoreCConfig(imct_slots=257)
+        obj, fast = run_pair(tiny_context, config)
+        assert_sieve_identical(obj, fast)
+
+    def test_single_slot_saturation(self, tiny_context):
+        # Every address shares one slot and the window spans the whole
+        # trace, so the counter pins at the uint8 ceiling — the fast
+        # path's saturating bump must clamp exactly where the object
+        # path's min() does.
+        config = SieveStoreCConfig(
+            imct_slots=1,
+            window=WindowSpec(window_seconds=20 * 86400.0, subwindows=4),
+        )
+        obj, fast = run_pair(tiny_context, config)
+        assert_sieve_identical(obj, fast)
+        counts, _last = imct_matrix(obj.policy)
+        assert max(counts[0]) == COUNTER_SATURATION
+
+    def test_single_tier_ablation(self, tiny_context):
+        config = SieveStoreCConfig(single_tier_admission=True)
+        obj, fast = run_pair(tiny_context, config)
+        assert_sieve_identical(obj, fast)
+        assert obj.policy.mct.inserts == 0  # tier 2 never engaged
+
+    def test_small_window_forces_mct_prunes(self, tiny_context):
+        # A one-hour window expires MCT entries quickly; the kernel
+        # drives the live MCT so opportunistic prune timing (and its
+        # eviction count) must line up exactly.
+        config = SieveStoreCConfig(
+            window=WindowSpec(window_seconds=3600.0, subwindows=4)
+        )
+        obj, fast = run_pair(tiny_context, config)
+        assert_sieve_identical(obj, fast)
+        assert obj.policy.mct.evictions > 0
+
+    def test_sub_day_epoch(self, tiny_context):
+        obj, fast = run_pair(tiny_context, epoch_seconds=7 * 3600.0)
+        assert_sieve_identical(obj, fast)
+
+    def test_t2_zero_admits_on_first_exact_miss(self, tiny_context):
+        config = SieveStoreCConfig(t2=0)
+        obj, fast = run_pair(tiny_context, config)
+        assert_sieve_identical(obj, fast)
+        assert obj.policy.admissions > 0
+
+    def test_collision_tracking(self, tiny_context):
+        config = SieveStoreCConfig(imct_slots=257)
+        obj, fast = run_pair(tiny_context, config, collision_tracking=True)
+        assert_sieve_identical(obj, fast)
+        assert obj.policy.imct.alias_collisions > 0
+        # The shadow last-address arrays must agree slot by slot too.
+        assert (
+            fast.policy.imct._last_address == obj.policy.imct._last_address
+        )
+
+
+class TestCheckpointResume:
+    def baseline(self, ctx):
+        policy, _capacity = build_policy("sievestore-c", ctx)
+        return run_engine(ctx, policy, fast=False)
+
+    def checkpointed(self, ctx, fast, path):
+        policy, _capacity = build_policy("sievestore-c", ctx)
+        return run_engine(
+            ctx, policy, fast, checkpoint_path=path, checkpoint_every=EVERY
+        )
+
+    @pytest.mark.parametrize("fast", [False, True],
+                             ids=["object-engine", "fast-engine"])
+    def test_mid_epoch_resume_same_engine(self, tiny_context, tmp_path, fast):
+        baseline = self.baseline(tiny_context)
+        path = tmp_path / "sieve.ckpt"
+        checkpointed = self.checkpointed(tiny_context, fast, path)
+        # Checkpointing itself must not perturb the run.
+        if fast:
+            assert_sieve_identical(baseline, checkpointed)
+        else:
+            assert stats_to_dict(checkpointed.stats) == stats_to_dict(
+                baseline.stats
+            )
+        # The file on disk is a genuine mid-trace snapshot.
+        cursor = load_checkpoint(path)["cursor"]
+        assert 0 < cursor < len(tiny_context.object_trace().requests)
+        trace = (
+            tiny_context.columnar_trace()
+            if fast
+            else tiny_context.object_trace()
+        )
+        resumed = resume_simulation(path, trace)
+        assert resumed.engine == ("fast" if fast else "object")
+        assert stats_to_dict(resumed.stats) == stats_to_dict(baseline.stats)
+        assert imct_matrix(resumed.policy) == imct_matrix(baseline.policy)
+        assert resumed.policy.metastate_entries() == (
+            baseline.policy.metastate_entries()
+        )
+
+    @pytest.mark.parametrize(
+        ("source_fast", "target"),
+        [(True, "object"), (False, "fast")],
+        ids=["fast-to-object", "object-to-fast"],
+    )
+    def test_cross_engine_resume(self, tiny_context, tmp_path,
+                                 source_fast, target):
+        baseline = self.baseline(tiny_context)
+        path = tmp_path / "cross.ckpt"
+        self.checkpointed(tiny_context, source_fast, path)
+        trace = (
+            tiny_context.columnar_trace()
+            if target == "fast"
+            else tiny_context.object_trace()
+        )
+        resumed = resume_simulation(path, trace, engine=target)
+        assert resumed.engine == target
+        assert stats_to_dict(resumed.stats) == stats_to_dict(baseline.stats)
+        assert sorted(resumed.cache.residents()) == sorted(
+            baseline.cache.residents()
+        )
+        policy = resumed.policy
+        for counter in ("admissions", "imct_rejections", "promotions",
+                        "mct_rejections"):
+            assert getattr(policy, counter) == getattr(
+                baseline.policy, counter
+            ), counter
+        assert imct_matrix(policy) == imct_matrix(baseline.policy)
+        assert policy.metastate_entries() == (
+            baseline.policy.metastate_entries()
+        )
+
+    def test_resume_rejects_unknown_engine(self, tiny_context, tmp_path):
+        path = tmp_path / "bad.ckpt"
+        self.checkpointed(tiny_context, False, path)
+        with pytest.raises(CheckpointError, match="unknown resume engine"):
+            resume_simulation(
+                path, tiny_context.object_trace(), engine="quantum"
+            )
+
+    def test_fast_resume_refuses_fault_checkpoints(self, tiny_context,
+                                                   tmp_path):
+        from repro.faults import FaultPlan, OutageWindow
+        from repro.util.intervals import SECONDS_PER_DAY
+
+        plan = FaultPlan(outages=(OutageWindow(
+            3.0 * SECONDS_PER_DAY, 4.0 * SECONDS_PER_DAY
+        ),))
+        policy, _capacity = build_policy("sievestore-c", tiny_context)
+        path = tmp_path / "faulty.ckpt"
+        run_engine(
+            tiny_context, policy, fast=False, fault_plan=plan,
+            checkpoint_path=path, checkpoint_every=EVERY,
+        )
+        with pytest.raises(CheckpointError, match="fault-injected"):
+            resume_simulation(
+                path, tiny_context.columnar_trace(), engine="fast"
+            )
