@@ -60,6 +60,28 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _nonnegative_float(text: str) -> float:
+    """argparse type: a float >= 0 (clean exit-2 otherwise)."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number")
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {text}")
+    return value
+
+
+def _nonnegative_int(text: str) -> int:
+    """argparse type: an integer >= 0 (clean exit-2 otherwise)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {text}")
+    return value
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -190,6 +212,86 @@ def _build_parser() -> argparse.ArgumentParser:
     drives.add_argument(
         "--window-minutes", type=int, default=30,
         help="occupancy aggregation window (widen for small scales)",
+    )
+
+    serve = sub.add_parser(
+        "serve-bench",
+        help="live disk-backed serving bench (repro.serve)",
+        description=(
+            "Replay a trace through N concurrent client processes "
+            "against one shared sqlite+file byte store, admission gated "
+            "by the continuous sieve, and report per-operation "
+            "median/p90/p99/max latency plus allocation-write savings "
+            "against an unsieved baseline pass.  Exits 1 when the "
+            "baseline pass runs and the sieve fails to keep allocation "
+            "writes strictly below it."
+        ),
+    )
+    add_trace_options(serve)
+    serve.add_argument(
+        "--clients", type=_positive_int, default=4, metavar="N",
+        help="concurrent client processes replaying address-hashed "
+        "trace shards (default: 4)",
+    )
+    from repro.core.admission import GATE_KINDS
+
+    serve.add_argument(
+        "--gate", choices=sorted(GATE_KINDS), default="sieve",
+        help="admission gate for the measured pass (default: sieve)",
+    )
+    serve.add_argument(
+        "--miss-latency", type=_nonnegative_float, default=0.0005,
+        metavar="SECONDS",
+        help="simulated ensemble access penalty per backend operation "
+        "(default: 0.5ms)",
+    )
+    serve.add_argument(
+        "--payload-bytes", type=_positive_int, default=4096,
+        metavar="BYTES", help="value size served per address",
+    )
+    serve.add_argument(
+        "--store-shards", type=_positive_int, default=8, metavar="N",
+        help="sqlite shard fanout of the byte store",
+    )
+    serve.add_argument(
+        "--t1", type=_nonnegative_int, default=None,
+        help="sieve IMCT promotion threshold (default: the paper's 9)",
+    )
+    serve.add_argument(
+        "--t2", type=_nonnegative_int, default=None,
+        help="sieve MCT admission threshold (default: the paper's 4)",
+    )
+    serve.add_argument(
+        "--store-dir", metavar="DIR", default=None,
+        help="working directory for stores and trace shards (kept "
+        "afterwards; default: a temporary directory, removed at exit)",
+    )
+    serve.add_argument(
+        "--no-baseline", action="store_true",
+        help="skip the unsieved comparison pass (no savings report)",
+    )
+    serve.add_argument(
+        "--serial", action="store_true",
+        help="run the clients in-process instead of a process pool",
+    )
+    serve.add_argument(
+        "--fault-plan", metavar="FILE", default=None,
+        help="inject device faults from a JSON fault plan; health is "
+        "evaluated at trace issue times, so transitions land "
+        "deterministically mid-replay",
+    )
+    serve.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="also write the report (latency, stats, savings) as JSON",
+    )
+    serve.add_argument(
+        "--manifest", metavar="FILE", default=None,
+        help="write per-client execution records as JSON",
+    )
+    serve.add_argument(
+        "--metrics-out", metavar="FILE", default=None,
+        help="collect serve telemetry across all clients and write it "
+        "at exit (Prometheus text for .prom/.txt, JSON otherwise)",
     )
 
     table2 = sub.add_parser("table2", help="print the paper's Table 2")
@@ -628,6 +730,187 @@ def _run_simulate(args) -> int:
     return 1 if results.failures else 0
 
 
+def _validate_serve_bench_flags(args) -> Optional[int]:
+    """Reject invalid serve-bench flag combinations up front (exit 2)."""
+    if args.gate == "unsieved" and not args.no_baseline:
+        print(
+            "error: --gate unsieved duplicates the baseline pass; "
+            "add --no-baseline",
+            file=sys.stderr,
+        )
+        return 2
+    for flag, path in (
+        ("--json", args.json),
+        ("--manifest", args.manifest),
+        ("--metrics-out", args.metrics_out),
+    ):
+        if not path:
+            continue
+        problem = _artifact_path_problem(flag, path)
+        if problem is not None:
+            print(f"error: {problem}", file=sys.stderr)
+            return 2
+    return None
+
+
+def _format_ms(seconds: float) -> str:
+    return f"{seconds * 1000:.3f}ms"
+
+
+def _print_latency_table(report) -> None:
+    print(
+        f"  {'op':<6} {'count':>8} {'median':>11} {'p90':>11} "
+        f"{'p99':>11} {'max':>11}"
+    )
+    for op in sorted(report.latency):
+        summary = report.latency[op]
+        if summary is None:
+            print(f"  {op:<6} {0:>8} {'-':>11} {'-':>11} {'-':>11} {'-':>11}")
+            continue
+        print(
+            f"  {op:<6} {summary.count:>8} {_format_ms(summary.median):>11} "
+            f"{_format_ms(summary.p90):>11} {_format_ms(summary.p99):>11} "
+            f"{_format_ms(summary.max):>11}"
+        )
+
+
+def _print_serve_stats(stats) -> None:
+    print(
+        f"  hits={stats.hits} misses={stats.misses} "
+        f"bypassed={stats.bypassed} read_faults={stats.read_faults} "
+        f"write_faults={stats.write_faults}"
+    )
+    if stats.health_transitions:
+        transitions = ", ".join(
+            f"{key} x{count}"
+            for key, count in sorted(stats.health_transitions.items())
+        )
+        print(f"  health transitions: {transitions}")
+
+
+def _cmd_serve_bench(args) -> int:
+    """Validate flags, switch observability, dispatch the serve bench."""
+    code = _validate_serve_bench_flags(args)
+    if code is not None:
+        return code
+    if not args.metrics_out:
+        return _run_serve_bench_cmd(args, collect_metrics=False)
+    from repro.obs import runtime as obs_runtime
+
+    obs_runtime.enable()
+    try:
+        code = _run_serve_bench_cmd(args, collect_metrics=True)
+        _write_metrics(args.metrics_out)
+        return code
+    finally:
+        obs_runtime.disable()
+
+
+def _run_serve_bench_cmd(args, collect_metrics: bool) -> int:
+    import contextlib
+    import json as json_module
+    import tempfile
+    from pathlib import Path
+
+    from repro.serve import BenchOptions, run_serve_bench, run_sieve_comparison
+    from repro.traces.columnar import as_columnar
+
+    fault_plan, code = _load_fault_plan(args)
+    if code is not None:
+        return code
+    trace, _days, columns = _load_trace(args)
+    if columns is None:
+        columns = as_columnar(trace)
+    options = BenchOptions(
+        gate_kind=args.gate,
+        miss_latency=args.miss_latency,
+        payload_bytes=args.payload_bytes,
+        store_shards=args.store_shards,
+        seed=args.seed,
+        t1=args.t1,
+        t2=args.t2,
+        fault_plan=fault_plan.to_dict() if fault_plan is not None else None,
+        collect_metrics=collect_metrics,
+    )
+    with contextlib.ExitStack() as stack:
+        if args.store_dir:
+            base = Path(args.store_dir)
+            base.mkdir(parents=True, exist_ok=True)
+        else:
+            base = Path(
+                stack.enter_context(
+                    tempfile.TemporaryDirectory(prefix="serve-bench-")
+                )
+            )
+        if args.no_baseline:
+            comparison = None
+            report = run_serve_bench(
+                columns, base / "store", base / "shards",
+                clients=args.clients, options=options,
+                parallel=not args.serial,
+            )
+        else:
+            comparison = run_sieve_comparison(
+                columns, base, clients=args.clients, options=options,
+                parallel=not args.serial,
+            )
+            report = comparison["sieved"]
+
+    print(
+        f"serve-bench: gate={report.gate_kind} clients={report.clients} "
+        f"requests={report.requests} wall={report.wall_seconds:.2f}s"
+    )
+    _print_latency_table(report)
+    _print_serve_stats(report.stats)
+    code = 0
+    if comparison is None:
+        print(f"  allocation writes: {report.allocation_writes}")
+    else:
+        baseline = comparison["unsieved"]
+        saved = comparison["allocation_writes_saved"]
+        ratio = comparison["allocation_write_ratio"]
+        percent = f" ({(1 - ratio) * 100:.1f}% fewer)" if ratio is not None else ""
+        print(
+            f"  allocation writes: sieved={report.allocation_writes} "
+            f"baseline={baseline.allocation_writes} saved={saved}{percent}"
+        )
+        if saved <= 0:
+            print(
+                "error: sieved pass did not keep allocation writes below "
+                "the unsieved baseline",
+                file=sys.stderr,
+            )
+            code = 1
+
+    if args.json:
+        payload = report.to_dict()
+        if comparison is not None:
+            payload = {
+                "sieved": report.to_dict(),
+                "baseline": comparison["unsieved"].to_dict(),
+                "allocation_writes_saved": comparison["allocation_writes_saved"],
+                "allocation_write_ratio": comparison["allocation_write_ratio"],
+            }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json_module.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"report written to {args.json}")
+    if args.manifest:
+        manifest = report.manifest()
+        if comparison is not None:
+            manifest = {
+                "version": manifest["version"],
+                "kind": "serve-bench-comparison",
+                "sieved": report.manifest(),
+                "baseline": comparison["unsieved"].manifest(),
+            }
+        with open(args.manifest, "w", encoding="utf-8") as handle:
+            json_module.dump(manifest, handle, indent=2)
+            handle.write("\n")
+        print(f"run manifest written to {args.manifest}")
+    return code
+
+
 def _cmd_summarize(args) -> int:
     from repro.analysis.summary import summarize_trace, summary_rows
 
@@ -740,6 +1023,7 @@ _COMMANDS = {
     "summarize": _cmd_summarize,
     "validate": _cmd_validate,
     "drives": _cmd_drives,
+    "serve-bench": _cmd_serve_bench,
     "table2": _cmd_table2,
     "check": _cmd_check,
 }

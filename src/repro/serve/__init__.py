@@ -1,0 +1,49 @@
+"""Live disk-backed serving mode.
+
+Where :mod:`repro.sim` *counts* what a SieveStore appliance would do,
+this package *does* it: real bytes in a sqlite+file shard store, a real
+sieve gating admission, real fault-plan degradation, and a multi-process
+bench measuring real per-operation latency.  See each module's docs:
+
+* :mod:`repro.serve.store` — the sharded byte store (the "SSD")
+* :mod:`repro.serve.backend` — the simulated ensemble behind it
+* :mod:`repro.serve.appliance` — sieve-gated serving cache + stats
+* :mod:`repro.serve.percentiles` — nearest-rank latency summaries
+* :mod:`repro.serve.bench` — N-client concurrent replay + comparison
+"""
+
+from repro.serve.appliance import ServeStats, ServingCache
+from repro.serve.backend import EnsembleBackend
+from repro.serve.bench import (
+    BenchOptions,
+    BenchReport,
+    ClientReport,
+    partition_by_address,
+    run_serve_bench,
+    run_sieve_comparison,
+)
+from repro.serve.percentiles import (
+    LatencySummary,
+    merge_samples,
+    nearest_rank,
+    summarize,
+)
+from repro.serve.store import ShardedByteStore, StoreError
+
+__all__ = [
+    "BenchOptions",
+    "BenchReport",
+    "ClientReport",
+    "EnsembleBackend",
+    "LatencySummary",
+    "ServeStats",
+    "ServingCache",
+    "ShardedByteStore",
+    "StoreError",
+    "merge_samples",
+    "nearest_rank",
+    "partition_by_address",
+    "run_serve_bench",
+    "run_sieve_comparison",
+    "summarize",
+]

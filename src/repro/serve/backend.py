@@ -1,0 +1,72 @@
+"""Simulated ensemble backend: the disks behind the serve cache.
+
+The serving appliance fronts an ensemble of disk-backed servers.  For
+the bench we do not need real remote disks — we need a backend whose
+*content is deterministic* (so reads verify against writes across
+processes with no shared state) and whose *miss cost is configurable*
+(so the latency distributions actually separate hits from misses).
+
+Payloads are pure functions of the address: eight bytes of
+``mix64(mix64(seed) ^ address)`` tiled to ``payload_bytes``.  Any
+process, handed the same seed, regenerates the exact bytes any other
+process stored — which is what lets N independent clients share one
+store directory and still validate every payload they read back.
+
+The miss penalty is a real ``time.sleep`` — the bench measures real
+wall-clock latency around real filesystem operations, so the backend
+has to burn real time too, not simulated time.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.util.hashing import mix64
+
+
+class EnsembleBackend:
+    """Deterministic-content backend with a configurable access penalty."""
+
+    def __init__(
+        self,
+        miss_latency: float = 0.0,
+        payload_bytes: int = 4096,
+        seed: int = 0,
+    ):
+        if miss_latency < 0:
+            raise ValueError(f"miss_latency must be >= 0, got {miss_latency}")
+        if payload_bytes < 1:
+            raise ValueError(f"payload_bytes must be >= 1, got {payload_bytes}")
+        self.miss_latency = miss_latency
+        self.payload_bytes = payload_bytes
+        self._seed_mix = mix64(seed)
+        #: operation tallies (ensemble load the cache failed to absorb)
+        self.reads = 0
+        self.writes = 0
+
+    def payload(self, address: int) -> bytes:
+        """The bytes the ensemble holds at ``address`` (no latency)."""
+        word = mix64(self._seed_mix ^ (address & (2**64 - 1)))
+        pattern = word.to_bytes(8, "little")
+        repeats = -(-self.payload_bytes // 8)
+        return (pattern * repeats)[: self.payload_bytes]
+
+    def read(self, address: int) -> bytes:
+        """Fetch ``address`` from the ensemble (pays the miss penalty)."""
+        self.reads += 1
+        if self.miss_latency:
+            time.sleep(self.miss_latency)
+        return self.payload(address)
+
+    def write(self, address: int) -> bytes:
+        """Write through to the ensemble; returns the durable payload.
+
+        The bench's write path is write-through: every write lands on
+        the backing disks whether or not the sieve admits the block to
+        the cache, exactly like the paper's appliance (the SSD absorbs
+        *re*-accesses, not the first write).
+        """
+        self.writes += 1
+        if self.miss_latency:
+            time.sleep(self.miss_latency)
+        return self.payload(address)

@@ -1,0 +1,105 @@
+"""Nearest-rank latency percentiles for the serve bench.
+
+The serve bench reports per-operation latency the way diskcache's
+cache-benchmarks doc does: median, 90th percentile, 99th percentile,
+and maximum (the mean is deliberately absent — it hides tail behaviour,
+which is the whole point of measuring a disk-backed cache under
+concurrent load).
+
+The estimator is **nearest-rank**: percentile ``p`` of ``n`` sorted
+samples is the value at one-based rank ``ceil(p * n)`` (clamped to at
+least 1).  Nearest-rank always returns an actually-observed sample —
+no interpolation between latencies that never happened — and merging
+across client processes is exact: concatenate the raw samples and rank
+again, which :func:`merge_samples` does.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Iterable, List, Sequence
+
+#: The report's percentile set (fraction, label).
+REPORT_PERCENTILES = ((0.5, "median"), (0.9, "p90"), (0.99, "p99"))
+
+
+def nearest_rank(sorted_samples: Sequence[float], fraction: float) -> float:
+    """Percentile ``fraction`` of an ascending-sorted sample list.
+
+    Uses the nearest-rank definition (one-based rank
+    ``ceil(fraction * n)``, exact integer arithmetic — no float ceil).
+    ``fraction`` must be in ``(0, 1]``; the samples must be non-empty
+    and already sorted ascending.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    n = len(sorted_samples)
+    if n == 0:
+        raise ValueError("cannot take a percentile of zero samples")
+    # Exact ceiling of fraction * n, using the fraction's *decimal*
+    # value: float arithmetic rounds 0.99 * 100 up to 99.00000000000001
+    # (shifting the p99 of exactly 100 samples onto the maximum), and
+    # the raw binary value of 0.9 sits just above 9/10 (ceil would give
+    # rank 91 of 100).  ``str(float)`` is the shortest round-tripping
+    # decimal — the number the caller actually wrote — so ranks land
+    # exactly on the intended boundary in both directions.
+    k = math.ceil(Fraction(str(fraction)) * n)
+    k = max(1, min(k, n))
+    return sorted_samples[k - 1]
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Nearest-rank summary of one operation's latency samples (seconds)."""
+
+    count: int
+    median: float
+    p90: float
+    p99: float
+    max: float
+    total: float
+
+    def to_dict(self) -> Dict[str, float]:
+        """Plain-JSON form (seconds, as measured)."""
+        return {
+            "count": self.count,
+            "median": self.median,
+            "p90": self.p90,
+            "p99": self.p99,
+            "max": self.max,
+            "total": self.total,
+        }
+
+
+def summarize(samples: Iterable[float]) -> LatencySummary:
+    """Nearest-rank summary of raw latency samples (any order).
+
+    Raises ``ValueError`` on an empty sample set — the bench reports
+    ``None`` for operations that never ran rather than a fake zero row.
+    """
+    ordered = sorted(samples)
+    if not ordered:
+        raise ValueError("cannot summarize zero samples")
+    return LatencySummary(
+        count=len(ordered),
+        median=nearest_rank(ordered, 0.5),
+        p90=nearest_rank(ordered, 0.9),
+        p99=nearest_rank(ordered, 0.99),
+        max=ordered[-1],
+        total=sum(ordered),
+    )
+
+
+def merge_samples(parts: Iterable[Sequence[float]]) -> List[float]:
+    """Concatenate per-process sample lists for exact merged ranking.
+
+    Nearest-rank percentiles do not compose from per-process summaries
+    (the p99 of per-client p99s is not the global p99), so the bench
+    ships raw samples back from every client and ranks the union.
+    """
+    merged: List[float] = []
+    for part in parts:
+        merged.extend(part)
+    return merged

@@ -18,10 +18,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Union
 
-from repro.cache.allocation import (
-    AllocateOnDemand,
-    WriteMissNoAllocate,
-)
+from repro.core.admission import build_admission_gate
 from repro.core.ideal import IdealDailySieve
 from repro.core.random_sieve import RandSieveBlkD, RandSieveC
 from repro.core.sievestore_c import SieveStoreC, SieveStoreCConfig
@@ -171,8 +168,11 @@ def build_policy(name: str, ctx: ExperimentContext) -> tuple:
             SieveStoreD(SieveStoreDConfig(capacity_blocks=sieved)),
             sieved,
         ),
+        # The sieve and the unsieved baselines come from the shared
+        # admission-gate factory (repro.core.admission), which the live
+        # serving layer uses for the very same construction.
         "sievestore-c": lambda: (
-            SieveStoreC(SieveStoreCConfig(imct_slots=ctx.imct_slots)),
+            build_admission_gate("sieve", imct_slots=ctx.imct_slots),
             sieved,
         ),
         "randsieve-blkd": lambda: (
@@ -180,10 +180,10 @@ def build_policy(name: str, ctx: ExperimentContext) -> tuple:
             sieved,
         ),
         "randsieve-c": lambda: (RandSieveC(seed=ctx.seed), sieved),
-        "aod-16": lambda: (AllocateOnDemand(), sieved),
-        "wmna-16": lambda: (WriteMissNoAllocate(), sieved),
-        "aod-32": lambda: (AllocateOnDemand(), large),
-        "wmna-32": lambda: (WriteMissNoAllocate(), large),
+        "aod-16": lambda: (build_admission_gate("unsieved"), sieved),
+        "wmna-16": lambda: (build_admission_gate("read-only"), sieved),
+        "aod-32": lambda: (build_admission_gate("unsieved"), large),
+        "wmna-32": lambda: (build_admission_gate("read-only"), large),
     }
     if name not in factories:
         raise ValueError(

@@ -31,7 +31,6 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
 import pickle
 import struct
 from pathlib import Path
@@ -39,6 +38,7 @@ from typing import Union
 
 from repro.cache.stats import CacheStats, DayStats, MinuteIO
 from repro.sim.engine import SimulationResult
+from repro.util.atomic import atomic_write
 
 #: Bump on schema changes; loaders refuse unknown versions.
 SCHEMA_VERSION = 1
@@ -157,9 +157,11 @@ def save_checkpoint(payload: dict, path: Union[str, Path]) -> None:
     """Atomically write a checkpoint (magic + version + checksum + pickle).
 
     The bytes land in a temporary sibling first and are fsynced before
-    an ``os.replace`` into place, so the file at ``path`` is always a
-    complete, self-verifying checkpoint — a crash (or SIGKILL) during
-    the write leaves the previous checkpoint untouched.
+    an ``os.replace`` into place (and the parent directory is fsynced
+    after it, via :func:`repro.util.atomic.atomic_write`), so the file
+    at ``path`` is always a complete, self-verifying checkpoint — a
+    crash (or SIGKILL) during the write leaves the previous checkpoint
+    untouched.
     """
     path = Path(path)
     body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
@@ -168,13 +170,9 @@ def save_checkpoint(payload: dict, path: Union[str, Path]) -> None:
         + struct.pack(">I", CHECKPOINT_SCHEMA_VERSION)
         + hashlib.sha256(body).digest()
     )
-    tmp = path.with_name(path.name + ".tmp")
-    with open(tmp, "wb") as handle:
+    with atomic_write(path) as handle:
         handle.write(header)
         handle.write(body)
-        handle.flush()
-        os.fsync(handle.fileno())
-    os.replace(tmp, path)
 
 
 def load_checkpoint(path: Union[str, Path]) -> dict:

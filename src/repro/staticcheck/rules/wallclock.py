@@ -34,9 +34,12 @@ BANNED_CALLS = frozenset(
 )
 
 #: Modules allowed to read the wall clock: observability timestamps
-#: events (explicitly excluded from byte-identity), and the CLI stamps
-#: user-facing output.  The checker itself is also exempt.
-ALLOWED_MODULES = ("repro.obs", "repro.cli", "repro.staticcheck")
+#: events (explicitly excluded from byte-identity), the CLI stamps
+#: user-facing output, and the live serving layer measures real
+#: latency around real filesystem operations (it replays trace time
+#: for device health, but its measurements are wall time by design).
+#: The checker itself is also exempt.
+ALLOWED_MODULES = ("repro.obs", "repro.cli", "repro.serve", "repro.staticcheck")
 
 
 @register

@@ -198,6 +198,24 @@ SPECS: Tuple[SchemaSpec, ...] = (
         track_var="manifest",
     ),
     _spec(
+        "serve-manifest",
+        "repro.serve.bench",
+        "dict",
+        "manifest",
+        ("version", "kind", "gate", "clients"),
+        "repro.serve.bench",
+        (("MANIFEST_VERSION", 1),),
+    ),
+    _spec(
+        "serve-store-meta",
+        "repro.serve.store",
+        "dict",
+        "_adopt_layout",
+        ("layout_version", "shards"),
+        "repro.serve.store",
+        (("STORE_LAYOUT_VERSION", 1),),
+    ),
+    _spec(
         "stats-json",
         "repro.sim.serialize",
         "dict",

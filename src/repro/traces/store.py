@@ -14,10 +14,12 @@ Cache location, in precedence order:
 2. otherwise ``.sievestore-trace-cache/`` under the current working
    directory.
 
-Entries are written atomically (temp file + ``os.replace``) so
-concurrent processes generating the same config can race harmlessly;
-unreadable or version-mismatched entries are regenerated and
-overwritten rather than trusted.
+Entries are written atomically and durably (temp file + fsync +
+``os.replace`` + directory fsync, via :mod:`repro.util.atomic`) so
+concurrent processes generating the same config can race harmlessly and
+a crash can never publish a truncated entry; unreadable or
+version-mismatched entries are regenerated and overwritten rather than
+trusted.
 """
 
 from __future__ import annotations
@@ -26,13 +28,13 @@ import dataclasses
 import hashlib
 import json
 import os
-import tempfile
 import warnings
 import zipfile
 from pathlib import Path
 from typing import Optional, Union
 
 from repro.traces.columnar import ColumnarTrace
+from repro.util.atomic import atomic_write_path
 from repro.traces.model import Trace
 from repro.traces.synthetic import EnsembleTraceGenerator, SyntheticTraceConfig
 
@@ -180,19 +182,16 @@ def load_or_generate_trace(
 
 
 def _atomic_save(columns: ColumnarTrace, path: Path) -> None:
-    """Write the entry so concurrent writers never expose partial files."""
+    """Write the entry so concurrent writers never expose partial files.
+
+    Durability matters here, not just atomicity: a crash between the
+    rename and the page-cache flush used to be able to publish a
+    truncated ``.npz`` that only the corrupt-eviction path rescued.
+    """
     try:
         path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp_name = tempfile.mkstemp(
-            dir=path.parent, prefix=path.name, suffix=".tmp"
-        )
-        os.close(fd)
-        try:
-            columns.save_npz(tmp_name)
-            os.replace(tmp_name, path)
-        finally:
-            if os.path.exists(tmp_name):
-                os.unlink(tmp_name)
+        with atomic_write_path(path) as tmp_path:
+            columns.save_npz(tmp_path)
     except OSError as exc:
         # Caching is best-effort — the generated trace is still
         # returned — but a silently dead cache means regenerating the

@@ -4,31 +4,46 @@ All trace timestamps in this repository are **seconds since the start of
 the trace** as floats.  The paper analyses the trace on a calendar-day
 basis (Section 2) and costs SSD drive occupancy per minute (Section 4);
 these helpers provide the corresponding bucketing.
+
+Precision contract: integer timestamps bucket **exactly** for any
+magnitude — ``int`` inputs use pure integer floor division, so indices
+stay correct past 2**53 where float arithmetic starts dropping
+low-order seconds (``float(2**53 + 1) == float(2**53)``).  Float
+timestamps keep the historical ``int(t // bucket)`` float semantics,
+which the columnar fast path (:meth:`ColumnarTrace.issue_days`) mirrors
+expression-for-expression; float inputs at or above 2**53 cannot
+represent odd second counts in the first place, so callers bucketing
+huge epoch-style timestamps should pass ints.
 """
 
 from __future__ import annotations
+
+from typing import Union
 
 SECONDS_PER_MINUTE = 60
 SECONDS_PER_HOUR = 3600
 SECONDS_PER_DAY = 86400
 
 
-def minute_of(timestamp: float) -> int:
+def _bucket_of(timestamp: Union[int, float], bucket_seconds: int) -> int:
+    if timestamp < 0:
+        raise ValueError(f"timestamp must be non-negative, got {timestamp}")
+    if isinstance(timestamp, int):
+        # Exact for arbitrarily large timestamps (no float round-trip).
+        return timestamp // bucket_seconds
+    return int(timestamp // bucket_seconds)
+
+
+def minute_of(timestamp: Union[int, float]) -> int:
     """Zero-based minute index of a trace timestamp."""
-    if timestamp < 0:
-        raise ValueError(f"timestamp must be non-negative, got {timestamp}")
-    return int(timestamp // SECONDS_PER_MINUTE)
+    return _bucket_of(timestamp, SECONDS_PER_MINUTE)
 
 
-def hour_of(timestamp: float) -> int:
+def hour_of(timestamp: Union[int, float]) -> int:
     """Zero-based hour index of a trace timestamp."""
-    if timestamp < 0:
-        raise ValueError(f"timestamp must be non-negative, got {timestamp}")
-    return int(timestamp // SECONDS_PER_HOUR)
+    return _bucket_of(timestamp, SECONDS_PER_HOUR)
 
 
-def day_of(timestamp: float) -> int:
+def day_of(timestamp: Union[int, float]) -> int:
     """Zero-based calendar-day index of a trace timestamp."""
-    if timestamp < 0:
-        raise ValueError(f"timestamp must be non-negative, got {timestamp}")
-    return int(timestamp // SECONDS_PER_DAY)
+    return _bucket_of(timestamp, SECONDS_PER_DAY)

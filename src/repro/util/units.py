@@ -11,8 +11,6 @@ The paper counts storage accesses at two granularities:
 
 from __future__ import annotations
 
-import math
-
 #: Size of one accounting block, in bytes (standard disk sector).
 BLOCK_BYTES = 512
 
@@ -36,10 +34,16 @@ def blocks_to_bytes(blocks: int) -> int:
 
 
 def bytes_to_blocks(nbytes: int) -> int:
-    """Convert bytes to 512-byte blocks, rounding up to whole blocks."""
+    """Convert bytes to 512-byte blocks, rounding up to whole blocks.
+
+    Exact integer ceiling division: ``math.ceil(a / b)`` rounds the
+    quotient through a float first, which is off by one for counts near
+    and above 2**53 (e.g. ``2**53 + 1`` bytes is 2**44 + 1 blocks, but
+    the float quotient collapses to exactly 2**44).
+    """
     if nbytes < 0:
         raise ValueError(f"byte count must be non-negative, got {nbytes}")
-    return math.ceil(nbytes / BLOCK_BYTES)
+    return -(-nbytes // BLOCK_BYTES)
 
 
 def blocks_to_io_units(blocks: int) -> int:
@@ -48,11 +52,13 @@ def blocks_to_io_units(blocks: int) -> int:
     This implements the paper's conservative costing rule: "we
     conservatively assessed the same cost for a sub-4KB I/O as that of a
     4KB I/O" (Section 4).  A request of 1..8 blocks costs one unit, 9..16
-    blocks cost two units, and so on.
+    blocks cost two units, and so on.  Integer ceiling division keeps
+    the result exact for arbitrarily large block counts (see
+    :func:`bytes_to_blocks`).
     """
     if blocks < 0:
         raise ValueError(f"block count must be non-negative, got {blocks}")
-    return math.ceil(blocks / BLOCKS_PER_IO_UNIT)
+    return -(-blocks // BLOCKS_PER_IO_UNIT)
 
 
 def format_bytes(nbytes: float) -> str:

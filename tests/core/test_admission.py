@@ -1,0 +1,92 @@
+"""The shared admission-gate factory (repro.core.admission)."""
+
+import pytest
+
+from repro.cache.allocation import (
+    AllocateOnDemand,
+    NeverAllocate,
+    WriteMissNoAllocate,
+)
+from repro.core.admission import (
+    GATE_KINDS,
+    build_admission_gate,
+    gate_allocation_writes,
+)
+from repro.core.sievestore_c import SieveStoreC
+from repro.core.windows import WindowSpec
+
+
+class TestBuildAdmissionGate:
+    def test_default_is_the_paper_sieve(self):
+        gate = build_admission_gate()
+        assert isinstance(gate, SieveStoreC)
+        assert gate.config.t1 == 9
+        assert gate.config.t2 == 4
+
+    def test_sieve_parameters_forwarded(self):
+        window = WindowSpec(window_seconds=3600, subwindows=2)
+        gate = build_admission_gate(
+            "sieve", imct_slots=128, t1=3, t2=1, window=window
+        )
+        assert isinstance(gate, SieveStoreC)
+        assert gate.config.imct_slots == 128
+        assert gate.config.t1 == 3
+        assert gate.config.t2 == 1
+        assert gate.config.window == window
+
+    def test_single_tier_ablation(self):
+        gate = build_admission_gate("sieve", single_tier_admission=True)
+        assert gate.config.single_tier_admission
+
+    def test_unsieved_is_aod(self):
+        assert isinstance(build_admission_gate("unsieved"), AllocateOnDemand)
+
+    def test_read_only_is_wmna(self):
+        assert isinstance(build_admission_gate("read-only"), WriteMissNoAllocate)
+
+    def test_never(self):
+        assert isinstance(build_admission_gate("never"), NeverAllocate)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown admission-gate kind"):
+            build_admission_gate("lru")
+
+    def test_all_kinds_constructible(self):
+        for kind in GATE_KINDS:
+            gate = build_admission_gate(kind, imct_slots=64)
+            assert hasattr(gate, "wants")
+
+
+class TestGateBehaviour:
+    def test_sieve_rejects_cold_misses(self):
+        gate = build_admission_gate("sieve", imct_slots=64, t1=2, t2=1)
+        # First miss: below t1.  Second: promotion.  Third: t2 reached.
+        assert gate.wants(7, False, 0.0) is False
+        assert gate.wants(7, False, 1.0) is False
+        assert gate.wants(7, False, 2.0) is True
+        assert gate.admissions == 1
+
+    def test_unsieved_admits_everything(self):
+        gate = build_admission_gate("unsieved")
+        assert gate.wants(1, False, 0.0) and gate.wants(2, True, 0.0)
+
+
+class TestGateAllocationWrites:
+    def test_sieve_reports_admissions(self):
+        gate = build_admission_gate("sieve", imct_slots=64, t1=1, t2=0)
+        gate.wants(3, False, 0.0)
+        assert gate_allocation_writes(gate) == gate.admissions
+
+    def test_stateless_baseline_reports_none(self):
+        assert gate_allocation_writes(build_admission_gate("unsieved")) is None
+
+
+class TestSimIntegration:
+    def test_build_policy_uses_factory(self, tiny_context):
+        from repro.sim.experiment import build_policy
+
+        policy, capacity = build_policy("sievestore-c", tiny_context)
+        assert isinstance(policy, SieveStoreC)
+        assert capacity == tiny_context.sieved_capacity
+        aod, _ = build_policy("aod-16", tiny_context)
+        assert isinstance(aod, AllocateOnDemand)

@@ -1,0 +1,152 @@
+"""The serving cache (repro.serve.appliance) + backend determinism."""
+
+import pytest
+
+from repro.core.admission import build_admission_gate
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import ErrorWindow, FaultPlan, OutageWindow
+from repro.serve.appliance import ServeStats, ServingCache
+from repro.serve.backend import EnsembleBackend
+from repro.serve.store import ShardedByteStore
+
+
+def make_cache(tmp_path, gate_kind="unsieved", plan=None, **gate_kwargs):
+    store = ShardedByteStore(tmp_path / "store", shards=2, inline_bytes=64)
+    gate = build_admission_gate(gate_kind, **gate_kwargs)
+    backend = EnsembleBackend(payload_bytes=32, seed=3)
+    injector = FaultInjector(plan) if plan is not None else None
+    return ServingCache(store, gate, backend, injector)
+
+
+class TestBackend:
+    def test_payloads_deterministic_across_instances(self):
+        a = EnsembleBackend(payload_bytes=48, seed=9)
+        b = EnsembleBackend(payload_bytes=48, seed=9)
+        assert a.payload(123) == b.payload(123)
+        assert len(a.payload(123)) == 48
+
+    def test_payloads_differ_by_address_and_seed(self):
+        backend = EnsembleBackend(payload_bytes=32, seed=9)
+        assert backend.payload(1) != backend.payload(2)
+        assert backend.payload(1) != EnsembleBackend(
+            payload_bytes=32, seed=10
+        ).payload(1)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError, match="miss_latency"):
+            EnsembleBackend(miss_latency=-1)
+        with pytest.raises(ValueError, match="payload_bytes"):
+            EnsembleBackend(payload_bytes=0)
+
+
+class TestHealthyServing:
+    def test_read_miss_then_hit(self, tmp_path):
+        cache = make_cache(tmp_path)  # unsieved: admit on first miss
+        value = cache.read(5, time=0.0)
+        assert value == cache.backend.payload(5)
+        assert cache.stats.misses == 1
+        again = cache.read(5, time=1.0)
+        assert again == value
+        assert cache.stats.hits == 1
+        assert cache.backend.reads == 1  # the hit never touched the ensemble
+        assert cache.stats.allocation_writes == 1
+
+    def test_sieve_gates_admission(self, tmp_path):
+        cache = make_cache(tmp_path, "sieve", imct_slots=64, t1=2, t2=1)
+        for t in range(3):
+            cache.read(9, time=float(t))
+        # Admitted on the third miss (t1=2 then t2=1); the fourth is a hit.
+        assert cache.stats.allocation_writes == 1
+        assert cache.read(9, time=3.0) == cache.backend.payload(9)
+        assert cache.stats.hits == 1
+
+    def test_write_through_and_resident_update(self, tmp_path):
+        cache = make_cache(tmp_path)
+        cache.write(7, time=0.0)
+        assert cache.backend.writes == 1  # always lands on the ensemble
+        assert cache.stats.allocation_writes == 1
+        cache.write(7, time=1.0)
+        assert cache.stats.update_writes == 1
+        assert cache.stats.allocation_writes == 1  # update, not allocation
+        assert cache.read(7, time=2.0) == cache.backend.payload(7)
+        assert cache.stats.hits == 2
+
+
+class TestDegradedServing:
+    def test_failed_read_falls_back_to_ensemble(self, tmp_path):
+        plan = FaultPlan(
+            errors=(ErrorWindow(10.0, 20.0, "read", probability=1.0),)
+        )
+        cache = make_cache(tmp_path, plan=plan)
+        cache.read(4, time=0.0)  # admitted while healthy
+        value = cache.read(4, time=15.0)  # device read errors -> ensemble
+        assert value == cache.backend.payload(4)
+        assert cache.stats.read_faults == 1
+        assert cache.backend.reads == 2
+        assert cache.stats.health_transitions == {"healthy->degraded": 1}
+
+    def test_failed_resident_write_drops_the_stale_copy(self, tmp_path):
+        plan = FaultPlan(
+            errors=(ErrorWindow(10.0, 20.0, "write", probability=1.0),)
+        )
+        cache = make_cache(tmp_path, plan=plan)
+        cache.write(4, time=0.0)
+        cache.write(4, time=15.0)  # device update fails mid-window
+        assert cache.stats.write_faults == 1
+        # The stale device copy is gone: the next read misses.
+        cache.read(4, time=25.0)
+        assert cache.stats.misses == 2
+
+    def test_failed_allocation_suppresses_the_frame(self, tmp_path):
+        plan = FaultPlan(
+            errors=(ErrorWindow(0.0, 20.0, "write", probability=1.0),)
+        )
+        cache = make_cache(tmp_path, plan=plan)
+        cache.read(4, time=5.0)  # gate admits, device write errors
+        assert cache.stats.allocation_writes == 0
+        assert cache.stats.write_faults == 1
+        assert len(cache.store) == 0
+
+
+class TestBypassServing:
+    def test_outage_routes_everything_to_the_ensemble(self, tmp_path):
+        plan = FaultPlan(outages=(OutageWindow(10.0, 20.0),))
+        cache = make_cache(tmp_path, plan=plan)
+        cache.read(4, time=0.0)
+        assert cache.read(4, time=15.0) == cache.backend.payload(4)
+        assert cache.stats.bypassed == 1
+        assert cache.stats.hits == 0  # the resident copy was not consulted
+        # Device back: the copy admitted before the outage still serves.
+        cache.read(4, time=25.0)
+        assert cache.stats.hits == 1
+        assert cache.stats.health_transitions == {
+            "healthy->bypass": 1,
+            "bypass->healthy": 1,
+        }
+
+    def test_wearout_is_permanent_bypass(self, tmp_path):
+        plan = FaultPlan(wearout_bytes=64.0)
+        cache = make_cache(tmp_path, plan=plan)
+        cache.write(1, time=0.0)  # 32B payload -> 1 block = 512B >= budget
+        assert cache.injector.worn_out
+        cache.write(2, time=1.0)
+        assert cache.stats.bypassed == 1
+
+
+class TestServeStats:
+    def test_merge_sums_everything(self):
+        a = ServeStats(requests=2, hits=1, health_transitions={"a->b": 1})
+        b = ServeStats(requests=3, misses=2, health_transitions={"a->b": 2})
+        merged = a.merge(b)
+        assert merged.requests == 5
+        assert merged.hits == 1
+        assert merged.misses == 2
+        assert merged.health_transitions == {"a->b": 3}
+
+    def test_merged_of_none_is_zero(self):
+        assert ServeStats.merged([]) == ServeStats()
+
+    def test_to_dict_is_sorted_and_complete(self):
+        data = ServeStats(health_transitions={"b": 2, "a": 1}).to_dict()
+        assert list(data["health_transitions"]) == ["a", "b"]
+        assert data["requests"] == 0

@@ -1,0 +1,105 @@
+"""Nearest-rank percentile math (repro.serve.percentiles)."""
+
+import pytest
+
+from repro.serve.percentiles import (
+    LatencySummary,
+    merge_samples,
+    nearest_rank,
+    summarize,
+)
+
+
+class TestNearestRank:
+    def test_single_element_is_every_percentile(self):
+        for fraction in (0.001, 0.5, 0.9, 0.99, 1.0):
+            assert nearest_rank([42.0], fraction) == 42.0
+
+    def test_two_elements(self):
+        samples = [1.0, 2.0]
+        assert nearest_rank(samples, 0.5) == 1.0
+        assert nearest_rank(samples, 0.51) == 2.0
+        assert nearest_rank(samples, 1.0) == 2.0
+
+    def test_exact_rank_boundary_no_float_drift(self):
+        # 0.99 * 100 rounds to 99.00000000000001 in float arithmetic; a
+        # float ceil would land on rank 100 (the max).  Nearest-rank of
+        # 100 samples at p99 must be the 99th value.
+        samples = list(range(1, 101))
+        assert nearest_rank(samples, 0.99) == 99
+        assert nearest_rank(samples, 0.9) == 90
+        assert nearest_rank(samples, 0.5) == 50
+
+    def test_tied_samples(self):
+        samples = [5.0] * 10
+        assert nearest_rank(samples, 0.5) == 5.0
+        assert nearest_rank(samples, 0.99) == 5.0
+
+    def test_mostly_tied_with_outlier(self):
+        samples = sorted([1.0] * 99 + [100.0])
+        assert nearest_rank(samples, 0.99) == 1.0
+        assert nearest_rank(samples, 1.0) == 100.0
+
+    def test_large_sample(self):
+        samples = list(range(1_000_000))
+        assert nearest_rank(samples, 0.5) == 499_999
+        assert nearest_rank(samples, 0.99) == 989_999
+        assert nearest_rank(samples, 0.999) == 998_999
+
+    def test_fraction_bounds(self):
+        with pytest.raises(ValueError, match="fraction"):
+            nearest_rank([1.0], 0.0)
+        with pytest.raises(ValueError, match="fraction"):
+            nearest_rank([1.0], 1.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="zero samples"):
+            nearest_rank([], 0.5)
+
+
+class TestSummarize:
+    def test_summary_fields(self):
+        summary = summarize([3.0, 1.0, 2.0])
+        assert summary == LatencySummary(
+            count=3, median=2.0, p90=3.0, p99=3.0, max=3.0, total=6.0
+        )
+
+    def test_one_element(self):
+        summary = summarize([7.0])
+        assert summary.median == summary.p90 == summary.p99 == summary.max == 7.0
+        assert summary.count == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="zero samples"):
+            summarize([])
+
+    def test_to_dict_round_trips_the_fields(self):
+        data = summarize([1.0, 2.0]).to_dict()
+        assert set(data) == {"count", "median", "p90", "p99", "max", "total"}
+
+
+class TestMergeAcrossProcesses:
+    def test_merged_percentile_is_exact(self):
+        # Split 1..100 over four "clients" with very different shapes.
+        parts = [
+            list(range(1, 26)),
+            list(range(26, 51)),
+            list(range(51, 76)),
+            list(range(76, 101)),
+        ]
+        merged = summarize(merge_samples(parts))
+        assert merged.count == 100
+        assert merged.p99 == 99
+        assert merged.max == 100
+
+    def test_summaries_do_not_compose(self):
+        # The p99-of-p99s is NOT the global p99 — the reason the bench
+        # ships raw samples.  One client holds the whole tail.
+        tail = [100.0] * 10
+        body = [1.0] * 990
+        per_client_p99s = [summarize(tail).p99, summarize(body).p99]
+        assert max(per_client_p99s) == 100.0
+        assert summarize(merge_samples([tail, body])).p99 == 1.0
+
+    def test_merge_skips_nothing(self):
+        assert merge_samples([[1.0], [], [2.0]]) == [1.0, 2.0]

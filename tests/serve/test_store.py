@@ -1,0 +1,166 @@
+"""The sharded byte store (repro.serve.store) — including the
+concurrent reader/writer torture test."""
+
+import threading
+
+import pytest
+
+from repro.serve.backend import EnsembleBackend
+from repro.serve.store import (
+    DEFAULT_SHARDS,
+    STORE_LAYOUT_VERSION,
+    ShardedByteStore,
+    StoreError,
+)
+
+
+@pytest.fixture
+def store(tmp_path):
+    with ShardedByteStore(tmp_path / "store", shards=4, inline_bytes=32) as s:
+        yield s
+
+
+class TestBasicOperations:
+    def test_get_put_roundtrip_inline(self, store):
+        store.put(1, b"payload")
+        assert store.get(1) == b"payload"
+
+    def test_get_put_roundtrip_spilled(self, store):
+        value = b"x" * 100  # above inline_bytes=32
+        store.put(2, value)
+        assert store.get(2) == value
+        shard = store._shard_dir(store.shard_of(2))
+        assert (shard / f"{2:016x}.val").exists()
+
+    def test_missing_key(self, store):
+        assert store.get(99) is None
+        assert not store.contains(99)
+        assert store.delete(99) is False
+
+    def test_overwrite_spilled_with_inline_drops_the_file(self, store):
+        store.put(3, b"y" * 100)
+        path = store._shard_dir(store.shard_of(3)) / f"{3:016x}.val"
+        assert path.exists()
+        store.put(3, b"tiny")
+        assert store.get(3) == b"tiny"
+        assert not path.exists()
+
+    def test_delete_spilled_removes_the_file(self, store):
+        store.put(4, b"z" * 100)
+        path = store._shard_dir(store.shard_of(4)) / f"{4:016x}.val"
+        assert store.delete(4) is True
+        assert not path.exists()
+        assert store.get(4) is None
+
+    def test_len_and_keys(self, store):
+        for key in (1, 2, 3):
+            store.put(key, b"v")
+        assert len(store) == 3
+        assert sorted(store.keys()) == [1, 2, 3]
+        assert sum(store.shard_sizes().values()) == 3
+
+    def test_missing_spilled_file_self_heals(self, store):
+        store.put(5, b"w" * 100)
+        (store._shard_dir(store.shard_of(5)) / f"{5:016x}.val").unlink()
+        assert store.get(5) is None  # row dropped, key misses cleanly
+        assert not store.contains(5)
+
+    def test_non_bytes_rejected(self, store):
+        with pytest.raises(TypeError, match="bytes-like"):
+            store.put(1, "text")
+
+
+class TestLayout:
+    def test_shard_count_frozen_at_init(self, tmp_path):
+        ShardedByteStore(tmp_path / "s", shards=4).close()
+        reopened = ShardedByteStore(tmp_path / "s", shards=16)
+        assert reopened.shards == 4  # recorded fanout wins
+        reopened.close()
+
+    def test_layout_version_mismatch_refused(self, tmp_path):
+        ShardedByteStore(tmp_path / "s").close()
+        meta = tmp_path / "s" / "store.json"
+        meta.write_text(
+            meta.read_text().replace(
+                str(STORE_LAYOUT_VERSION), str(STORE_LAYOUT_VERSION + 1)
+            )
+        )
+        with pytest.raises(StoreError, match="layout version"):
+            ShardedByteStore(tmp_path / "s")
+
+    def test_corrupt_metadata_refused(self, tmp_path):
+        (tmp_path / "s").mkdir()
+        (tmp_path / "s" / "store.json").write_text("not json")
+        with pytest.raises(StoreError, match="unreadable"):
+            ShardedByteStore(tmp_path / "s")
+
+    def test_invalid_parameters(self, tmp_path):
+        with pytest.raises(ValueError, match="shards"):
+            ShardedByteStore(tmp_path / "a", shards=0)
+        with pytest.raises(ValueError, match="inline_bytes"):
+            ShardedByteStore(tmp_path / "b", inline_bytes=-1)
+
+    def test_shard_placement_is_deterministic(self, tmp_path):
+        first = ShardedByteStore(tmp_path / "s", shards=DEFAULT_SHARDS)
+        second = ShardedByteStore(tmp_path / "s")
+        assert all(first.shard_of(k) == second.shard_of(k) for k in range(200))
+        first.close()
+        second.close()
+
+
+class TestCrossInstance:
+    def test_two_instances_share_one_directory(self, tmp_path):
+        a = ShardedByteStore(tmp_path / "s", shards=2, inline_bytes=16)
+        b = ShardedByteStore(tmp_path / "s", shards=2, inline_bytes=16)
+        a.put(1, b"from-a" * 10)
+        b.put(2, b"from-b")
+        assert b.get(1) == b"from-a" * 10
+        assert a.get(2) == b"from-b"
+        a.close()
+        b.close()
+
+
+class TestTorture:
+    def test_concurrent_readers_and_writers(self, tmp_path):
+        """Readers racing writers never see torn or foreign bytes.
+
+        Every thread gets its own store instance over one directory
+        (the bench's multi-client shape, minus the process boundary).
+        Values are the deterministic backend payloads, so a reader can
+        verify every byte it gets back; ``None`` (not yet written /
+        deleted) is the only other legal outcome.
+        """
+        directory = tmp_path / "torture"
+        backend = EnsembleBackend(payload_bytes=256, seed=11)
+        keys = list(range(64))
+        rounds = 30
+        errors = []
+        stop = threading.Event()
+
+        def writer(offset):
+            with ShardedByteStore(directory, shards=4, inline_bytes=64) as s:
+                for round_no in range(rounds):
+                    for key in keys[offset::2]:
+                        s.put(key, backend.payload(key))
+                        if (key + round_no) % 7 == 0:
+                            s.delete(key)
+
+        def reader():
+            with ShardedByteStore(directory, shards=4, inline_bytes=64) as s:
+                while not stop.is_set():
+                    for key in keys:
+                        value = s.get(key)
+                        if value is not None and value != backend.payload(key):
+                            errors.append((key, value))
+                            return
+
+        writers = [threading.Thread(target=writer, args=(i,)) for i in (0, 1)]
+        readers = [threading.Thread(target=reader) for _ in range(2)]
+        for thread in readers + writers:
+            thread.start()
+        for thread in writers:
+            thread.join(timeout=120)
+        stop.set()
+        for thread in readers:
+            thread.join(timeout=120)
+        assert errors == []

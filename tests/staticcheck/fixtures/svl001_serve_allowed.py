@@ -1,0 +1,6 @@
+"""SVL001 fixture: wall-clock reads the serve allowance permits."""
+
+import time
+
+started_at = time.time()  # allowed under repro.serve, banned elsewhere
+elapsed = time.perf_counter()  # allowed everywhere

@@ -30,6 +30,16 @@ def test_allowed_in_obs_and_cli():
     assert _codes(source, "repro.sim.engine") == [("SVL001", 2)]
 
 
+def test_allowed_in_serve(fixture_source):
+    """The live serving layer measures real wall time by design."""
+    source = fixture_source("svl001_serve_allowed.py")
+    assert _codes(source, "repro.serve.bench") == []
+    assert _codes(source, "repro.serve") == []
+    # The same source outside the allowance still trips the rule, so
+    # the fixture genuinely exercises the wall-clock ban.
+    assert _codes(source, "repro.sim.engine") == [("SVL001", 5)]
+
+
 def test_datetime_variants_and_aliases():
     source = (
         "from datetime import datetime as dt\n"

@@ -319,6 +319,108 @@ class TestDrivesCommand:
         assert "Intel X25-E" in out
 
 
+SERVE_TINY = [
+    "serve-bench", "--scale", "4e-6", "--days", "2",
+    "--clients", "2", "--serial", "--miss-latency", "0",
+    "--t1", "2", "--t2", "1",
+]
+
+
+class TestServeBenchCommand:
+    def test_reports_percentiles_and_savings(self, capsys):
+        assert main(SERVE_TINY) == 0
+        out = capsys.readouterr().out
+        assert "p99" in out and "median" in out and "max" in out
+        assert "allocation writes: sieved=" in out
+        assert "baseline=" in out
+
+    def test_json_report_has_percentiles(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "serve.json"
+        assert main([*SERVE_TINY, "--json", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["allocation_writes_saved"] > 0
+        read = payload["sieved"]["latency"]["read"]
+        assert set(read) >= {"median", "p90", "p99", "max", "count"}
+        assert (
+            payload["sieved"]["allocation_writes"]
+            < payload["baseline"]["allocation_writes"]
+        )
+
+    def test_manifest_lists_clients(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "manifest.json"
+        assert main([*SERVE_TINY, "--manifest", str(path)]) == 0
+        manifest = json.loads(path.read_text())
+        assert manifest["kind"] == "serve-bench-comparison"
+        assert [c["client"] for c in manifest["sieved"]["clients"]] == [0, 1]
+
+    def test_no_baseline_skips_the_comparison(self, capsys):
+        assert main([*SERVE_TINY, "--no-baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "baseline=" not in out
+        assert "allocation writes:" in out
+
+    def test_unsieved_gate_requires_no_baseline(self, capsys):
+        assert main([*SERVE_TINY, "--gate", "unsieved"]) == 2
+        assert "--no-baseline" in capsys.readouterr().err
+        assert main([*SERVE_TINY, "--gate", "unsieved", "--no-baseline"]) == 0
+
+    def test_bad_artifact_directory_exits_2(self, tmp_path, capsys):
+        missing = tmp_path / "absent" / "out.json"
+        assert main([*SERVE_TINY, "--json", str(missing)]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_negative_miss_latency_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["serve-bench", "--miss-latency", "-1"])
+
+    def test_fault_plan_transition_survives(self, tmp_path, capsys):
+        import json
+
+        from repro.faults.plan import ErrorWindow, FaultPlan, OutageWindow
+
+        # The tiny synthetic trace's activity spans roughly
+        # [61000, 173000); the windows must overlap it to fire.
+        plan_path = tmp_path / "plan.json"
+        FaultPlan(
+            errors=(ErrorWindow(65_000.0, 80_000.0, "read", probability=1.0),),
+            outages=(OutageWindow(80_000.0, 120_000.0),),
+        ).save_json(plan_path)
+        out_path = tmp_path / "serve.json"
+        assert main(
+            [*SERVE_TINY, "--fault-plan", str(plan_path),
+             "--json", str(out_path)]
+        ) == 0
+        payload = json.loads(out_path.read_text())
+        transitions = payload["sieved"]["stats"]["health_transitions"]
+        assert transitions.get("degraded->bypass") == 2  # one per client
+        assert payload["sieved"]["stats"]["bypassed"] > 0
+        assert payload["sieved"]["latency"]["read"]["p99"] is not None
+
+    def test_unreadable_fault_plan_exits_2(self, tmp_path, capsys):
+        missing = tmp_path / "absent-plan.json"
+        assert main([*SERVE_TINY, "--fault-plan", str(missing)]) == 2
+        assert "cannot load fault plan" in capsys.readouterr().err
+
+    def test_metrics_out_exports_serve_counters(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "metrics.json"
+        assert main([*SERVE_TINY, "--metrics-out", str(path)]) == 0
+        metrics = json.loads(path.read_text())
+        assert "serve_ops_total" in metrics
+        assert "serve_allocation_writes_total" in metrics
+
+    def test_store_dir_is_kept(self, tmp_path, capsys):
+        store_dir = tmp_path / "serve-run"
+        assert main([*SERVE_TINY, "--store-dir", str(store_dir)]) == 0
+        assert (store_dir / "store-sieved" / "store.json").exists()
+        assert (store_dir / "store-unsieved" / "store.json").exists()
+
+
 class TestSummarizeCommand:
     def test_prints_inventory(self, capsys):
         assert main(["summarize", *TINY]) == 0

@@ -1,0 +1,108 @@
+"""Durable atomic writes (temp sibling + fsync + replace + dir fsync)."""
+
+import os
+
+import pytest
+
+from repro.util.atomic import atomic_write, atomic_write_path, fsync_directory
+
+
+class TestAtomicWrite:
+    def test_publishes_content(self, tmp_path):
+        target = tmp_path / "out.bin"
+        with atomic_write(target) as handle:
+            handle.write(b"hello")
+        assert target.read_bytes() == b"hello"
+
+    def test_overwrites_existing(self, tmp_path):
+        target = tmp_path / "out.bin"
+        target.write_bytes(b"old")
+        with atomic_write(target) as handle:
+            handle.write(b"new")
+        assert target.read_bytes() == b"new"
+
+    def test_no_temp_residue_on_success(self, tmp_path):
+        target = tmp_path / "out.bin"
+        with atomic_write(target) as handle:
+            handle.write(b"x")
+        assert os.listdir(tmp_path) == ["out.bin"]
+
+    def test_exception_leaves_target_untouched(self, tmp_path):
+        target = tmp_path / "out.bin"
+        target.write_bytes(b"original")
+        with pytest.raises(RuntimeError):
+            with atomic_write(target) as handle:
+                handle.write(b"partial")
+                raise RuntimeError("writer died")
+        assert target.read_bytes() == b"original"
+        assert os.listdir(tmp_path) == ["out.bin"]
+
+    def test_exception_without_existing_target(self, tmp_path):
+        target = tmp_path / "out.bin"
+        with pytest.raises(RuntimeError):
+            with atomic_write(target):
+                raise RuntimeError("writer died")
+        assert not target.exists()
+        assert os.listdir(tmp_path) == []
+
+    def test_fsyncs_data_before_replace(self, tmp_path, monkeypatch):
+        """The temp file's bytes must be on disk before the rename."""
+        events = []
+        real_fsync, real_replace = os.fsync, os.replace
+        monkeypatch.setattr(
+            os, "fsync", lambda fd: (events.append("fsync"), real_fsync(fd))[1]
+        )
+        monkeypatch.setattr(
+            os,
+            "replace",
+            lambda a, b: (events.append("replace"), real_replace(a, b))[1],
+        )
+        with atomic_write(tmp_path / "out.bin") as handle:
+            handle.write(b"data")
+        # file fsync, then rename, then the directory fsync.
+        assert events[0] == "fsync"
+        assert "replace" in events
+        assert events.index("fsync") < events.index("replace")
+        assert events[-1] == "fsync"  # parent-directory fsync after rename
+
+
+class TestAtomicWritePath:
+    def test_publishes_content(self, tmp_path):
+        target = tmp_path / "out.npz"
+        with atomic_write_path(target) as tmp:
+            tmp.write_bytes(b"payload")
+        assert target.read_bytes() == b"payload"
+        assert os.listdir(tmp_path) == ["out.npz"]
+
+    def test_exception_cleans_temp(self, tmp_path):
+        target = tmp_path / "out.npz"
+        with pytest.raises(ValueError):
+            with atomic_write_path(target) as tmp:
+                tmp.write_bytes(b"junk")
+                raise ValueError("boom")
+        assert not target.exists()
+        assert os.listdir(tmp_path) == []
+
+    def test_fsyncs_before_replace(self, tmp_path, monkeypatch):
+        events = []
+        real_fsync, real_replace = os.fsync, os.replace
+        monkeypatch.setattr(
+            os, "fsync", lambda fd: (events.append("fsync"), real_fsync(fd))[1]
+        )
+        monkeypatch.setattr(
+            os,
+            "replace",
+            lambda a, b: (events.append("replace"), real_replace(a, b))[1],
+        )
+        with atomic_write_path(tmp_path / "out.npz") as tmp:
+            tmp.write_bytes(b"data")
+        assert events.index("fsync") < events.index("replace")
+        assert events[-1] == "fsync"
+
+
+class TestFsyncDirectory:
+    def test_silently_skips_missing_path(self, tmp_path):
+        fsync_directory(tmp_path / "does-not-exist")  # must not raise
+
+    def test_syncs_real_directory(self, tmp_path):
+        fsync_directory(tmp_path)  # must not raise

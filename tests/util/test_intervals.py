@@ -60,3 +60,51 @@ class TestHourOf:
 def test_buckets_consistent(t):
     assert minute_of(t) // 60 == hour_of(t)
     assert hour_of(t) // 24 == day_of(t)
+
+
+class TestIntegerExactness:
+    """Integer timestamps must bucket exactly beyond float precision.
+
+    ``float(2**53 + 1) == float(2**53)``, so the historical
+    ``int(t // bucket)`` expression silently drops the low-order second
+    for huge epoch-style timestamps.  Int inputs take a pure integer
+    floor-division path instead.
+    """
+
+    def test_minute_exact_at_2_53(self):
+        # 2**53 is not a minute multiple; check the surrounding indices
+        # move exactly one second at a time.
+        base = 2**53
+        aligned = (base // SECONDS_PER_MINUTE) * SECONDS_PER_MINUTE
+        assert minute_of(aligned) == base // SECONDS_PER_MINUTE
+        assert minute_of(aligned - 1) == base // SECONDS_PER_MINUTE - 1
+        assert minute_of(aligned + SECONDS_PER_MINUTE) == (
+            base // SECONDS_PER_MINUTE + 1
+        )
+
+    def test_day_boundary_above_2_53(self):
+        boundary = ((2**53 // SECONDS_PER_DAY) + 5) * SECONDS_PER_DAY
+        assert boundary > 2**53
+        assert day_of(boundary - 1) == day_of(boundary) - 1
+        assert day_of(boundary) == boundary // SECONDS_PER_DAY
+        assert day_of(boundary + 1) == day_of(boundary)
+
+    def test_hour_boundary_above_2_53(self):
+        boundary = ((2**53 // SECONDS_PER_HOUR) + 3) * SECONDS_PER_HOUR
+        assert hour_of(boundary - 1) == hour_of(boundary) - 1
+        assert hour_of(boundary + 1) == hour_of(boundary)
+
+    def test_float_at_2_53_documents_the_drift(self):
+        # The float representation cannot distinguish 2**53 + 1 from
+        # 2**53 — this is exactly why int inputs take the exact path.
+        assert float(2**53 + 1) == float(2**53)
+
+    def test_int_and_float_agree_in_safe_range(self):
+        for t in (0, 59, 60, 3599, 3600, 86399, 86400, 10**12):
+            assert minute_of(t) == minute_of(float(t))
+            assert hour_of(t) == hour_of(float(t))
+            assert day_of(t) == day_of(float(t))
+
+    def test_negative_int_rejected(self):
+        with pytest.raises(ValueError):
+            minute_of(-1)

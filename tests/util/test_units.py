@@ -65,6 +65,24 @@ class TestBytesToBlocks:
         assert blocks_to_bytes(blocks) >= nbytes
         assert blocks_to_bytes(blocks) - nbytes < BLOCK_BYTES
 
+    def test_exact_at_float_precision_boundary(self):
+        # 2**53 + 1 bytes is one byte past an exact multiple of 512, so
+        # the true ceiling is 2**44 + 1 blocks.  The former float path
+        # (math.ceil(a / 512)) collapsed the quotient to exactly 2**44.
+        assert bytes_to_blocks(2**53) == 2**44
+        assert bytes_to_blocks(2**53 + 1) == 2**44 + 1
+
+    def test_exact_above_float_precision_boundary(self):
+        nbytes = 2**60 + 7
+        assert bytes_to_blocks(nbytes) == (nbytes + BLOCK_BYTES - 1) // BLOCK_BYTES
+
+    @given(st.integers(min_value=0, max_value=2**70))
+    def test_exact_ceiling_semantics_huge(self, nbytes):
+        blocks = bytes_to_blocks(nbytes)
+        assert (blocks - 1) * BLOCK_BYTES < nbytes <= blocks * BLOCK_BYTES or (
+            nbytes == 0 and blocks == 0
+        )
+
 
 class TestBlocksToIoUnits:
     def test_sub_4k_charged_as_full_unit(self):
@@ -90,6 +108,12 @@ class TestBlocksToIoUnits:
     def test_ceiling_semantics(self, blocks):
         units = blocks_to_io_units(blocks)
         assert (units - 1) * BLOCKS_PER_IO_UNIT < blocks <= units * BLOCKS_PER_IO_UNIT
+
+    def test_exact_at_float_precision_boundary(self):
+        # One block past an 8-block multiple just above 2**53: the float
+        # quotient cannot see the +1.
+        assert blocks_to_io_units(2**53 + 1) == 2**50 + 1
+        assert blocks_to_io_units(2**53) == 2**50
 
 
 class TestFormatBytes:
