@@ -189,6 +189,106 @@ def _build_parser() -> argparse.ArgumentParser:
         "seconds apart (day, blocks/sec, ETA; parallel --jobs runs "
         "report one line per finished task instead)",
     )
+    sim.add_argument(
+        "--segments", action="store_true",
+        help="stream the synthetic trace out-of-core from an on-disk "
+        "segment store (bounded memory; single --policy, --jobs 1)",
+    )
+    sim.add_argument(
+        "--segments-dir", metavar="DIR", default=None,
+        help="segment-store directory (implies --segments; default: "
+        "the trace cache keyed by the trace config)",
+    )
+    sim.add_argument(
+        "--rows-per-segment", type=_positive_int, default=None,
+        metavar="N",
+        help="row cap per segment file when generating the store",
+    )
+    sim.add_argument(
+        "--chunk-rows", type=_positive_int, default=None, metavar="N",
+        help="row budget per streamed chunk for --segments runs "
+        "(default: 262144; chunks never span segments)",
+    )
+
+    shard = sub.add_parser(
+        "shard-replay",
+        help="one policy, the trace partitioned across shard workers",
+        description=(
+            "Partition the ensemble by server id into closed shards, "
+            "replay one policy over every shard in parallel worker "
+            "processes that stream segment files from disk (the parent "
+            "never pickles trace rows), and merge the per-shard "
+            "statistics.  Each shard models an independent appliance "
+            "provisioned at scale/shards; --shards 1 is bit-identical "
+            "to an unsharded simulate run.  Exits 1 when any shard "
+            "fails after its retry."
+        ),
+    )
+    add_trace_options(shard)
+    shard.add_argument(
+        "--policy", choices=sorted(FIGURE5_POLICIES), default="sievestore-c",
+        help="configuration replayed on every shard "
+        "(default: sievestore-c)",
+    )
+    shard.add_argument(
+        "--shards", type=_positive_int, default=4, metavar="N",
+        help="number of server-disjoint trace partitions (default: 4)",
+    )
+    shard.add_argument(
+        "--jobs", type=_nonnegative_int, default=0, metavar="N",
+        help="worker processes (0 = all cores; 1 = serial in-process, "
+        "byte-identical to the pooled run)",
+    )
+    shard.add_argument(
+        "--chunk-rows", type=_positive_int, default=None, metavar="N",
+        help="row budget per streamed chunk (default: 262144)",
+    )
+    shard.add_argument(
+        "--segments-dir", metavar="DIR", default=None,
+        help="segment-store directory (default: the trace cache keyed "
+        "by the trace config)",
+    )
+    shard.add_argument(
+        "--rows-per-segment", type=_positive_int, default=None,
+        metavar="N",
+        help="row cap per segment file when generating the store",
+    )
+    shard.add_argument(
+        "--checkpoint-dir", metavar="DIR", default=None,
+        help="write per-shard crash-consistent checkpoints to "
+        "DIR/shard-N.ckpt; a retried or rerun shard resumes from its "
+        "checkpoint instead of starting over",
+    )
+    shard.add_argument(
+        "--checkpoint-every", type=_positive_int, default=None,
+        metavar="N",
+        help="requests between checkpoints (default: 100000; a "
+        "checkpoint also lands after every streamed chunk)",
+    )
+    shard.add_argument(
+        "--task-timeout", type=_positive_float, default=None,
+        metavar="SECONDS",
+        help="per-shard timeout (one retry, then a structured failure "
+        "record; default: wait forever)",
+    )
+    shard.add_argument(
+        "--manifest", metavar="FILE", default=None,
+        help="write the sharded-replay manifest as JSON: per-shard "
+        "engine, wall seconds, retries, worker pid, and outcome",
+    )
+    shard.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="also write the merged statistics as JSON",
+    )
+    shard.add_argument(
+        "--metrics-out", metavar="FILE", default=None,
+        help="collect run telemetry and write it at exit: Prometheus "
+        "text exposition for .prom/.txt suffixes, JSON otherwise",
+    )
+    shard.add_argument(
+        "--progress", action="store_true",
+        help="print one progress line per finished shard to stderr",
+    )
 
     skew = sub.add_parser("skew", help="Figure-2 popularity analysis")
     add_trace_options(skew)
@@ -416,6 +516,41 @@ def _validate_simulate_flags(args) -> Optional[int]:
             file=sys.stderr,
         )
         return 2
+    segmented = args.segments or args.segments_dir is not None
+    if not segmented:
+        for flag, value in (
+            ("--chunk-rows", args.chunk_rows),
+            ("--rows-per-segment", args.rows_per_segment),
+        ):
+            if value is not None:
+                print(
+                    f"error: {flag} requires --segments (or "
+                    "--segments-dir)",
+                    file=sys.stderr,
+                )
+                return 2
+    elif not args.resume:
+        if args.msr_csv:
+            print(
+                "error: --segments streams a synthetic trace from a "
+                "segment store; it cannot be combined with --msr-csv",
+                file=sys.stderr,
+            )
+            return 2
+        if args.jobs != 1:
+            print(
+                "error: --segments requires --jobs 1 (use the "
+                "shard-replay command for parallel out-of-core replay)",
+                file=sys.stderr,
+            )
+            return 2
+        if args.policies and len(dict.fromkeys(args.policies)) > 1:
+            print(
+                "error: --segments runs a single --policy per "
+                "invocation",
+                file=sys.stderr,
+            )
+            return 2
     for flag, path in (
         ("--metrics-out", args.metrics_out),
         ("--events-out", args.events_out),
@@ -539,6 +674,40 @@ def _save_result_json(result, path: str) -> None:
     print(f"result written to {path}")
 
 
+def _segment_store_for(args):
+    """Open/generate the config's segment store; ``(store, exit_code)``."""
+    from repro.traces.store import load_or_generate_segments
+
+    if args.no_trace_cache and args.segments_dir is None:
+        print(
+            "error: segment stores live on disk; pass --segments-dir "
+            "when the trace cache is disabled (--no-trace-cache)",
+            file=sys.stderr,
+        )
+        return None, 2
+    config = SyntheticTraceConfig(
+        scale=args.scale, days=args.days, seed=args.seed
+    )
+    try:
+        store = load_or_generate_segments(
+            config,
+            directory=args.segments_dir,
+            rows_per_segment=args.rows_per_segment,
+        )
+    except (ValueError, OSError) as exc:
+        print(f"error: cannot open segment store: {exc}", file=sys.stderr)
+        return None, 2
+    return store, None
+
+
+def _streamed_total_blocks(store, chunk_rows) -> int:
+    """Block-access count of a segment store, one bounded chunk at a time."""
+    return sum(
+        int(columns.block_count.sum())
+        for _base, columns in store.iter_chunks(chunk_rows)
+    )
+
+
 def _cmd_resume(args) -> int:
     """``simulate --resume``: finish a checkpointed run."""
     import os
@@ -567,31 +736,48 @@ def _cmd_resume(args) -> int:
             file=sys.stderr,
         )
         return 2
-    trace, _days, columns = _load_trace(argparse.Namespace(**trace_args))
+    chunk_rows = trace_args.pop("chunk_rows", None)
+    if trace_args.pop("segments", False):
+        # The checkpointed run streamed a segment store; resume does too.
+        store, code = _segment_store_for(argparse.Namespace(**trace_args))
+        if code is not None:
+            return code
+        trace = columns = None
+        resume_trace = store
+        n_requests = len(store)
+    else:
+        trace, _days, columns = _load_trace(argparse.Namespace(**trace_args))
+        resume_trace = columns if columns is not None else trace
+        n_requests = len(trace)
     progress_every = progress_hook = None
     if args.progress is not None:
         config = payload["config"]
         progress_every = _PROGRESS_CHECK_EVERY
         progress_hook = _make_heartbeat(
             args.progress,
-            total_requests=len(trace),
-            total_blocks=_total_blocks(trace, columns),
+            total_requests=n_requests,
+            total_blocks=(
+                _streamed_total_blocks(resume_trace, chunk_rows)
+                if trace is None
+                else _total_blocks(trace, columns)
+            ),
             days=config["days"],
             epoch_seconds=config["epoch_seconds"],
         )
     try:
         result = resume_simulation(
             args.resume,
-            columns if columns is not None else trace,
+            resume_trace,
             checkpoint_path=args.checkpoint,
             progress_every=progress_every,
             progress_hook=progress_hook,
             engine=args.resume_engine,
+            chunk_rows=chunk_rows,
         )
     except CheckpointError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    _print_simulation_report(result.policy_name, result, len(trace))
+    _print_simulation_report(result.policy_name, result, n_requests)
     if args.json:
         _save_result_json(result, args.json)
     return 0
@@ -653,12 +839,89 @@ def _cmd_simulate(args) -> int:
         obs_runtime.disable()
 
 
+def _cmd_simulate_segments(args, fault_plan) -> int:
+    """``simulate --segments``: stream one policy out-of-core."""
+    from repro.sim.engine import simulate
+    from repro.sim.experiment import ExperimentContext, build_policy
+
+    store, code = _segment_store_for(args)
+    if code is not None:
+        return code
+    name = (args.policies or ["sievestore-c"])[0]
+    ctx = ExperimentContext(
+        trace=store,
+        days=args.days,
+        scale=args.scale,
+        daily_counts=store.daily_block_counts(
+            args.days, chunk_rows=args.chunk_rows
+        ),
+        seed=0,
+    )
+    policy, capacity = build_policy(name, ctx)
+    checkpoint_context = None
+    if args.checkpoint:
+        checkpoint_context = {
+            "trace": {
+                "msr_csv": args.msr_csv,
+                "scale": args.scale,
+                "days": args.days,
+                "seed": args.seed,
+                "no_trace_cache": args.no_trace_cache,
+                "segments": True,
+                "segments_dir": args.segments_dir,
+                "rows_per_segment": args.rows_per_segment,
+                "chunk_rows": args.chunk_rows,
+            },
+            "policy": name,
+            "fault_plan": (
+                fault_plan.to_dict() if fault_plan is not None else None
+            ),
+        }
+    progress_every = progress_hook = None
+    if args.progress is not None:
+        progress_every = _PROGRESS_CHECK_EVERY
+        progress_hook = _make_heartbeat(
+            args.progress,
+            total_requests=len(store),
+            total_blocks=_streamed_total_blocks(store, args.chunk_rows),
+            days=args.days,
+            epoch_seconds=args.epoch_seconds or 86400.0,
+        )
+    extra = {}
+    if args.epoch_seconds is not None:
+        extra["epoch_seconds"] = args.epoch_seconds
+    result = simulate(
+        store,
+        policy,
+        capacity_blocks=capacity,
+        days=args.days,
+        track_minutes=False,
+        fast_path=args.fast,
+        fault_plan=fault_plan,
+        checkpoint_path=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_context=checkpoint_context,
+        label=name,
+        chunk_rows=args.chunk_rows,
+        progress_every=progress_every,
+        progress_hook=progress_hook,
+        **extra,
+    )
+    result.policy_name = name
+    _print_simulation_report(name, result, len(store))
+    if args.json:
+        _save_result_json(result, args.json)
+    return 0
+
+
 def _run_simulate(args) -> int:
     if args.resume:
         return _cmd_resume(args)
     fault_plan, code = _load_fault_plan(args)
     if code is not None:
         return code
+    if args.segments or args.segments_dir is not None:
+        return _cmd_simulate_segments(args, fault_plan)
     trace, days, columns = _load_trace(args)
     names = list(dict.fromkeys(args.policies or ["sievestore-c"]))
     ctx = context_for_trace(
@@ -728,6 +991,124 @@ def _run_simulate(args) -> int:
                 save_result(results[name], path)
                 print(f"result written to {path}")
     return 1 if results.failures else 0
+
+
+def _validate_shard_replay_flags(args) -> Optional[int]:
+    """Reject invalid shard-replay flag combinations up front (exit 2)."""
+    if args.msr_csv:
+        print(
+            "error: shard-replay streams a synthetic trace from a "
+            "segment store; it cannot replay --msr-csv",
+            file=sys.stderr,
+        )
+        return 2
+    if args.checkpoint_every is not None and not args.checkpoint_dir:
+        print(
+            "error: --checkpoint-every requires --checkpoint-dir",
+            file=sys.stderr,
+        )
+        return 2
+    for flag, path in (
+        ("--manifest", args.manifest),
+        ("--json", args.json),
+        ("--metrics-out", args.metrics_out),
+    ):
+        if not path:
+            continue
+        problem = _artifact_path_problem(flag, path)
+        if problem is not None:
+            print(f"error: {problem}", file=sys.stderr)
+            return 2
+    return None
+
+
+def _cmd_shard_replay(args) -> int:
+    """Validate flags, switch observability, dispatch the sharded replay."""
+    code = _validate_shard_replay_flags(args)
+    if code is not None:
+        return code
+    if not args.metrics_out:
+        return _run_shard_replay_cmd(args)
+    from repro.obs import runtime as obs_runtime
+
+    obs_runtime.enable()
+    try:
+        code = _run_shard_replay_cmd(args)
+        _write_metrics(args.metrics_out)
+        return code
+    finally:
+        obs_runtime.disable()
+
+
+def _run_shard_replay_cmd(args) -> int:
+    import json as json_module
+
+    from repro.sim.parallel import run_sharded_replay
+    from repro.sim.serialize import stats_to_dict
+
+    store, code = _segment_store_for(args)
+    if code is not None:
+        return code
+    if args.checkpoint_dir:
+        import os
+
+        os.makedirs(args.checkpoint_dir, exist_ok=True)
+    on_task_done = (
+        _make_task_progress(args.shards) if args.progress else None
+    )
+    run = run_sharded_replay(
+        store,
+        args.policy,
+        days=args.days,
+        scale=args.scale,
+        shards=args.shards,
+        jobs=None if args.jobs == 0 else args.jobs,
+        track_minutes=False,
+        chunk_rows=args.chunk_rows,
+        task_timeout=args.task_timeout,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        on_task_done=on_task_done,
+    )
+    if run.stats is not None:
+        rows = [
+            [day, d.accesses, round(d.hit_ratio, 3), d.allocation_writes]
+            for day, d in enumerate(run.stats.per_day)
+        ]
+        total = run.stats.total
+        rows.append(
+            ["all", total.accesses, round(total.hit_ratio, 3),
+             total.allocation_writes]
+        )
+        print(render_table(
+            ["day", "block accesses", "capture", "allocation-writes"],
+            rows,
+            title=f"{args.policy} merged over {args.shards} shards "
+            f"({len(store):,} requests)",
+        ))
+        print()
+    _print_outcome_table(run)
+    for failure in run.failures.values():
+        print(f"FAILED {failure}", file=sys.stderr)
+    if args.manifest:
+        try:
+            run.save_manifest(args.manifest)
+        except OSError as exc:
+            print(f"error: cannot write manifest {args.manifest}: {exc}",
+                  file=sys.stderr)
+            return 1
+        print(f"run manifest written to {args.manifest}")
+    if args.json and run.stats is not None:
+        payload = {
+            "policy": args.policy,
+            "shards": args.shards,
+            "stats": stats_to_dict(run.stats),
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json_module.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"merged stats written to {args.json}")
+    return 0 if run.ok else 1
 
 
 def _validate_serve_bench_flags(args) -> Optional[int]:
@@ -1019,6 +1400,7 @@ def _cmd_check(args) -> int:
 
 _COMMANDS = {
     "simulate": _cmd_simulate,
+    "shard-replay": _cmd_shard_replay,
     "skew": _cmd_skew,
     "summarize": _cmd_summarize,
     "validate": _cmd_validate,

@@ -44,6 +44,7 @@ from repro.cache.allocation import AllocationPolicy
 from repro.core.imct import ImpreciseMissCountTable
 from repro.core.sievestore_c import SieveStoreC
 from repro.core.windows import COUNTER_SATURATION
+from repro.util.intervals import bucket_indices
 
 #: SplitMix64 constants as uint64 scalars; array ops against them wrap
 #: modulo 2**64 exactly like the masked Python arithmetic in
@@ -82,34 +83,20 @@ def bucket_array(values: np.ndarray, buckets: int, salted: int) -> np.ndarray:
     return (mixed % np.uint64(buckets)).astype(np.int64)
 
 
-#: Quotients this close to an integer get Python-semantics recomputation
-#: (see :func:`subwindow_indices`).  Quotient magnitudes are bounded by
-#: trace-days * subwindows-per-day (a few hundred), whose float64 ulp is
-#: ~1e-13, so a 1e-9 margin is orders of magnitude beyond any possible
-#: rounding discrepancy while matching essentially no interior points.
-_BOUNDARY_MARGIN = 1e-9
-
-
 def subwindow_indices(times: np.ndarray, subwindow_seconds: float) -> np.ndarray:
     """Subwindow index of each timestamp, with Python ``//`` semantics.
 
-    The :meth:`~repro.traces.columnar.ColumnarTrace.issue_days`
-    precedent applies: ``numpy.floor_divide`` may differ by one ulp from
-    Python's float floor-division near subwindow boundaries, and the
-    engines' equality guarantee depends on bucketing identically with
-    :meth:`~repro.core.windows.WindowSpec.subwindow_index`.  Rather than
-    paying a per-element Python loop, the quotients are floored in one
-    vectorized pass and only boundary-adjacent entries — where the two
-    semantics could ever disagree — are recomputed with scalar Python
-    arithmetic.
+    ``numpy.floor_divide`` may differ by one ulp from Python's float
+    floor-division near subwindow boundaries, and the engines' equality
+    guarantee depends on bucketing identically with
+    :meth:`~repro.core.windows.WindowSpec.subwindow_index`.  The shared
+    primitive :func:`repro.util.intervals.bucket_indices` floors the
+    quotients in one vectorized pass and recomputes only
+    boundary-adjacent entries with scalar Python arithmetic; both this
+    kernel and :meth:`~repro.traces.columnar.ColumnarTrace.issue_days`
+    delegate to it so all pipelines bucket identically.
     """
-    quotients = times / subwindow_seconds
-    floored = np.floor(quotients).astype(np.int64)
-    near = np.abs(quotients - np.rint(quotients)) < _BOUNDARY_MARGIN
-    if near.any():
-        for i in np.flatnonzero(near).tolist():
-            floored[i] = int(times[i] // subwindow_seconds)
-    return floored
+    return bucket_indices(times, subwindow_seconds)
 
 
 class ArrayIMCT:

@@ -45,6 +45,7 @@ from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
 from repro.traces.columnar import ColumnarTrace, as_columnar, as_object_trace
 from repro.traces.model import Trace
+from repro.traces.segments import ChunkSource, SegmentStore
 from repro.util.intervals import SECONDS_PER_DAY
 
 
@@ -284,6 +285,63 @@ def _run_object_loop(
     appliance.flush_dirty(time=float(days) * SECONDS_PER_DAY - 1.0)
 
 
+def _run_object_loop_chunks(
+    appliance: SieveStoreAppliance,
+    chunks,
+    epoch_seconds: float,
+    total_epochs: int,
+    days: int,
+    start_cursor: int = 0,
+    start_epoch: int = -1,
+    checkpoint_every: Optional[int] = None,
+    checkpointer=None,
+    boundary_hook=None,
+    progress_every: Optional[int] = None,
+    progress_hook=None,
+    segment_hook=None,
+) -> None:
+    """The reference loop over a stream of ``(base_row, columns)`` chunks.
+
+    The out-of-core twin of :func:`_run_object_loop`: only one chunk's
+    worth of :class:`~repro.traces.model.IORequest` objects exists at a
+    time, so peak memory follows the chunk budget rather than the
+    trace.  Per-request processing, epoch boundaries, and checkpoint
+    cadence are byte-identical to the whole-trace loop — the appliance
+    cannot observe where one chunk ends and the next begins.
+    ``segment_hook(cursor, current_epoch)`` fires after each chunk (the
+    appliance pickles consistently at any request boundary), giving
+    out-of-core runs a per-segment checkpoint site.
+    """
+    current_epoch = start_epoch
+    cursor = start_cursor
+    for base, columns in chunks:
+        requests = columns.to_trace().requests
+        local_start = max(0, cursor - base)
+        for local in range(local_start, len(requests)):
+            index = base + local
+            request = requests[local]
+            request_epoch = int(request.issue_time // epoch_seconds)
+            while current_epoch < request_epoch:
+                current_epoch += 1
+                appliance.begin_day(current_epoch)
+                if boundary_hook is not None:
+                    boundary_hook(current_epoch, index)
+            appliance.process_request(request)
+            if checkpoint_every is not None and (index + 1) % checkpoint_every == 0:
+                checkpointer(index + 1, current_epoch)
+            if progress_every is not None and (index + 1) % progress_every == 0:
+                progress_hook(index + 1, current_epoch)
+        cursor = max(cursor, base + len(requests))
+        if segment_hook is not None:
+            segment_hook(cursor, current_epoch)
+    while current_epoch < total_epochs - 1:
+        current_epoch += 1
+        appliance.begin_day(current_epoch)
+        if boundary_hook is not None:
+            boundary_hook(current_epoch, cursor)
+    appliance.flush_dirty(time=float(days) * SECONDS_PER_DAY - 1.0)
+
+
 def _convert_checkpoint_engine(payload: dict, target: str) -> dict:
     """Rewrite a checkpoint payload in the other engine's layout.
 
@@ -435,7 +493,7 @@ def _engine_obs(policy, label: str, engine_name: str) -> Optional[_EngineObs]:
 
 
 def simulate(
-    trace: Union[Trace, ColumnarTrace],
+    trace: Union[Trace, ColumnarTrace, ChunkSource],
     policy: AllocationPolicy,
     capacity_blocks: int,
     days: int,
@@ -453,13 +511,18 @@ def simulate(
     label: Optional[str] = None,
     progress_every: Optional[int] = None,
     progress_hook=None,
+    chunk_rows: Optional[int] = None,
 ) -> SimulationResult:
     """Run one allocation policy over a trace.
 
     Args:
-        trace: chronological ensemble trace, in either representation
-            (object :class:`Trace` or :class:`ColumnarTrace`); it is
-            converted as the execution path requires.
+        trace: chronological ensemble trace — object :class:`Trace`,
+            :class:`ColumnarTrace`, or an on-disk
+            :class:`~repro.traces.segments.SegmentStore`.  In-RAM forms
+            are converted as the execution path requires; a segment
+            store is streamed chunk by chunk through either engine
+            (bounded peak memory, bit-identical statistics, and a
+            checkpoint after every chunk when checkpointing is on).
         policy: the allocation policy / sieve under test.
         capacity_blocks: cache capacity in 512-byte frames.
         days: calendar days covered by the trace.
@@ -509,6 +572,10 @@ def simulate(
             hot-loop cost beyond one predicate test per request.
         progress_hook: callable receiving ``(requests_done,
             current_epoch)``; must not mutate simulation state.
+        chunk_rows: row budget per streamed chunk when ``trace`` is a
+            :class:`~repro.traces.segments.SegmentStore` (default
+            :data:`~repro.traces.segments.DEFAULT_CHUNK_ROWS`; chunks
+            never span segments).  Ignored for in-RAM traces.
     """
     if epoch_seconds <= 0:
         raise ValueError(f"epoch_seconds must be positive, got {epoch_seconds}")
@@ -532,10 +599,18 @@ def simulate(
     )
     if fast_path and not use_fast:
         _warn_fast_path_fallback(replacement, write_mode, fault_plan)
+    segmented = isinstance(trace, ChunkSource)
     if use_fast:
-        from repro.sim.fast_engine import simulate_fast
+        from repro.sim.fast_engine import simulate_fast_chunks
 
-        columns = as_columnar(trace)
+        if segmented:
+            columns = None
+            fingerprint = trace.fingerprint()
+            n_requests = len(trace)
+        else:
+            columns = as_columnar(trace)
+            fingerprint = _fingerprint_columnar(columns)
+            n_requests = len(columns.issue_time)
         stats = CacheStats(days=days, track_minutes=track_minutes)
         cache = BlockCache(
             capacity_blocks,
@@ -547,7 +622,7 @@ def simulate(
                 "run_start",
                 policy=obs.label,
                 engine="fast",
-                requests=len(columns.issue_time),
+                requests=n_requests,
                 days=days,
                 epoch_seconds=epoch_seconds,
             )
@@ -571,15 +646,18 @@ def simulate(
                     total_epochs,
                     checkpoint_every,
                 ),
-                _fingerprint_columnar(columns),
+                fingerprint,
                 checkpoint_context,
                 started,
                 0.0,
             )
         if obs is not None:
             checkpointer = obs.wrap_checkpointer(checkpointer)
-        stats, cache = simulate_fast(
-            columns,
+        chunks = (
+            trace.iter_chunks(chunk_rows) if segmented else [(0, columns)]
+        )
+        stats, cache = simulate_fast_chunks(
+            chunks,
             policy,
             capacity_blocks=capacity_blocks,
             days=days,
@@ -594,10 +672,14 @@ def simulate(
             boundary_hook=obs.boundary_hook if obs is not None else None,
             progress_every=progress_every,
             progress_hook=progress_hook,
+            # Out-of-core runs also checkpoint at every chunk boundary:
+            # the state is already consistent there, and a resume then
+            # reopens only the segments past the cursor.
+            segment_hook=checkpointer if segmented else None,
         )
         wall = _time.perf_counter() - started
         if obs is not None:
-            obs.finish(policy, len(columns.issue_time), stats, wall)
+            obs.finish(policy, n_requests, stats, wall)
         stats.check_consistency()
         return SimulationResult(
             policy_name=policy.name,
@@ -608,7 +690,14 @@ def simulate(
             engine="fast",
         )
 
-    object_trace = as_object_trace(trace)
+    if segmented:
+        object_trace = None
+        fingerprint = trace.fingerprint()
+        n_requests = len(trace)
+    else:
+        object_trace = as_object_trace(trace)
+        fingerprint = _fingerprint_object(object_trace)
+        n_requests = len(object_trace.requests)
     stats = CacheStats(days=days, track_minutes=track_minutes)
     cache = BlockCache(
         capacity_blocks, replacement=make_replacement(replacement, seed=replacement_seed)
@@ -629,7 +718,7 @@ def simulate(
             "run_start",
             policy=obs.label,
             engine="object",
-            requests=len(object_trace.requests),
+            requests=n_requests,
             days=days,
             epoch_seconds=epoch_seconds,
         )
@@ -652,30 +741,45 @@ def simulate(
                 total_epochs,
                 checkpoint_every,
             ),
-            _fingerprint_object(object_trace),
+            fingerprint,
             checkpoint_context,
             started,
             0.0,
         )
     if obs is not None:
         checkpointer = obs.wrap_checkpointer(checkpointer)
-    _run_object_loop(
-        appliance,
-        object_trace.requests,
-        epoch_seconds,
-        total_epochs,
-        days,
-        checkpoint_every=checkpoint_every,
-        checkpointer=checkpointer,
-        boundary_hook=obs.boundary_hook if obs is not None else None,
-        progress_every=progress_every,
-        progress_hook=progress_hook,
-    )
+    if segmented:
+        _run_object_loop_chunks(
+            appliance,
+            trace.iter_chunks(chunk_rows),
+            epoch_seconds,
+            total_epochs,
+            days,
+            checkpoint_every=checkpoint_every,
+            checkpointer=checkpointer,
+            boundary_hook=obs.boundary_hook if obs is not None else None,
+            progress_every=progress_every,
+            progress_hook=progress_hook,
+            segment_hook=checkpointer,
+        )
+    else:
+        _run_object_loop(
+            appliance,
+            object_trace.requests,
+            epoch_seconds,
+            total_epochs,
+            days,
+            checkpoint_every=checkpoint_every,
+            checkpointer=checkpointer,
+            boundary_hook=obs.boundary_hook if obs is not None else None,
+            progress_every=progress_every,
+            progress_hook=progress_hook,
+        )
     wall = _time.perf_counter() - started
 
     _finalize_faults(stats, appliance.faults, days)
     if obs is not None:
-        obs.finish(policy, len(object_trace.requests), stats, wall)
+        obs.finish(policy, n_requests, stats, wall)
     stats.check_consistency()
     return SimulationResult(
         policy_name=policy.name,
@@ -689,11 +793,12 @@ def simulate(
 
 def resume_simulation(
     path: Union[str, Path],
-    trace: Union[Trace, ColumnarTrace, None] = None,
+    trace: Union[Trace, ColumnarTrace, ChunkSource, None] = None,
     checkpoint_path: Optional[Union[str, Path]] = None,
     progress_every: Optional[int] = None,
     progress_hook=None,
     engine: Optional[str] = None,
+    chunk_rows: Optional[int] = None,
 ) -> SimulationResult:
     """Continue a checkpointed run to completion.
 
@@ -707,7 +812,13 @@ def resume_simulation(
         trace: the *same* trace the original run consumed (checked
             against the checkpoint's trace fingerprint).  Checkpoints
             do not embed the trace; the CLI regenerates it from the
-            trace arguments stored in the checkpoint context.
+            trace arguments stored in the checkpoint context.  A
+            :class:`~repro.traces.segments.SegmentStore` interoperates
+            with in-RAM checkpoints (and vice versa): segment
+            fingerprints round-trip exactly, and segments wholly behind
+            the checkpoint cursor are never opened.
+        chunk_rows: per-chunk row budget when ``trace`` is a segment
+            store; ignored otherwise.
         checkpoint_path: where to keep writing checkpoints (defaults to
             overwriting ``path``).
         engine: resume on this engine (``"fast"`` or ``"object"``)
@@ -740,12 +851,19 @@ def resume_simulation(
     engine_kind = payload["engine"]
     expected = payload["trace_fingerprint"]
 
-    if engine_kind == "fast":
+    segmented = isinstance(trace, ChunkSource)
+    if segmented:
+        columns = object_trace = None
+        actual = trace.fingerprint()
+        n_requests = len(trace)
+    elif engine_kind == "fast":
         columns = as_columnar(trace)
         actual = _fingerprint_columnar(columns)
+        n_requests = len(columns.issue_time)
     else:
         object_trace = as_object_trace(trace)
         actual = _fingerprint_object(object_trace)
+        n_requests = len(object_trace.requests)
     if actual != expected:
         raise CheckpointError(
             f"trace does not match checkpoint: expected {expected}, got {actual}"
@@ -763,7 +881,7 @@ def resume_simulation(
                 policy=obs.label,
                 engine="object",
                 cursor=payload["cursor"],
-                requests=len(object_trace.requests),
+                requests=n_requests,
             )
         checkpointer = _object_checkpointer(
             target,
@@ -776,26 +894,43 @@ def resume_simulation(
         )
         if obs is not None:
             checkpointer = obs.wrap_checkpointer(checkpointer)
-        _run_object_loop(
-            appliance,
-            object_trace.requests,
-            epoch_seconds,
-            total_epochs,
-            days,
-            start_index=payload["cursor"],
-            start_epoch=payload["current_epoch"],
-            checkpoint_every=checkpoint_every,
-            checkpointer=checkpointer,
-            boundary_hook=obs.boundary_hook if obs is not None else None,
-            progress_every=progress_every,
-            progress_hook=progress_hook,
-        )
+        if segmented:
+            _run_object_loop_chunks(
+                appliance,
+                trace.iter_chunks(chunk_rows, start_row=payload["cursor"]),
+                epoch_seconds,
+                total_epochs,
+                days,
+                start_cursor=payload["cursor"],
+                start_epoch=payload["current_epoch"],
+                checkpoint_every=checkpoint_every,
+                checkpointer=checkpointer,
+                boundary_hook=obs.boundary_hook if obs is not None else None,
+                progress_every=progress_every,
+                progress_hook=progress_hook,
+                segment_hook=checkpointer,
+            )
+        else:
+            _run_object_loop(
+                appliance,
+                object_trace.requests,
+                epoch_seconds,
+                total_epochs,
+                days,
+                start_index=payload["cursor"],
+                start_epoch=payload["current_epoch"],
+                checkpoint_every=checkpoint_every,
+                checkpointer=checkpointer,
+                boundary_hook=obs.boundary_hook if obs is not None else None,
+                progress_every=progress_every,
+                progress_hook=progress_hook,
+            )
         stats = appliance.stats
         cache = appliance.cache
         policy = appliance.policy
         _finalize_faults(stats, appliance.faults, days)
     elif engine_kind == "fast":
-        from repro.sim.fast_engine import simulate_fast
+        from repro.sim.fast_engine import simulate_fast_chunks
 
         policy = payload["policy"]
         cache = payload["cache"]
@@ -807,7 +942,7 @@ def resume_simulation(
                 policy=obs.label,
                 engine="fast",
                 cursor=payload["cursor"],
-                requests=len(columns.issue_time),
+                requests=n_requests,
             )
         checkpointer = _fast_checkpointer(
             target,
@@ -822,8 +957,13 @@ def resume_simulation(
         )
         if obs is not None:
             checkpointer = obs.wrap_checkpointer(checkpointer)
-        stats, cache = simulate_fast(
-            columns,
+        chunks = (
+            trace.iter_chunks(chunk_rows, start_row=payload["cursor"])
+            if segmented
+            else [(0, columns)]
+        )
+        stats, cache = simulate_fast_chunks(
+            chunks,
             policy,
             capacity_blocks=config["capacity_blocks"],
             days=days,
@@ -833,13 +973,14 @@ def resume_simulation(
             total_epochs=total_epochs,
             stats=stats,
             cache=cache,
-            start_index=payload["cursor"],
+            start_cursor=payload["cursor"],
             start_epoch=payload["current_epoch"],
             checkpoint_every=checkpoint_every,
             checkpointer=checkpointer,
             boundary_hook=obs.boundary_hook if obs is not None else None,
             progress_every=progress_every,
             progress_hook=progress_hook,
+            segment_hook=checkpointer if segmented else None,
         )
     else:
         raise CheckpointError(f"unknown checkpoint engine {engine_kind!r}")

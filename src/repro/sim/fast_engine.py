@@ -109,6 +109,52 @@ def _observe_mode(policy: AllocationPolicy) -> int:
     return _O_CALL
 
 
+def _sync_sieve_counters(
+    kernel,
+    policy,
+    imct,
+    per_day,
+    single_tier: bool,
+    s_misses0: int,
+    s_recorded0: int,
+    s_imct_rej0: int,
+    s_promos0: int,
+    s_mct_rej0: int,
+    s_adms0: int,
+    s_collisions: int,
+    s_promos: int,
+    s_mct_rej: int,
+    s_adms: int,
+) -> None:
+    """Flush kernel lists and counter locals into the policy object.
+
+    Counter assignments come after ``sync()``: write_back restores a
+    stale ``recorded_misses`` from the kernel's init-time snapshot; the
+    locals are authoritative.  The derived counters (see the kernel
+    setup comment in the loop): this segment's stats misses split
+    exactly across the four sieve outcomes, of which only IMCT
+    rejections went uncounted in the loop, so the two hot-path totals
+    fall out of the deltas against the run-start baselines.  Idempotent
+    at any cursor, so checkpoint, segment-boundary, and end-of-run
+    sites all share it.
+    """
+    kernel.sync()
+    misses = sum(d.accesses - d.read_hits - d.write_hits for d in per_day) - s_misses0
+    adms_d = s_adms - s_adms0
+    if single_tier:
+        recorded = misses
+        rejections = misses - adms_d
+    else:
+        recorded = misses - (s_mct_rej - s_mct_rej0) - adms_d
+        rejections = recorded - (s_promos - s_promos0)
+    imct.recorded_misses = s_recorded0 + recorded
+    imct.alias_collisions = s_collisions
+    policy.imct_rejections = s_imct_rej0 + rejections
+    policy.promotions = s_promos
+    policy.mct_rejections = s_mct_rej
+    policy.admissions = s_adms
+
+
 def simulate_fast(
     columns: ColumnarTrace,
     policy: AllocationPolicy,
@@ -145,6 +191,70 @@ def simulate_fast(
     current_epoch)`` fires every ``progress_every`` requests.  Both are
     telemetry-only — they must not mutate simulation state — and when
     left ``None`` cost one predicate test per boundary/request.
+
+    This is the whole-trace entry point; it feeds the in-RAM columns to
+    :func:`simulate_fast_chunks` as a single chunk.  Out-of-core runs
+    hand that function a bounded chunk iterator instead.
+    """
+    return simulate_fast_chunks(
+        [(0, columns)],
+        policy,
+        capacity_blocks=capacity_blocks,
+        days=days,
+        track_minutes=track_minutes,
+        batch_moves_staggered=batch_moves_staggered,
+        epoch_seconds=epoch_seconds,
+        total_epochs=total_epochs,
+        stats=stats,
+        cache=cache,
+        start_cursor=start_index,
+        start_epoch=start_epoch,
+        checkpoint_every=checkpoint_every,
+        checkpointer=checkpointer,
+        boundary_hook=boundary_hook,
+        progress_every=progress_every,
+        progress_hook=progress_hook,
+    )
+
+
+def simulate_fast_chunks(
+    chunks,
+    policy: AllocationPolicy,
+    capacity_blocks: int,
+    days: int,
+    track_minutes: bool,
+    batch_moves_staggered: bool,
+    epoch_seconds: float,
+    total_epochs: int,
+    stats: "CacheStats" = None,
+    cache: "BlockCache" = None,
+    start_cursor: int = 0,
+    start_epoch: int = -1,
+    checkpoint_every: int = None,
+    checkpointer=None,
+    boundary_hook=None,
+    progress_every: int = None,
+    progress_hook=None,
+    segment_hook=None,
+) -> Tuple[CacheStats, BlockCache]:
+    """Replay a stream of columnar chunks through ``policy``.
+
+    ``chunks`` yields ``(base_row, columns)`` pieces of one trace in
+    issue order — contiguous, ascending, never overlapping (a
+    :meth:`~repro.traces.segments.SegmentStore.iter_chunks` iterator,
+    or one in-RAM trace as a single chunk).  Rows before
+    ``start_cursor`` within the first chunk are skipped, so resuming
+    mid-chunk and resuming with a pre-trimmed iterator both work.  Only
+    one chunk's columns are materialized as Python lists at a time:
+    peak memory follows the chunk budget, not the trace.
+
+    All bucketing, ordering, and counter semantics are identical to the
+    single-chunk path — chunk boundaries are invisible in the results,
+    which the segmented-pipeline equivalence suite asserts byte for
+    byte.  ``segment_hook(cursor, current_epoch)`` fires after each
+    chunk with the cache's resident set resynced and (for the sieve
+    kernel) the policy object fully synced — the per-segment checkpoint
+    hook for out-of-core runs.
     """
     if stats is None:
         stats = CacheStats(days=days, track_minutes=track_minutes)
@@ -222,7 +332,8 @@ def simulate_fast(
         s_misses0 = sum(
             d.accesses - d.read_hits - d.write_hits for d in per_day
         )
-        chunk_start = chunk_end = start_index
+        # Precompute windows are chunk-local (sl_start/sl_end reset at
+        # every chunk head); these bindings just establish the types.
         c_subs: List[int] = []
         cis_iter: Iterator[int] = iter(())
 
@@ -247,408 +358,407 @@ def simulate_fast(
             if not batch_moves_staggered:
                 record_ssd_io(boundary_time, (inserted + 7) >> 3, True)
 
-    issue_l = columns.issue_time.tolist()
-    rct_l = columns.completion_time.tolist()
-    addr_l = columns.address.tolist()
-    count_l = columns.block_count.tolist()
-    write_l = columns.is_write.tolist()
-    n_requests = len(issue_l)
-    # Per-request epoch and calendar-day indices, floor-divided in one
-    # vectorized pass with Python `//` boundary semantics
-    # (subwindow_indices is that generic primitive — the
-    # ColumnarTrace.issue_days contract) instead of two float
-    # divisions per request in the loop.  Day indices are pre-capped.
-    epoch_l = subwindow_indices(columns.issue_time, epoch_seconds).tolist()
-    d_issue_l = np.minimum(
-        subwindow_indices(columns.issue_time, day_seconds), last_day
-    ).tolist()
-
     current_epoch = start_epoch
+    cursor = start_cursor
     general = wmode == _W_CALL or omode == _O_CALL
-    for j in range(start_index, n_requests):
-        issue = issue_l[j]
-        epoch = epoch_l[j]
-        if epoch > current_epoch:
-            while current_epoch < epoch:
-                current_epoch += 1
-                apply_boundary(current_epoch)
-                if boundary_hook is not None:
-                    boundary_hook(current_epoch, j)
-            if omode == _O_COUNTER:
-                counts = policy._epoch_counts
-            elif omode == _O_SET:
-                seen = policy._seen_this_epoch
+    for base, chunk_cols in chunks:
+        issue_l = chunk_cols.issue_time.tolist()
+        rct_l = chunk_cols.completion_time.tolist()
+        addr_l = chunk_cols.address.tolist()
+        count_l = chunk_cols.block_count.tolist()
+        write_l = chunk_cols.is_write.tolist()
+        chunk_n = len(issue_l)
+        # Per-request epoch and calendar-day indices, floor-divided in
+        # one vectorized pass with Python `//` boundary semantics
+        # (subwindow_indices is that generic primitive — the
+        # ColumnarTrace.issue_days contract) instead of two float
+        # divisions per request in the loop.  Day indices are
+        # pre-capped.  Both are elementwise, so chunk boundaries cannot
+        # change a value.
+        epoch_l = subwindow_indices(chunk_cols.issue_time, epoch_seconds).tolist()
+        d_issue_l = np.minimum(
+            subwindow_indices(chunk_cols.issue_time, day_seconds), last_day
+        ).tolist()
+        # Rows the cursor already covers are skipped (a resume can land
+        # mid-chunk when the chunk iterator is coarser than the cursor).
+        local_start = cursor - base
+        if local_start < 0:
+            local_start = 0
+        # Sieve precompute windows never span chunks: reset so the
+        # first sieved request of this chunk repopulates them.
+        sl_start = sl_end = local_start
+        for jl in range(local_start, chunk_n):
+            j = base + jl
+            issue = issue_l[jl]
+            epoch = epoch_l[jl]
+            if epoch > current_epoch:
+                while current_epoch < epoch:
+                    current_epoch += 1
+                    apply_boundary(current_epoch)
+                    if boundary_hook is not None:
+                        boundary_hook(current_epoch, j)
+                if omode == _O_COUNTER:
+                    counts = policy._epoch_counts
+                elif omode == _O_SET:
+                    seen = policy._seen_this_epoch
 
-        addr = addr_l[j]
-        k = count_l[j]
-        w = write_l[j]
-        end = addr + k
-        hit = 0
-        allocated = 0
-        alloc_offsets: Optional[List[int]] = None
+            addr = addr_l[jl]
+            k = count_l[jl]
+            w = write_l[jl]
+            end = addr + k
+            hit = 0
+            allocated = 0
+            alloc_offsets: Optional[List[int]] = None
 
-        d_issue = d_issue_l[j]
+            d_issue = d_issue_l[jl]
 
-        if general:
-            # Reference-order general body: observe every block, ask
-            # wants() on every miss (stateful sieves consume the miss
-            # stream in exactly this order).
-            rct = rct_l[j]
-            d_rct = int(rct // day_seconds)
-            if d_rct > last_day:
-                d_rct = last_day
-            same_day = d_rct == d_issue
-            do_observe = omode != _O_NONE
-            alloc_offsets = []
-            for off in range(k):
-                a = addr + off
-                if a in od:
-                    od_move(a)
-                    if do_observe:
-                        observe(a, w, issue, True)
-                    hit += 1
-                else:
-                    if do_observe:
-                        observe(a, w, issue, False)
-                    if (
-                        wmode == _W_TRUE
-                        or (wmode == _W_NOT_WRITE and not w)
-                        or (wmode == _W_CALL and wants(a, w, issue))
-                    ):
-                        if len(od) >= capacity:
-                            od_pop(False)
-                        od[a] = None
-                        if same_day:
-                            allocated += 1
-                        else:
-                            alloc_offsets.append(off)
-        elif wmode == _W_SIEVE:
-            # Inline SieveStore-C: the two-tier sieve of
-            # SieveStoreC.wants unrolled over the kernel's flat lists.
-            # Decision order matches the reference exactly — hits move
-            # recency first, every miss is counted in exactly one tier,
-            # and the (rare) MCT tier calls the live object so prune
-            # timing and insert counting stay bit-identical.
-            if j >= chunk_end:
-                chunk_start = j
-                chunk_end = j + _SIEVE_CHUNK
-                if chunk_end > n_requests:
-                    chunk_end = n_requests
-                c_subs, c_cis = kernel.precompute_chunk(
-                    columns.address[chunk_start:chunk_end],
-                    columns.block_count[chunk_start:chunk_end],
-                    columns.issue_time[chunk_start:chunk_end],
-                )
-                # Blocks are consumed strictly in chunk order (every
-                # request walks all k of its blocks), so one iterator
-                # replaces per-block index arithmetic into c_cis.
-                cis_iter = iter(c_cis)
-            # Completion-day bucketing is only consulted when a block is
-            # admitted (rare: that is the whole point of the sieve), so
-            # rct/same_day are computed lazily at the first admission of
-            # the request (d_rct == -1 marks "not yet computed";
-            # same_day is assigned there before its first read).
-            d_rct = -1
-            sub = c_subs[j - chunk_start]
-            # The request's column base in the column-major counts list;
-            # a block's slot is its precomputed cell index minus this.
-            colbase = sub % k_w * n_slots
-            if not tracking:
-                # Dominant configuration: no collision diagnostics.
-                # (The tracking copy below must mirror any change here.)
-                for a, ci in zip(range(addr, end), cis_iter):
-                    if a in od:
-                        od_move(a)
-                        hit += 1
-                        continue
-                    if a in mct_counters:
-                        # Tier 2: exact counting (IMCT-promoted only).
-                        exact = mct_record(a, issue)
-                        if exact < t2:
-                            s_mct_rej += 1
-                            continue
-                        mct_forget(a)
-                        s_adms += 1
-                    else:
-                        # Tier 1: the IMCT recording, inlined.  Running
-                        # totals hold each slot's row sum, which equals
-                        # its windowed total after lazy advancement
-                        # (expired positions are zeroed on record,
-                        # untouched positions are zero).
-                        slot = ci - colbase
-                        if sub != s_last[slot]:
-                            ls = s_last[slot]
-                            if ls < 0 or sub - ls >= k_w:
-                                c = slot
-                                for _ in range(k_w):
-                                    s_counts[c] = 0
-                                    c += n_slots
-                                s_totals[slot] = 0
-                            else:
-                                t = s_totals[slot]
-                                for g in range(ls + 1, sub + 1):
-                                    c = g % k_w * n_slots + slot
-                                    t -= s_counts[c]
-                                    s_counts[c] = 0
-                                s_totals[slot] = t
-                            s_last[slot] = sub
-                        cv = s_counts[ci]
-                        if cv < saturation:
-                            s_counts[ci] = cv + 1
-                            tot = s_totals[slot] + 1
-                            s_totals[slot] = tot
-                        else:
-                            tot = s_totals[slot]
-                        if tot < t1:
-                            continue
-                        if not single_tier:
-                            mct_track(a)
-                            s_promos += 1
-                            continue
-                        # Ablation: admit on tier 1 alone; the slot is
-                        # reset exactly like imct.reset_slot.
-                        c = slot
-                        for _ in range(k_w):
-                            s_counts[c] = 0
-                            c += n_slots
-                        s_totals[slot] = 0
-                        s_last[slot] = -1
-                        s_adms += 1
-                    # Admission (either tier): install the block.
-                    if d_rct < 0:
-                        rct = rct_l[j]
-                        d_rct = int(rct // day_seconds)
-                        if d_rct > last_day:
-                            d_rct = last_day
-                        same_day = d_rct == d_issue
-                    if len(od) >= capacity:
-                        od_pop(False)
-                    od[a] = None
-                    if same_day:
-                        allocated += 1
-                    elif alloc_offsets is None:
-                        alloc_offsets = [a - addr]
-                    else:
-                        alloc_offsets.append(a - addr)
-            else:
-                # Collision-tracking copy: identical to the loop above
-                # plus the per-recording last-address bookkeeping of
-                # ImpreciseMissCountTable.enable_collision_tracking.
-                for a, ci in zip(range(addr, end), cis_iter):
-                    if a in od:
-                        od_move(a)
-                        hit += 1
-                        continue
-                    if a in mct_counters:
-                        exact = mct_record(a, issue)
-                        if exact < t2:
-                            s_mct_rej += 1
-                            continue
-                        mct_forget(a)
-                        s_adms += 1
-                    else:
-                        slot = ci - colbase
-                        prev = s_lastaddr[slot]
-                        if prev is not None and prev != a:
-                            s_collisions += 1
-                        s_lastaddr[slot] = a
-                        if sub != s_last[slot]:
-                            ls = s_last[slot]
-                            if ls < 0 or sub - ls >= k_w:
-                                c = slot
-                                for _ in range(k_w):
-                                    s_counts[c] = 0
-                                    c += n_slots
-                                s_totals[slot] = 0
-                            else:
-                                t = s_totals[slot]
-                                for g in range(ls + 1, sub + 1):
-                                    c = g % k_w * n_slots + slot
-                                    t -= s_counts[c]
-                                    s_counts[c] = 0
-                                s_totals[slot] = t
-                            s_last[slot] = sub
-                        cv = s_counts[ci]
-                        if cv < saturation:
-                            s_counts[ci] = cv + 1
-                            tot = s_totals[slot] + 1
-                            s_totals[slot] = tot
-                        else:
-                            tot = s_totals[slot]
-                        if tot < t1:
-                            continue
-                        if not single_tier:
-                            mct_track(a)
-                            s_promos += 1
-                            continue
-                        c = slot
-                        for _ in range(k_w):
-                            s_counts[c] = 0
-                            c += n_slots
-                        s_totals[slot] = 0
-                        s_last[slot] = -1
-                        s_adms += 1
-                    if d_rct < 0:
-                        rct = rct_l[j]
-                        d_rct = int(rct // day_seconds)
-                        if d_rct > last_day:
-                            d_rct = last_day
-                        same_day = d_rct == d_issue
-                    if len(od) >= capacity:
-                        od_pop(False)
-                    od[a] = None
-                    if same_day:
-                        allocated += 1
-                    elif alloc_offsets is None:
-                        alloc_offsets = [a - addr]
-                    else:
-                        alloc_offsets.append(a - addr)
-        elif wmode == _W_FALSE:
-            if omode == _O_COUNTER:
-                for a in range(addr, end):
-                    counts[a] += 1
-                    if a in od:
-                        od_move(a)
-                        hit += 1
-            elif omode == _O_SET:
-                for a in range(addr, end):
-                    seen.add(a)
-                    if a in od:
-                        od_move(a)
-                        hit += 1
-            else:
-                for a in range(addr, end):
-                    if a in od:
-                        od_move(a)
-                        hit += 1
-        else:
-            # Allocating specializations (wants is a known constant and
-            # observe is the no-op).
-            rct = rct_l[j]
-            d_rct = int(rct // day_seconds)
-            if d_rct > last_day:
-                d_rct = last_day
-            if wmode == _W_NOT_WRITE and w:
-                for a in range(addr, end):
-                    if a in od:
-                        od_move(a)
-                        hit += 1
-            elif d_rct == d_issue:
-                for a in range(addr, end):
-                    if a in od:
-                        od_move(a)
-                        hit += 1
-                    else:
-                        if len(od) >= capacity:
-                            od_pop(False)
-                        od[a] = None
-                allocated = k - hit
-            else:
+            if general:
+                # Reference-order general body: observe every block, ask
+                # wants() on every miss (stateful sieves consume the miss
+                # stream in exactly this order).
+                rct = rct_l[jl]
+                d_rct = int(rct // day_seconds)
+                if d_rct > last_day:
+                    d_rct = last_day
+                same_day = d_rct == d_issue
+                do_observe = omode != _O_NONE
                 alloc_offsets = []
                 for off in range(k):
                     a = addr + off
                     if a in od:
                         od_move(a)
+                        if do_observe:
+                            observe(a, w, issue, True)
                         hit += 1
                     else:
+                        if do_observe:
+                            observe(a, w, issue, False)
+                        if (
+                            wmode == _W_TRUE
+                            or (wmode == _W_NOT_WRITE and not w)
+                            or (wmode == _W_CALL and wants(a, w, issue))
+                        ):
+                            if len(od) >= capacity:
+                                od_pop(False)
+                            od[a] = None
+                            if same_day:
+                                allocated += 1
+                            else:
+                                alloc_offsets.append(off)
+            elif wmode == _W_SIEVE:
+                # Inline SieveStore-C: the two-tier sieve of
+                # SieveStoreC.wants unrolled over the kernel's flat lists.
+                # Decision order matches the reference exactly — hits move
+                # recency first, every miss is counted in exactly one tier,
+                # and the (rare) MCT tier calls the live object so prune
+                # timing and insert counting stay bit-identical.
+                if jl >= sl_end:
+                    sl_start = jl
+                    sl_end = jl + _SIEVE_CHUNK
+                    if sl_end > chunk_n:
+                        sl_end = chunk_n
+                    c_subs, c_cis = kernel.precompute_chunk(
+                        chunk_cols.address[sl_start:sl_end],
+                        chunk_cols.block_count[sl_start:sl_end],
+                        chunk_cols.issue_time[sl_start:sl_end],
+                    )
+                    # Blocks are consumed strictly in chunk order (every
+                    # request walks all k of its blocks), so one iterator
+                    # replaces per-block index arithmetic into c_cis.
+                    cis_iter = iter(c_cis)
+                # Completion-day bucketing is only consulted when a block is
+                # admitted (rare: that is the whole point of the sieve), so
+                # rct/same_day are computed lazily at the first admission of
+                # the request (d_rct == -1 marks "not yet computed";
+                # same_day is assigned there before its first read).
+                d_rct = -1
+                sub = c_subs[jl - sl_start]
+                # The request's column base in the column-major counts list;
+                # a block's slot is its precomputed cell index minus this.
+                colbase = sub % k_w * n_slots
+                if not tracking:
+                    # Dominant configuration: no collision diagnostics.
+                    # (The tracking copy below must mirror any change here.)
+                    for a, ci in zip(range(addr, end), cis_iter):
+                        if a in od:
+                            od_move(a)
+                            hit += 1
+                            continue
+                        if a in mct_counters:
+                            # Tier 2: exact counting (IMCT-promoted only).
+                            exact = mct_record(a, issue)
+                            if exact < t2:
+                                s_mct_rej += 1
+                                continue
+                            mct_forget(a)
+                            s_adms += 1
+                        else:
+                            # Tier 1: the IMCT recording, inlined.  Running
+                            # totals hold each slot's row sum, which equals
+                            # its windowed total after lazy advancement
+                            # (expired positions are zeroed on record,
+                            # untouched positions are zero).
+                            slot = ci - colbase
+                            if sub != s_last[slot]:
+                                ls = s_last[slot]
+                                if ls < 0 or sub - ls >= k_w:
+                                    c = slot
+                                    for _ in range(k_w):
+                                        s_counts[c] = 0
+                                        c += n_slots
+                                    s_totals[slot] = 0
+                                else:
+                                    t = s_totals[slot]
+                                    for g in range(ls + 1, sub + 1):
+                                        c = g % k_w * n_slots + slot
+                                        t -= s_counts[c]
+                                        s_counts[c] = 0
+                                    s_totals[slot] = t
+                                s_last[slot] = sub
+                            cv = s_counts[ci]
+                            if cv < saturation:
+                                s_counts[ci] = cv + 1
+                                tot = s_totals[slot] + 1
+                                s_totals[slot] = tot
+                            else:
+                                tot = s_totals[slot]
+                            if tot < t1:
+                                continue
+                            if not single_tier:
+                                mct_track(a)
+                                s_promos += 1
+                                continue
+                            # Ablation: admit on tier 1 alone; the slot is
+                            # reset exactly like imct.reset_slot.
+                            c = slot
+                            for _ in range(k_w):
+                                s_counts[c] = 0
+                                c += n_slots
+                            s_totals[slot] = 0
+                            s_last[slot] = -1
+                            s_adms += 1
+                        # Admission (either tier): install the block.
+                        if d_rct < 0:
+                            rct = rct_l[jl]
+                            d_rct = int(rct // day_seconds)
+                            if d_rct > last_day:
+                                d_rct = last_day
+                            same_day = d_rct == d_issue
                         if len(od) >= capacity:
                             od_pop(False)
                         od[a] = None
-                        alloc_offsets.append(off)
+                        if same_day:
+                            allocated += 1
+                        elif alloc_offsets is None:
+                            alloc_offsets = [a - addr]
+                        else:
+                            alloc_offsets.append(a - addr)
+                else:
+                    # Collision-tracking copy: identical to the loop above
+                    # plus the per-recording last-address bookkeeping of
+                    # ImpreciseMissCountTable.enable_collision_tracking.
+                    for a, ci in zip(range(addr, end), cis_iter):
+                        if a in od:
+                            od_move(a)
+                            hit += 1
+                            continue
+                        if a in mct_counters:
+                            exact = mct_record(a, issue)
+                            if exact < t2:
+                                s_mct_rej += 1
+                                continue
+                            mct_forget(a)
+                            s_adms += 1
+                        else:
+                            slot = ci - colbase
+                            prev = s_lastaddr[slot]
+                            if prev is not None and prev != a:
+                                s_collisions += 1
+                            s_lastaddr[slot] = a
+                            if sub != s_last[slot]:
+                                ls = s_last[slot]
+                                if ls < 0 or sub - ls >= k_w:
+                                    c = slot
+                                    for _ in range(k_w):
+                                        s_counts[c] = 0
+                                        c += n_slots
+                                    s_totals[slot] = 0
+                                else:
+                                    t = s_totals[slot]
+                                    for g in range(ls + 1, sub + 1):
+                                        c = g % k_w * n_slots + slot
+                                        t -= s_counts[c]
+                                        s_counts[c] = 0
+                                    s_totals[slot] = t
+                                s_last[slot] = sub
+                            cv = s_counts[ci]
+                            if cv < saturation:
+                                s_counts[ci] = cv + 1
+                                tot = s_totals[slot] + 1
+                                s_totals[slot] = tot
+                            else:
+                                tot = s_totals[slot]
+                            if tot < t1:
+                                continue
+                            if not single_tier:
+                                mct_track(a)
+                                s_promos += 1
+                                continue
+                            c = slot
+                            for _ in range(k_w):
+                                s_counts[c] = 0
+                                c += n_slots
+                            s_totals[slot] = 0
+                            s_last[slot] = -1
+                            s_adms += 1
+                        if d_rct < 0:
+                            rct = rct_l[jl]
+                            d_rct = int(rct // day_seconds)
+                            if d_rct > last_day:
+                                d_rct = last_day
+                            same_day = d_rct == d_issue
+                        if len(od) >= capacity:
+                            od_pop(False)
+                        od[a] = None
+                        if same_day:
+                            allocated += 1
+                        elif alloc_offsets is None:
+                            alloc_offsets = [a - addr]
+                        else:
+                            alloc_offsets.append(a - addr)
+            elif wmode == _W_FALSE:
+                if omode == _O_COUNTER:
+                    for a in range(addr, end):
+                        counts[a] += 1
+                        if a in od:
+                            od_move(a)
+                            hit += 1
+                elif omode == _O_SET:
+                    for a in range(addr, end):
+                        seen.add(a)
+                        if a in od:
+                            od_move(a)
+                            hit += 1
+                else:
+                    for a in range(addr, end):
+                        if a in od:
+                            od_move(a)
+                            hit += 1
+            else:
+                # Allocating specializations (wants is a known constant and
+                # observe is the no-op).
+                rct = rct_l[jl]
+                d_rct = int(rct // day_seconds)
+                if d_rct > last_day:
+                    d_rct = last_day
+                if wmode == _W_NOT_WRITE and w:
+                    for a in range(addr, end):
+                        if a in od:
+                            od_move(a)
+                            hit += 1
+                elif d_rct == d_issue:
+                    for a in range(addr, end):
+                        if a in od:
+                            od_move(a)
+                            hit += 1
+                        else:
+                            if len(od) >= capacity:
+                                od_pop(False)
+                            od[a] = None
+                    allocated = k - hit
+                else:
+                    alloc_offsets = []
+                    for off in range(k):
+                        a = addr + off
+                        if a in od:
+                            od_move(a)
+                            hit += 1
+                        else:
+                            if len(od) >= capacity:
+                                od_pop(False)
+                            od[a] = None
+                            alloc_offsets.append(off)
 
-        # -- per-request statistics (identical bucketing to the
-        # reference path: all blocks of a request share its issue time).
-        ds = per_day[d_issue]
-        ds.accesses += k
-        if w:
-            ds.write_hits += hit
-            ds.write_misses += k - hit
-            ds.backing_writes += k  # write-through: every write block
-        else:
-            ds.read_hits += hit
-            ds.read_misses += k - hit
+            # -- per-request statistics (identical bucketing to the
+            # reference path: all blocks of a request share its issue time).
+            ds = per_day[d_issue]
+            ds.accesses += k
+            if w:
+                ds.write_hits += hit
+                ds.write_misses += k - hit
+                ds.backing_writes += k  # write-through: every write block
+            else:
+                ds.read_hits += hit
+                ds.read_misses += k - hit
 
-        if allocated:
-            ds.allocation_writes += allocated
-        elif alloc_offsets:
-            # Day-straddling request: interpolate each allocated
-            # block's completion, as the reference per-block loop does.
-            span = rct - issue
-            for off in alloc_offsets:
-                completion = issue + span * ((off + 1) / k)
-                day = int(completion // day_seconds)
-                if day > last_day:
-                    day = last_day
-                per_day[day].allocation_writes += 1
-            allocated = len(alloc_offsets)
-
-        if track_minutes:
             if allocated:
-                record_ssd_io(rct_l[j], (allocated + 7) >> 3, True)
-            if hit:
-                record_ssd_io(issue, (hit + 7) >> 3, w)
+                ds.allocation_writes += allocated
+            elif alloc_offsets:
+                # Day-straddling request: interpolate each allocated
+                # block's completion, as the reference per-block loop does.
+                span = rct - issue
+                for off in alloc_offsets:
+                    completion = issue + span * ((off + 1) / k)
+                    day = int(completion // day_seconds)
+                    if day > last_day:
+                        day = last_day
+                    per_day[day].allocation_writes += 1
+                allocated = len(alloc_offsets)
 
-        if checkpoint_every is not None and (j + 1) % checkpoint_every == 0:
+            if track_minutes:
+                if allocated:
+                    record_ssd_io(rct_l[jl], (allocated + 7) >> 3, True)
+                if hit:
+                    record_ssd_io(issue, (hit + 7) >> 3, w)
+
+            if checkpoint_every is not None and (j + 1) % checkpoint_every == 0:
+                if may_allocate:
+                    cache._resident = set(od)
+                if kernel is not None:
+                    _sync_sieve_counters(
+                        kernel, policy, imct, per_day, single_tier,
+                        s_misses0, s_recorded0, s_imct_rej0, s_promos0,
+                        s_mct_rej0, s_adms0,
+                        s_collisions, s_promos, s_mct_rej, s_adms,
+                    )
+                checkpointer(j + 1, current_epoch)
+            if progress_every is not None and (j + 1) % progress_every == 0:
+                progress_hook(j + 1, current_epoch)
+
+
+        # End of chunk: advance the cursor (max() so a chunk wholly
+        # behind a resume cursor can never move it backwards) and give
+        # the caller a consistent state to checkpoint against.
+        chunk_end_row = base + chunk_n
+        if chunk_end_row > cursor:
+            cursor = chunk_end_row
+        if segment_hook is not None:
             if may_allocate:
                 cache._resident = set(od)
             if kernel is not None:
-                # Flush kernel lists and counter locals into the policy
-                # object, so the pickled checkpoint is engine-agnostic.
-                # Counter assignments come after sync(): write_back
-                # restores a stale recorded_misses from the kernel's
-                # init-time snapshot; the locals are authoritative.
-                # The derived counters (see the setup comment): this
-                # segment's stats misses split exactly across the four
-                # sieve outcomes, of which only IMCT rejections went
-                # uncounted in the loop.
-                kernel.sync()
-                misses = sum(
-                    d.accesses - d.read_hits - d.write_hits for d in per_day
-                ) - s_misses0
-                adms_d = s_adms - s_adms0
-                if single_tier:
-                    recorded = misses
-                    rejections = misses - adms_d
-                else:
-                    recorded = misses - (s_mct_rej - s_mct_rej0) - adms_d
-                    rejections = recorded - (s_promos - s_promos0)
-                imct.recorded_misses = s_recorded0 + recorded
-                imct.alias_collisions = s_collisions
-                policy.imct_rejections = s_imct_rej0 + rejections
-                policy.promotions = s_promos
-                policy.mct_rejections = s_mct_rej
-                policy.admissions = s_adms
-            checkpointer(j + 1, current_epoch)
-        if progress_every is not None and (j + 1) % progress_every == 0:
-            progress_hook(j + 1, current_epoch)
+                _sync_sieve_counters(
+                    kernel, policy, imct, per_day, single_tier,
+                    s_misses0, s_recorded0, s_imct_rej0, s_promos0,
+                    s_mct_rej0, s_adms0,
+                    s_collisions, s_promos, s_mct_rej, s_adms,
+                )
+            segment_hook(cursor, current_epoch)
 
     # Trailing epoch boundaries (discrete policies close their books).
     while current_epoch < total_epochs - 1:
         current_epoch += 1
         apply_boundary(current_epoch)
         if boundary_hook is not None:
-            boundary_hook(current_epoch, n_requests)
+            boundary_hook(current_epoch, cursor)
     if may_allocate:
         cache._resident = set(od)
     if kernel is not None:
         # The policy object must reflect the run before the caller
-        # samples sieve telemetry or pickles a final state (counter
-        # derivation as at the checkpoint site, after sync()).
-        kernel.sync()
-        misses = sum(
-            d.accesses - d.read_hits - d.write_hits for d in per_day
-        ) - s_misses0
-        adms_d = s_adms - s_adms0
-        if single_tier:
-            recorded = misses
-            rejections = misses - adms_d
-        else:
-            recorded = misses - (s_mct_rej - s_mct_rej0) - adms_d
-            rejections = recorded - (s_promos - s_promos0)
-        imct.recorded_misses = s_recorded0 + recorded
-        imct.alias_collisions = s_collisions
-        policy.imct_rejections = s_imct_rej0 + rejections
-        policy.promotions = s_promos
-        policy.mct_rejections = s_mct_rej
-        policy.admissions = s_adms
+        # samples sieve telemetry or pickles a final state.
+        _sync_sieve_counters(
+            kernel, policy, imct, per_day, single_tier,
+            s_misses0, s_recorded0, s_imct_rej0, s_promos0,
+            s_mct_rej0, s_adms0,
+            s_collisions, s_promos, s_mct_rej, s_adms,
+        )
     return stats, cache

@@ -856,3 +856,594 @@ def run_suite_parallel(
     )
     ordered = OrderedDict((n, results[n]) for n in unique if n in results)
     return SuiteRun(ordered, failures, manifest, metrics=snapshot)
+
+
+# ---------------------------------------------------------------------------
+# Shard-level replay: one policy, the trace partitioned across workers.
+# ---------------------------------------------------------------------------
+
+#: Bump on sharded-replay manifest layout changes; consumers refuse
+#: unknown versions.
+SHARD_MANIFEST_VERSION = 1
+
+#: Per-process segment store, installed by the shard-pool initializer.
+#: Workers open segments by path — the parent never pickles trace rows.
+_SHARD_STORE = None
+
+
+def shard_task_names(shards: int) -> List[str]:
+    """Deterministic task names (``shard-0`` … ``shard-N-1``).
+
+    These are the names :data:`FAULT_ENV_VAR` keys on for sharded
+    replay (``SIEVESTORE_FAULT_INJECT=flaky:shard-2:/tmp/marker``) and
+    the stems of per-shard checkpoint files.
+    """
+    return [f"shard-{index}" for index in range(shards)]
+
+
+def _init_shard_worker(store_dir: str) -> None:
+    from repro.traces.segments import SegmentStore
+
+    global _SHARD_STORE
+    _SHARD_STORE = SegmentStore.open(store_dir)
+
+
+def _replay_shard(
+    store,
+    shard: int,
+    shards: int,
+    policy_name: str,
+    days: int,
+    scale: float,
+    seed: int,
+    track_minutes: bool,
+    fast_path: bool,
+    chunk_rows: Optional[int],
+    epoch_seconds: Optional[float],
+    checkpoint_path: Optional[str],
+    checkpoint_every: Optional[int],
+    progress_every: Optional[int] = None,
+    progress_hook=None,
+) -> SimulationResult:
+    """Replay one shard of the ensemble, resuming from its checkpoint.
+
+    Each shard is a closed sub-ensemble (every block of a server lives
+    on exactly one shard), provisioned at ``scale / shards`` — the same
+    per-server cache share as the unsharded configuration, so
+    ``shards=1`` reproduces the unsharded run bit for bit.  When the
+    shard's checkpoint file already exists — a retried task, or a whole
+    coordinator rerun after a crash — the run resumes from it instead
+    of starting over; an unusable checkpoint falls back to a fresh run
+    with a warning rather than failing the shard.
+    """
+    from repro.sim.experiment import ExperimentContext, build_policy
+    from repro.sim.serialize import CheckpointError
+
+    view = store.shard(shard, shards)
+    if checkpoint_path is not None and Path(checkpoint_path).exists():
+        try:
+            return _engine.resume_simulation(
+                checkpoint_path,
+                view,
+                checkpoint_path=checkpoint_path,
+                chunk_rows=chunk_rows,
+                progress_every=progress_every,
+                progress_hook=progress_hook,
+            )
+        except CheckpointError as exc:
+            warnings.warn(
+                f"shard-{shard} checkpoint {checkpoint_path} is unusable "
+                f"({exc}); restarting the shard from the beginning",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+    ctx = ExperimentContext(
+        trace=view,
+        days=days,
+        scale=scale / shards,
+        daily_counts=view.daily_block_counts(days, chunk_rows=chunk_rows),
+        seed=seed,
+    )
+    policy, capacity = build_policy(policy_name, ctx)
+    extra = {}
+    if epoch_seconds is not None:
+        extra["epoch_seconds"] = epoch_seconds
+    return _engine.simulate(
+        view,
+        policy,
+        capacity_blocks=capacity,
+        days=days,
+        track_minutes=track_minutes,
+        fast_path=fast_path,
+        checkpoint_path=checkpoint_path,
+        checkpoint_every=checkpoint_every,
+        label=policy_name,
+        chunk_rows=chunk_rows,
+        progress_every=progress_every,
+        progress_hook=progress_hook,
+        **extra,
+    )
+
+
+def _run_one_shard(
+    shard: int,
+    shards: int,
+    policy_name: str,
+    days: int,
+    scale: float,
+    seed: int,
+    track_minutes: bool,
+    fast_path: bool,
+    chunk_rows: Optional[int],
+    epoch_seconds: Optional[float],
+    checkpoint_dir,
+    checkpoint_every: Optional[int],
+    collect_metrics: bool,
+):
+    """Pool task: replay one shard against the worker's open store.
+
+    Ships back only the per-shard :class:`CacheStats` and engine name —
+    the merged statistics are the product; per-shard cache/policy
+    objects never cross the process boundary.
+    """
+    assert _SHARD_STORE is not None, "shard worker initializer did not run"
+    name = f"shard-{shard}"
+    _engine._reset_fallback_warnings()
+    _maybe_inject_fault(name, in_worker=True)
+    meta = _checkpoint_meta(checkpoint_dir, name, checkpoint_every)
+    snapshot = None
+    started = time.perf_counter()
+    if collect_metrics:
+        from repro.obs.runtime import scoped_registry
+
+        with scoped_registry() as obs_context:
+            result = _replay_shard(
+                _SHARD_STORE, shard, shards, policy_name, days, scale, seed,
+                track_minutes, fast_path, chunk_rows, epoch_seconds,
+                meta["path"] if meta else None, checkpoint_every,
+            )
+            snapshot = obs_context.registry.snapshot()
+    else:
+        result = _replay_shard(
+            _SHARD_STORE, shard, shards, policy_name, days, scale, seed,
+            track_minutes, fast_path, chunk_rows, epoch_seconds,
+            meta["path"] if meta else None, checkpoint_every,
+        )
+    wall = time.perf_counter() - started
+    return name, os.getpid(), wall, result.stats, result.engine, snapshot
+
+
+def _run_shard_serial(
+    store,
+    shard: int,
+    shards: int,
+    policy_name: str,
+    days: int,
+    scale: float,
+    seed: int,
+    track_minutes: bool,
+    fast_path: bool,
+    chunk_rows: Optional[int],
+    epoch_seconds: Optional[float],
+    checkpoint_dir,
+    checkpoint_every: Optional[int],
+    executor: str,
+    attempts: int,
+    records: Dict[str, TaskRecord],
+    shard_stats: Dict[str, "CacheStats"],
+    failures: Dict[str, PolicyFailure],
+    collect_metrics: bool = False,
+    suite_registry=None,
+    on_task_done=None,
+    progress_every=None,
+    progress_hook=None,
+) -> None:
+    """Run one shard in-process, recording outcome like a pool task."""
+    name = f"shard-{shard}"
+    _engine._reset_fallback_warnings()
+    meta = _checkpoint_meta(checkpoint_dir, name, checkpoint_every)
+    snapshot = None
+    started = time.perf_counter()
+    try:
+        _maybe_inject_fault(name, in_worker=False)
+        if collect_metrics:
+            from repro.obs.runtime import scoped_registry
+
+            with scoped_registry() as obs_context:
+                result = _replay_shard(
+                    store, shard, shards, policy_name, days, scale, seed,
+                    track_minutes, fast_path, chunk_rows, epoch_seconds,
+                    meta["path"] if meta else None, checkpoint_every,
+                    progress_every=progress_every, progress_hook=progress_hook,
+                )
+                snapshot = obs_context.registry.snapshot()
+        else:
+            result = _replay_shard(
+                store, shard, shards, policy_name, days, scale, seed,
+                track_minutes, fast_path, chunk_rows, epoch_seconds,
+                meta["path"] if meta else None, checkpoint_every,
+                progress_every=progress_every, progress_hook=progress_hook,
+            )
+    except Exception as exc:
+        wall = time.perf_counter() - started
+        records[name] = TaskRecord(
+            policy=name,
+            outcome="failed",
+            engine=None,
+            wall_seconds=wall,
+            retries=attempts - 1,
+            worker_pid=os.getpid(),
+            executor=executor,
+            error=f"{type(exc).__name__}: {exc}",
+            checkpoint=meta,
+        )
+        failures[name] = PolicyFailure(
+            policy=name,
+            error_type=type(exc).__name__,
+            message=str(exc),
+            retries=attempts - 1,
+        )
+    else:
+        wall = time.perf_counter() - started
+        shard_stats[name] = result.stats
+        records[name] = TaskRecord(
+            policy=name,
+            outcome="ok",
+            engine=result.engine,
+            wall_seconds=wall,
+            retries=attempts - 1,
+            worker_pid=os.getpid(),
+            executor=executor,
+            checkpoint=meta,
+            metrics=snapshot.to_jsonable() if snapshot is not None else None,
+        )
+        if snapshot is not None and suite_registry is not None:
+            suite_registry.merge_snapshot(snapshot)
+    _note_task(
+        suite_registry,
+        records[name],
+        waited=records[name].wall_seconds,
+        on_task_done=on_task_done,
+    )
+
+
+class ShardedReplayRun:
+    """Result of one sharded replay: merged statistics plus provenance.
+
+    * :attr:`stats` — the ensemble-level :class:`CacheStats`, merged
+      from every shard via :meth:`CacheStats.merged`; ``None`` when any
+      shard failed (partial statistics would be silently wrong).
+    * :attr:`shard_stats` — per-shard statistics in shard order
+      (successful shards only), for per-partition inspection.
+    * :attr:`failures` — task-name-keyed :class:`PolicyFailure` records.
+    * :attr:`manifest` — JSON-serializable run manifest (schema
+      :data:`SHARD_MANIFEST_VERSION`).
+    * :attr:`metrics` — merged metrics snapshot when collection was on.
+    """
+
+    def __init__(
+        self,
+        policy_name: str,
+        stats,
+        shard_stats: "OrderedDict[str, CacheStats]",
+        failures: Dict[str, PolicyFailure],
+        manifest: dict,
+        metrics=None,
+    ):
+        self.policy_name = policy_name
+        self.stats = stats
+        self.shard_stats = shard_stats
+        self.failures = failures
+        self.manifest = manifest
+        self.metrics = metrics
+
+    @property
+    def ok(self) -> bool:
+        """True when every shard completed and the merge happened."""
+        return not self.failures and self.stats is not None
+
+    def save_manifest(self, path: Union[str, Path]) -> None:
+        """Write the run manifest as indented JSON."""
+        Path(path).write_text(json.dumps(self.manifest, indent=2) + "\n")
+
+
+def _build_shard_manifest(
+    policy_name: str,
+    shards: int,
+    names: Sequence[str],
+    records: Dict[str, TaskRecord],
+    jobs: int,
+    track_minutes: bool,
+    fast_path: bool,
+    chunk_rows: Optional[int],
+    task_timeout: Optional[float],
+    pool_broken: bool,
+    wall_seconds: float,
+    suite_metrics: Optional[dict] = None,
+) -> dict:
+    manifest = {
+        "schema": SHARD_MANIFEST_VERSION,
+        "kind": "sharded-replay",
+        "policy": policy_name,
+        "shards": shards,
+        "names": list(names),
+        "jobs": jobs,
+        "track_minutes": track_minutes,
+        "fast_path": fast_path,
+        "chunk_rows": chunk_rows,
+        "task_timeout": task_timeout,
+        "pool_broken": pool_broken,
+        "wall_seconds": round(wall_seconds, 6),
+        "tasks": [records[name].to_dict() for name in names if name in records],
+    }
+    if suite_metrics is not None:
+        manifest["metrics"] = suite_metrics
+    return manifest
+
+
+def run_sharded_replay(
+    store,
+    policy_name: str,
+    days: int,
+    scale: float,
+    shards: int,
+    seed: int = 0,
+    jobs: Optional[int] = None,
+    track_minutes: bool = True,
+    fast_path: bool = True,
+    chunk_rows: Optional[int] = None,
+    task_timeout: Optional[float] = None,
+    epoch_seconds: Optional[float] = None,
+    checkpoint_dir=None,
+    checkpoint_every: Optional[int] = None,
+    collect_metrics: Optional[bool] = None,
+    on_task_done=None,
+) -> ShardedReplayRun:
+    """Replay **one** policy with the ensemble partitioned across workers.
+
+    The dual of :func:`run_suite_parallel`: instead of many policies
+    over one shared trace, one policy over many disjoint shards of the
+    trace.  The coordinator slices the segment store by server id
+    (:func:`repro.traces.segments.shard_of_servers` — every block of a
+    server lands on exactly one shard, so shards are closed
+    subsystems), fans the shards across worker processes that open the
+    segment files by path (the parent never pickles a single trace
+    row), and merges the per-shard :class:`CacheStats` with
+    :meth:`CacheStats.merged`.
+
+    Each shard simulates an independent appliance provisioned at
+    ``scale / shards``, so ``shards=1`` is bit-identical to an
+    unsharded :func:`~repro.sim.engine.simulate` run and a sharded run
+    models a partitioned ensemble of ``shards`` smaller caches.
+    ``jobs=1`` executes the same shards serially in-process —
+    byte-identical merged statistics, no pool — which is what CI
+    compares fault-injected pool runs against.
+
+    Failure handling matches the policy suite: one bounded retry per
+    shard (a retried shard **resumes from its checkpoint** when
+    ``checkpoint_dir`` is set, re-replaying only rows past the last
+    checkpoint), timeout records after ``task_timeout``, and
+    ``BrokenProcessPool`` degrades to in-process serial fallback for
+    the not-yet-collected shards.  ``SIEVESTORE_FAULT_INJECT`` keys on
+    task names ``shard-0`` … ``shard-N-1``.
+    """
+    from repro.cache.stats import CacheStats
+    from repro.traces.segments import SegmentStore
+
+    started = time.perf_counter()
+    if shards < 1:
+        raise ValueError(f"shards must be positive, got {shards}")
+    if not isinstance(store, SegmentStore):
+        store = SegmentStore.open(store)
+    if jobs is None:
+        jobs = default_jobs()
+    if jobs < 1:
+        raise ValueError(f"jobs must be positive, got {jobs}")
+    names = shard_task_names(shards)
+    collect = _resolve_collect_metrics(collect_metrics)
+    suite_registry = _suite_observer(collect)
+
+    records: Dict[str, TaskRecord] = {}
+    shard_stats: Dict[str, CacheStats] = {}
+    failures: Dict[str, PolicyFailure] = {}
+    attempts: Dict[str, int] = {name: 0 for name in names}
+    serial_queue: List[int] = []
+    pool_broken = False
+    timed_out = False
+
+    def shard_args(shard: int) -> tuple:
+        return (
+            shard, shards, policy_name, days, scale, seed,
+            track_minutes, fast_path, chunk_rows, epoch_seconds,
+            checkpoint_dir, checkpoint_every, collect,
+        )
+
+    if jobs == 1:
+        for shard in range(shards):
+            attempts[names[shard]] += 1
+            _run_shard_serial(
+                store, shard, shards, policy_name, days, scale, seed,
+                track_minutes, fast_path, chunk_rows, epoch_seconds,
+                checkpoint_dir, checkpoint_every,
+                executor="serial", attempts=attempts[names[shard]],
+                records=records, shard_stats=shard_stats, failures=failures,
+                collect_metrics=collect, suite_registry=suite_registry,
+                on_task_done=on_task_done,
+            )
+    else:
+        pool = ProcessPoolExecutor(
+            max_workers=min(jobs, shards),
+            initializer=_init_shard_worker,
+            initargs=(str(store.directory),),
+        )
+        try:
+            futures = {}
+            try:
+                for shard in range(shards):
+                    futures[names[shard]] = pool.submit(
+                        _run_one_shard, *shard_args(shard)
+                    )
+                    attempts[names[shard]] += 1
+            except BrokenProcessPool:
+                pool_broken = True
+
+            def resubmit(shard: int):
+                """One bounded retry through the pool; None if spent/broken."""
+                nonlocal pool_broken
+                name = names[shard]
+                if pool_broken or attempts[name] >= MAX_ATTEMPTS:
+                    return None
+                try:
+                    future = pool.submit(_run_one_shard, *shard_args(shard))
+                except BrokenProcessPool:
+                    pool_broken = True
+                    return None
+                attempts[name] += 1
+                return future
+
+            for shard in range(shards):
+                name = names[shard]
+                if pool_broken:
+                    serial_queue.append(shard)
+                    continue
+                future = futures.get(name)
+                if future is None:
+                    serial_queue.append(shard)
+                    continue
+                collect_started = time.perf_counter()
+                while True:
+                    try:
+                        _rname, pid, wall, stats, engine, snapshot = (
+                            future.result(timeout=task_timeout)
+                        )
+                    except _FuturesTimeout:
+                        timed_out = True
+                        future.cancel()
+                        retry = resubmit(shard)
+                        if retry is not None:
+                            future = retry
+                            collect_started = time.perf_counter()
+                            continue
+                        if pool_broken and attempts[name] < MAX_ATTEMPTS:
+                            serial_queue.append(shard)
+                            break
+                        waited = time.perf_counter() - collect_started
+                        records[name] = TaskRecord(
+                            policy=name, outcome="timeout", engine=None,
+                            wall_seconds=waited,
+                            retries=attempts[name] - 1, worker_pid=None,
+                            executor="pool",
+                            error=f"task exceeded {task_timeout}s timeout",
+                            checkpoint=_checkpoint_meta(
+                                checkpoint_dir, name, checkpoint_every
+                            ),
+                        )
+                        failures[name] = PolicyFailure(
+                            policy=name, error_type="TimeoutError",
+                            message=f"task exceeded {task_timeout}s timeout",
+                            retries=attempts[name] - 1,
+                        )
+                        _note_task(
+                            suite_registry, records[name],
+                            waited=waited, on_task_done=on_task_done,
+                        )
+                        break
+                    except BrokenProcessPool:
+                        pool_broken = True
+                        serial_queue.append(shard)
+                        break
+                    except Exception as exc:
+                        retry = resubmit(shard)
+                        if retry is not None:
+                            future = retry
+                            collect_started = time.perf_counter()
+                            continue
+                        if pool_broken and attempts[name] < MAX_ATTEMPTS:
+                            serial_queue.append(shard)
+                            break
+                        waited = time.perf_counter() - collect_started
+                        records[name] = TaskRecord(
+                            policy=name, outcome="failed", engine=None,
+                            wall_seconds=waited,
+                            retries=attempts[name] - 1, worker_pid=None,
+                            executor="pool",
+                            error=f"{type(exc).__name__}: {exc}",
+                            checkpoint=_checkpoint_meta(
+                                checkpoint_dir, name, checkpoint_every
+                            ),
+                        )
+                        failures[name] = PolicyFailure(
+                            policy=name, error_type=type(exc).__name__,
+                            message=str(exc), retries=attempts[name] - 1,
+                        )
+                        _note_task(
+                            suite_registry, records[name],
+                            waited=waited, on_task_done=on_task_done,
+                        )
+                        break
+                    else:
+                        shard_stats[name] = stats
+                        records[name] = TaskRecord(
+                            policy=name, outcome="ok", engine=engine,
+                            wall_seconds=wall, retries=attempts[name] - 1,
+                            worker_pid=pid, executor="pool",
+                            checkpoint=_checkpoint_meta(
+                                checkpoint_dir, name, checkpoint_every
+                            ),
+                            metrics=(
+                                snapshot.to_jsonable()
+                                if snapshot is not None
+                                else None
+                            ),
+                        )
+                        if snapshot is not None and suite_registry is not None:
+                            suite_registry.merge_snapshot(snapshot)
+                        _note_task(
+                            suite_registry, records[name],
+                            waited=time.perf_counter() - collect_started,
+                            on_task_done=on_task_done,
+                        )
+                        break
+        finally:
+            pool.shutdown(wait=not timed_out, cancel_futures=True)
+
+    if serial_queue:
+        warnings.warn(
+            f"worker pool broke; running {len(serial_queue)} remaining "
+            f"shard{'' if len(serial_queue) == 1 else 's'} serially "
+            f"in-process: {', '.join(names[s] for s in serial_queue)}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        for shard in serial_queue:
+            attempts[names[shard]] += 1
+            _run_shard_serial(
+                store, shard, shards, policy_name, days, scale, seed,
+                track_minutes, fast_path, chunk_rows, epoch_seconds,
+                checkpoint_dir, checkpoint_every,
+                executor="serial-fallback", attempts=attempts[names[shard]],
+                records=records, shard_stats=shard_stats, failures=failures,
+                collect_metrics=collect, suite_registry=suite_registry,
+                on_task_done=on_task_done,
+            )
+
+    snapshot = _finish_suite_metrics(suite_registry)
+    manifest = _build_shard_manifest(
+        policy_name, shards, names, records, jobs=jobs,
+        track_minutes=track_minutes, fast_path=fast_path,
+        chunk_rows=chunk_rows, task_timeout=task_timeout,
+        pool_broken=pool_broken,
+        wall_seconds=time.perf_counter() - started,
+        suite_metrics=snapshot.to_jsonable() if snapshot is not None else None,
+    )
+    ordered = OrderedDict(
+        (name, shard_stats[name]) for name in names if name in shard_stats
+    )
+    merged = (
+        CacheStats.merged(list(ordered.values()))
+        if len(ordered) == shards
+        else None
+    )
+    return ShardedReplayRun(
+        policy_name, merged, ordered, failures, manifest, metrics=snapshot
+    )

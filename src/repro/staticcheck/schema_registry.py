@@ -198,6 +198,31 @@ SPECS: Tuple[SchemaSpec, ...] = (
         track_var="manifest",
     ),
     _spec(
+        "segment-entry",
+        "repro.traces.segments",
+        "dataclass",
+        "SegmentInfo",
+        ("file", "rows", "first_issue", "last_issue", "bytes"),
+        "repro.traces.segments",
+        (("SEGMENT_MANIFEST_VERSION", 1),),
+    ),
+    _spec(
+        "segment-manifest",
+        "repro.traces.segments",
+        "dict",
+        "_manifest_payload",
+        (
+            "manifest_version",
+            "npz_format_version",
+            "description",
+            "config_fingerprint",
+            "total_rows",
+            "segments",
+        ),
+        "repro.traces.segments",
+        (("SEGMENT_MANIFEST_VERSION", 1),),
+    ),
+    _spec(
         "serve-manifest",
         "repro.serve.bench",
         "dict",
@@ -214,6 +239,31 @@ SPECS: Tuple[SchemaSpec, ...] = (
         ("layout_version", "shards"),
         "repro.serve.store",
         (("STORE_LAYOUT_VERSION", 1),),
+    ),
+    _spec(
+        "shard-manifest",
+        "repro.sim.parallel",
+        "dict",
+        "_build_shard_manifest",
+        (
+            "schema",
+            "kind",
+            "policy",
+            "shards",
+            "names",
+            "jobs",
+            "track_minutes",
+            "fast_path",
+            "chunk_rows",
+            "task_timeout",
+            "pool_broken",
+            "wall_seconds",
+            "tasks",
+            "metrics",
+        ),
+        "repro.sim.parallel",
+        (("SHARD_MANIFEST_VERSION", 1),),
+        track_var="manifest",
     ),
     _spec(
         "stats-json",

@@ -52,7 +52,7 @@ from repro.traces.model import (
     _VOLUME_MASK,
     pack_address,
 )
-from repro.util.intervals import SECONDS_PER_DAY
+from repro.util.intervals import SECONDS_PER_DAY, bucket_indices
 
 #: Bump when the on-disk ``.npz`` layout changes; loaders refuse others.
 NPZ_FORMAT_VERSION = 1
@@ -144,18 +144,17 @@ class ColumnarTrace:
     def issue_days(self) -> np.ndarray:
         """Zero-based calendar-day index of each request's issue time.
 
-        Computed with Python's float floor-division — the exact
-        expression :func:`repro.util.intervals.day_of` uses — rather
-        than ``numpy.floor_divide``, whose rounding can differ by one
-        ulp for timestamps within half an ulp of a day boundary.  The
-        fast simulation path's equality guarantee depends on the two
-        paths bucketing identically.
+        Matches Python's float floor-division — the exact expression
+        :func:`repro.util.intervals.day_of` uses — rather than plain
+        ``numpy.floor_divide``, whose rounding can differ by one ulp
+        for timestamps within half an ulp of a day boundary.  The fast
+        simulation path's equality guarantee depends on the two paths
+        bucketing identically, so this delegates to the shared
+        vectorized primitive
+        :func:`repro.util.intervals.bucket_indices`, which repairs
+        boundary-adjacent entries with scalar Python arithmetic.
         """
-        return np.fromiter(
-            (int(t // SECONDS_PER_DAY) for t in self.issue_time.tolist()),
-            dtype=np.int64,
-            count=len(self),
-        )
+        return bucket_indices(self.issue_time, SECONDS_PER_DAY)
 
     def expand_block_addresses(self) -> np.ndarray:
         """Packed address of every individual block access, in issue order.
@@ -183,12 +182,26 @@ class ColumnarTrace:
             return counters
         day_index = self.issue_days()
         counts64 = self.block_count.astype(np.int64)
-        for day in range(days):
-            mask = day_index == day
-            if not mask.any():
+        # Rows are sorted by issue time (the class contract), so the
+        # day column is non-decreasing and each day is one contiguous
+        # slice: locate all day boundaries with a single binary-search
+        # pass instead of rescanning every row once per day.  Unsorted
+        # traces (pre-validate() inputs) keep the masking fallback.
+        if bool(np.all(day_index[1:] >= day_index[:-1])):
+            boundaries = np.searchsorted(
+                day_index, np.arange(days + 1, dtype=np.int64), side="left"
+            )
+            day_slices = [
+                (day, slice(int(boundaries[day]), int(boundaries[day + 1])))
+                for day in range(days)
+            ]
+        else:
+            day_slices = [(day, day_index == day) for day in range(days)]
+        for day, rows in day_slices:
+            bases = self.address[rows]
+            if bases.size == 0:
                 continue
-            bases = self.address[mask]
-            counts = counts64[mask]
+            counts = counts64[rows]
             total = int(counts.sum())
             starts = np.cumsum(counts) - counts
             ramp = np.arange(total, dtype=np.int64) - np.repeat(starts, counts)

@@ -28,12 +28,14 @@ import dataclasses
 import hashlib
 import json
 import os
+import shutil
 import warnings
 import zipfile
 from pathlib import Path
 from typing import Optional, Union
 
 from repro.traces.columnar import ColumnarTrace
+from repro.traces.segments import SegmentError, SegmentStore
 from repro.util.atomic import atomic_write_path
 from repro.traces.model import Trace
 from repro.traces.synthetic import EnsembleTraceGenerator, SyntheticTraceConfig
@@ -82,33 +84,42 @@ def trace_cache_dir(
 ) -> Optional[Path]:
     """Resolve the cache directory; ``None`` means caching is disabled.
 
-    An explicit ``cache_dir`` argument wins over the environment.  An
-    environment path that exists but is **not** a directory (a stray
-    file where the cache should live) disables caching with a one-time
-    warning naming the path, instead of failing every cache write with
-    a confusing ``mkdir`` error.
+    An explicit ``cache_dir`` argument wins over the environment.  A
+    path — explicit or from the environment — that exists but is
+    **not** a directory (a stray file where the cache should live)
+    disables caching with a one-time warning naming the path, instead
+    of failing every cache write with a confusing ``mkdir`` error.
     """
     if cache_dir is not None:
-        return Path(cache_dir)
+        path = Path(cache_dir)
+        if _warn_if_non_directory(path, f"cache_dir={str(cache_dir)!r}"):
+            return None
+        return path
     env = os.environ.get(CACHE_ENV_VAR)
     if env is not None:
         if env.strip().lower() in _DISABLED_VALUES:
             return None
         path = Path(env)
-        if path.exists() and not path.is_dir():
-            if str(path) not in _NON_DIRECTORY_WARNED:
-                _NON_DIRECTORY_WARNED.add(str(path))
-                warnings.warn(
-                    f"{CACHE_ENV_VAR}={env!r} points at an existing "
-                    "non-directory path; trace caching is disabled for "
-                    "this run (remove the file or point the variable "
-                    "at a directory)",
-                    RuntimeWarning,
-                    stacklevel=3,
-                )
+        if _warn_if_non_directory(path, f"{CACHE_ENV_VAR}={env!r}"):
             return None
         return path
     return Path.cwd() / DEFAULT_CACHE_DIRNAME
+
+
+def _warn_if_non_directory(path: Path, origin: str) -> bool:
+    """True (with a once-per-path warning) if ``path`` is a non-directory."""
+    if not path.exists() or path.is_dir():
+        return False
+    if str(path) not in _NON_DIRECTORY_WARNED:
+        _NON_DIRECTORY_WARNED.add(str(path))
+        warnings.warn(
+            f"{origin} points at an existing non-directory path; trace "
+            "caching is disabled for this run (remove the file or use "
+            "a directory path)",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+    return True
 
 
 def cache_path_for(
@@ -171,6 +182,74 @@ def _note_cache_outcome(outcome: str) -> None:
         "Trace-cache lookups by outcome (hit / miss / corrupt)",
         ("outcome",),
     ).inc(outcome=outcome)
+
+
+def segments_path_for(
+    config: SyntheticTraceConfig,
+    cache_dir: Optional[Union[str, Path]] = None,
+) -> Optional[Path]:
+    """Segment-store directory for a config, or ``None`` when disabled."""
+    directory = trace_cache_dir(cache_dir)
+    if directory is None:
+        return None
+    return directory / f"trace-{config_fingerprint(config)}.segments"
+
+
+def load_or_generate_segments(
+    config: SyntheticTraceConfig,
+    cache_dir: Optional[Union[str, Path]] = None,
+    directory: Optional[Union[str, Path]] = None,
+    rows_per_segment: Optional[int] = None,
+) -> SegmentStore:
+    """Return the config's trace as an on-disk segment store.
+
+    The out-of-core twin of :func:`load_or_generate_columnar`: the
+    generator streams one day at a time into bounded ``.npz`` segments
+    (never materializing the whole trace), and a valid existing store
+    whose recorded config fingerprint matches is reused as-is.  An
+    unreadable, truncated, version-mismatched, or wrong-fingerprint
+    store is evicted with a warning and regenerated.
+
+    ``directory`` pins the store location explicitly (the CLI's
+    ``--segments`` flag); otherwise the store lives in the trace cache
+    keyed by the config fingerprint.  Segment stores are inherently
+    on-disk, so with caching disabled and no explicit directory this
+    raises ``ValueError``.
+    """
+    fingerprint = config_fingerprint(config)
+    if directory is not None:
+        target = Path(directory)
+    else:
+        target = segments_path_for(config, cache_dir)
+        if target is None:
+            raise ValueError(
+                "segment stores live on disk: pass an explicit directory "
+                f"or enable the trace cache (unset {CACHE_ENV_VAR}=off)"
+            )
+    if (target / "manifest.json").exists():
+        try:
+            store = SegmentStore.open(target)
+            if store.config_fingerprint != fingerprint:
+                raise SegmentError(
+                    f"segment store {target} was generated for a different "
+                    "trace config"
+                )
+        except SegmentError as exc:
+            _note_cache_outcome("corrupt")
+            warnings.warn(
+                f"unusable segment store {target} ({exc}); evicting and "
+                "regenerating",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            shutil.rmtree(target, ignore_errors=True)
+        else:
+            _note_cache_outcome("hit")
+            return store
+    _note_cache_outcome("miss")
+    return EnsembleTraceGenerator(config).generate_segments(
+        target, rows_per_segment=rows_per_segment, config_fingerprint=fingerprint
+    )
 
 
 def load_or_generate_trace(

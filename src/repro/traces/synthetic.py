@@ -42,7 +42,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Tuple
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (segments uses columnar)
+    from repro.traces.segments import SegmentStore
 
 import numpy as np
 
@@ -228,6 +232,7 @@ class EnsembleTraceGenerator:
         self._columnar: Optional[ColumnarTrace] = None
         self._per_server_columns: Optional[Dict[int, ColumnarTrace]] = None
         self._per_server: Optional[Dict[int, Trace]] = None
+        self._day_streamed = False
 
     # ------------------------------------------------------------------
     # public API
@@ -281,32 +286,107 @@ class EnsembleTraceGenerator:
             self._per_server_columns = self._generate_all()
         return self._per_server_columns
 
+    def iter_day_columnar(self) -> "Iterator[Tuple[int, ColumnarTrace]]":
+        """Yield ``(day, columns)`` per trace day without holding the week.
+
+        The streaming twin of :meth:`generate_columnar`: concatenating
+        the yielded day traces in order reproduces the full ensemble
+        trace **bit for bit**.  Per-day issue times are strictly inside
+        their day, so sorting each day independently and concatenating
+        equals the global stable sort — simultaneous requests keep the
+        same (server, volume) tie order in both pipelines.
+
+        Generation is stateful (hot pools drift day over day), so a
+        generator instance can run either this or the whole-trace path,
+        once; a second generation attempt raises ``RuntimeError``.
+        """
+        if self._per_server_columns is not None or self._day_streamed:
+            raise RuntimeError(
+                "generator already consumed (hot-pool drift is stateful); "
+                "create a fresh EnsembleTraceGenerator"
+            )
+        self._day_streamed = True
+        cfg = self.config
+        day_footprints = self._daily_footprint_blocks()
+        for day in range(cfg.days):
+            chunks = [c for _, c in self._generate_day_chunks(day, day_footprints)]
+            merged = ColumnarTrace.concatenate(
+                chunks, description=f"synthetic ensemble day {day}"
+            )
+            yield day, merged.sorted_by_issue()
+
+    def generate_segments(
+        self,
+        directory: "Union[str, Path]",
+        rows_per_segment: Optional[int] = None,
+        config_fingerprint: Optional[str] = None,
+    ) -> "SegmentStore":
+        """Generate straight into an on-disk segment store, day by day.
+
+        Appends each day's (sorted) requests as one or more bounded
+        segments as soon as the day is generated — peak memory is one
+        day of one trace, not the week — and finalizes the manifest.
+        The resulting store streams the identical rows
+        :meth:`generate_columnar` would return.
+        """
+        from repro.traces.segments import SegmentWriter
+
+        writer = SegmentWriter(
+            directory,
+            description=(
+                f"synthetic ensemble: {len(self.config.servers)} servers, "
+                f"{self.config.days} days, scale={self.config.scale:g}, "
+                f"seed={self.config.seed}"
+            ),
+            config_fingerprint=config_fingerprint,
+        )
+        for _, day_columns in self.iter_day_columnar():
+            writer.append(day_columns, max_rows=rows_per_segment)
+        return writer.finalize()
+
+    def _generate_day_chunks(
+        self, day: int, day_footprints: List[float]
+    ) -> List[Tuple[int, ColumnarTrace]]:
+        """One day's ``(server_id, chunk)`` list in (server, volume) order.
+
+        Must be called with strictly increasing ``day`` values on one
+        instance: the hot pools drift sequentially.
+        """
+        cfg = self.config
+        day_factor = self._hot_share_day_factor(day)
+        mean_blocks = cfg.mean_daily_footprint_gb * GIB / BLOCK_BYTES * cfg.scale
+        chunks: List[Tuple[int, ColumnarTrace]] = []
+        for server in cfg.servers:
+            server_footprint = day_footprints[day] * server.activity_share
+            server_mean = mean_blocks * server.activity_share
+            minute_weights = self._minute_weights(server, day)
+            for volume in server.volumes:
+                chunk = self._generate_volume_day(
+                    server=server,
+                    volume=volume,
+                    day=day,
+                    footprint_blocks=server_footprint * volume.access_share,
+                    mean_footprint_blocks=server_mean * volume.access_share,
+                    day_factor=day_factor,
+                    minute_weights=minute_weights,
+                )
+                chunks.append((server.server_id, chunk))
+        return chunks
+
     def _generate_all(self) -> Dict[int, ColumnarTrace]:
+        if self._day_streamed:
+            raise RuntimeError(
+                "generator already consumed (hot-pool drift is stateful); "
+                "create a fresh EnsembleTraceGenerator"
+            )
         cfg = self.config
         day_footprints = self._daily_footprint_blocks()
         per_server_chunks: Dict[int, List[ColumnarTrace]] = {
             s.server_id: [] for s in cfg.servers
         }
         for day in range(cfg.days):
-            day_factor = self._hot_share_day_factor(day)
-            mean_blocks = (
-                cfg.mean_daily_footprint_gb * GIB / BLOCK_BYTES * cfg.scale
-            )
-            for server in cfg.servers:
-                server_footprint = day_footprints[day] * server.activity_share
-                server_mean = mean_blocks * server.activity_share
-                minute_weights = self._minute_weights(server, day)
-                for volume in server.volumes:
-                    chunk = self._generate_volume_day(
-                        server=server,
-                        volume=volume,
-                        day=day,
-                        footprint_blocks=server_footprint * volume.access_share,
-                        mean_footprint_blocks=server_mean * volume.access_share,
-                        day_factor=day_factor,
-                        minute_weights=minute_weights,
-                    )
-                    per_server_chunks[server.server_id].append(chunk)
+            for server_id, chunk in self._generate_day_chunks(day, day_footprints):
+                per_server_chunks[server_id].append(chunk)
         traces = {}
         for server in cfg.servers:
             combined = ColumnarTrace.concatenate(

@@ -87,6 +87,39 @@ class TestDerivedColumns:
                     for r in mixed_trace.requests]
         assert columns.issue_days().tolist() == expected
 
+    def test_issue_days_agree_with_python_at_day_boundaries(self):
+        # Regression: timestamps at (or within an ulp of) a day multiple
+        # must bucket exactly as Python's ``int(t // 86400)`` does —
+        # numpy's floor_divide can land one ulp on the wrong side, and
+        # the engines' bit-identical guarantee rides on both pipelines
+        # agreeing.  These times exercise the boundary-recomputation
+        # branch in ``bucket_indices``.
+        day = float(SECONDS_PER_DAY)
+        times = [
+            0.0,
+            np.nextafter(day, 0.0),        # just below the boundary
+            day,                            # exactly on it
+            np.nextafter(day, np.inf),      # just above it
+            2 * day - 1e-10,                # inside the margin, below
+            2 * day,
+            2 * day + 1e-10,                # inside the margin, above
+            3 * day,
+        ]
+        trace = Trace([req(t) for t in times])
+        columns = ColumnarTrace.from_trace(trace)
+        expected = [int(float(t) // SECONDS_PER_DAY) for t in times]
+        assert columns.issue_days().tolist() == expected
+
+    def test_daily_block_counts_straddling_boundaries_match_reference(
+        self,
+    ):
+        day = float(SECONDS_PER_DAY)
+        times = [0.0, np.nextafter(day, 0.0), day, np.nextafter(day, np.inf),
+                 2 * day, 2 * day + 1e-10]
+        trace = Trace([req(t, blocks=i + 1) for i, t in enumerate(times)])
+        columns = ColumnarTrace.from_trace(trace)
+        assert columns.daily_block_counts(4) == daily_block_counts(trace, 4)
+
     def test_expand_block_addresses(self):
         trace = Trace([req(0.0, offset=10, blocks=3), req(1.0, offset=50, blocks=2)])
         columns = ColumnarTrace.from_trace(trace)

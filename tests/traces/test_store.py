@@ -157,13 +157,16 @@ class TestLoadOrGenerate:
         ).to_trace().requests
 
     def test_unwritable_cache_warns_but_returns_trace(self, tmp_path):
-        # The cache dir path is occupied by a *file*, so mkdir fails:
-        # the trace must still come back, with a warning naming the
-        # path instead of a silent non-persisting cache.
+        # The cache dir path is occupied by a *file*.  An explicit
+        # cache_dir gets the same warn-once-and-disable guard as the
+        # environment variable: the trace must still come back, with
+        # one warning explaining the non-directory path instead of a
+        # confusing mkdir failure on every cache write.
         blocker = tmp_path / "not-a-directory"
         blocker.write_text("in the way")
         config = tiny_config()
-        with pytest.warns(RuntimeWarning, match="trace cache write failed"):
+        _reset_non_directory_warnings()
+        with pytest.warns(RuntimeWarning, match="non-directory"):
             columns = load_or_generate_columnar(config, blocker)
         assert len(columns) > 0
         fresh = EnsembleTraceGenerator(config).generate_columnar()
