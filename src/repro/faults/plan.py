@@ -32,6 +32,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import List, Optional, Tuple, Union
 
+from repro.util.atomic import atomic_write
+
 #: Bump on plan-schema changes; loaders refuse unknown versions.
 PLAN_SCHEMA_VERSION = 1
 
@@ -218,7 +220,9 @@ class FaultPlan:
         )
 
     def save_json(self, path: Union[str, Path]) -> None:
-        Path(path).write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        encoded = (json.dumps(self.to_dict(), indent=2) + "\n").encode("utf-8")
+        with atomic_write(path) as handle:
+            handle.write(encoded)
 
     @classmethod
     def load_json(cls, path: Union[str, Path]) -> "FaultPlan":

@@ -118,8 +118,11 @@ def scoped_registry() -> Iterator[ObsContext]:
         registry=MetricsRegistry(),
         events=previous.events if previous is not None else None,
     )
-    _CONTEXT = context
+    # The swap is intentionally per-process: a worker task's metrics
+    # accumulate in the worker's own registry and travel home in the
+    # task snapshot, so the parent never needs to see this rebind.
+    _CONTEXT = context  # sievelint: disable=SVL008 -- per-process registry swap; snapshot returns via task result
     try:
         yield context
     finally:
-        _CONTEXT = previous
+        _CONTEXT = previous  # sievelint: disable=SVL008 -- restores the worker's own previous context

@@ -72,7 +72,7 @@ def _reset_fallback_warnings() -> None:
     call this directly.
     """
     global _FALLBACK_WARNED
-    _FALLBACK_WARNED = False
+    _FALLBACK_WARNED = False  # sievelint: disable=SVL008 -- warn-once latch is deliberately per-process
 
 
 def _warn_fast_path_fallback(
@@ -83,7 +83,7 @@ def _warn_fast_path_fallback(
     global _FALLBACK_WARNED
     if _FALLBACK_WARNED:
         return
-    _FALLBACK_WARNED = True
+    _FALLBACK_WARNED = True  # sievelint: disable=SVL008 -- warn-once latch is deliberately per-process
     detail = f"replacement={replacement!r}, write_mode={write_mode.name}"
     if fault_plan is not None:
         detail += ", fault plan active"

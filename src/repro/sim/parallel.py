@@ -65,6 +65,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Union
 from repro.sim import engine as _engine
 from repro.sim.engine import DEFAULT_CHECKPOINT_EVERY, SimulationResult
 from repro.traces.columnar import ColumnarTrace
+from repro.util.atomic import atomic_write
 
 #: Bump on manifest layout changes; consumers refuse unknown versions.
 #: v2 added per-task ``fault_plan`` (plan fingerprint) and
@@ -88,6 +89,17 @@ _WORKER_CONTEXT = None
 
 class InjectedWorkerFault(RuntimeError):
     """Raised by the fault-injection hook (testing/CI only)."""
+
+
+def _write_json_atomic(path: Union[str, Path], payload: dict) -> None:
+    """Publish ``payload`` as indented JSON all-or-nothing.
+
+    Manifests are polled by monitoring tooling while runs are live, so
+    a torn write must never be observable.
+    """
+    encoded = (json.dumps(payload, indent=2) + "\n").encode("utf-8")
+    with atomic_write(path) as handle:
+        handle.write(encoded)
 
 
 def _parse_fault_spec() -> Optional[tuple]:
@@ -146,7 +158,9 @@ def _init_worker(trace_path: str, days: int, scale: float, seed: int) -> None:
 
     global _WORKER_CONTEXT
     columns = ColumnarTrace.load_npz(trace_path)
-    _WORKER_CONTEXT = context_for_trace(columns, days=days, scale=scale, seed=seed)
+    # Set once per worker process by the pool initializer; workers only
+    # ever read it.  This is the sanctioned worker-global idiom.
+    _WORKER_CONTEXT = context_for_trace(columns, days=days, scale=scale, seed=seed)  # sievelint: disable=SVL008 -- initializer-set worker global, read-only afterwards
 
 
 def _checkpoint_meta(checkpoint_dir, name: str, checkpoint_every) -> Optional[dict]:
@@ -328,8 +342,8 @@ class SuiteRun(Mapping):
         return not self.failures
 
     def save_manifest(self, path: Union[str, Path]) -> None:
-        """Write the run manifest as indented JSON."""
-        Path(path).write_text(json.dumps(self.manifest, indent=2) + "\n")
+        """Write the run manifest as indented JSON (atomically)."""
+        _write_json_atomic(path, self.manifest)
 
 
 def _build_manifest(
@@ -885,7 +899,9 @@ def _init_shard_worker(store_dir: str) -> None:
     from repro.traces.segments import SegmentStore
 
     global _SHARD_STORE
-    _SHARD_STORE = SegmentStore.open(store_dir)
+    # Set once per worker process by the pool initializer; workers only
+    # ever read it.  This is the sanctioned worker-global idiom.
+    _SHARD_STORE = SegmentStore.open(store_dir)  # sievelint: disable=SVL008 -- initializer-set worker global, read-only afterwards
 
 
 def _replay_shard(
@@ -1143,8 +1159,8 @@ class ShardedReplayRun:
         return not self.failures and self.stats is not None
 
     def save_manifest(self, path: Union[str, Path]) -> None:
-        """Write the run manifest as indented JSON."""
-        Path(path).write_text(json.dumps(self.manifest, indent=2) + "\n")
+        """Write the run manifest as indented JSON (atomically)."""
+        _write_json_atomic(path, self.manifest)
 
 
 def _build_shard_manifest(

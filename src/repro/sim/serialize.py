@@ -142,8 +142,10 @@ def result_from_dict(payload: dict) -> SimulationResult:
 
 
 def save_result(result: SimulationResult, path: Union[str, Path]) -> None:
-    """Write one result to a JSON file."""
-    Path(path).write_text(json.dumps(result_to_dict(result), indent=2))
+    """Write one result to a JSON file (atomically published)."""
+    encoded = json.dumps(result_to_dict(result), indent=2).encode("utf-8")
+    with atomic_write(path) as handle:
+        handle.write(encoded)
 
 
 def load_result(path: Union[str, Path]) -> SimulationResult:

@@ -12,7 +12,7 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.staticcheck.astutil import module_name_for
-from repro.staticcheck.context import ModuleContext
+from repro.staticcheck.context import ModuleContext, Project
 from repro.staticcheck.findings import Finding, Severity
 from repro.staticcheck.registry import Rule, all_codes, all_rules
 
@@ -99,8 +99,9 @@ def analyze_paths(
         for rule in rules:
             raw.extend(rule.check_module(ctx))
 
+    project = Project(contexts)
     for rule in rules:
-        raw.extend(rule.check_project(contexts))
+        raw.extend(rule.check_project(project))
 
     for finding in sorted(raw, key=Finding.sort_key):
         ctx = suppressions_by_path.get(finding.path)
@@ -122,10 +123,11 @@ def check_source(
     """Analyze one in-memory source string (fixture-test entry point)."""
     ctx = ModuleContext.from_source(source, Path(path), module=module)
     rules = _filter_rules(all_rules(), select, None)
+    project = Project([ctx])
     raw: List[Finding] = []
     for rule in rules:
         raw.extend(rule.check_module(ctx))
-        raw.extend(rule.check_project([ctx]))
+        raw.extend(rule.check_project(project))
     return sorted(
         (
             f

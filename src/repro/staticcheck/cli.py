@@ -17,7 +17,7 @@ from typing import List, Optional
 
 from repro.staticcheck import analyzer, reporters
 from repro.staticcheck.baseline import Baseline
-from repro.staticcheck.registry import all_rules
+from repro.staticcheck.registry import all_rules, get_rule
 
 EXIT_CLEAN = 0
 EXIT_FINDINGS = 1
@@ -78,6 +78,15 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="describe every registered rule and exit",
     )
+    parser.add_argument(
+        "--explain",
+        metavar="CODE",
+        default=None,
+        help=(
+            "print one rule's rationale, a violating example, and the "
+            "suppression syntax, then exit"
+        ),
+    )
 
 
 def run(args: argparse.Namespace) -> int:
@@ -90,6 +99,9 @@ def run(args: argparse.Namespace) -> int:
 
 
 def _run(args: argparse.Namespace) -> int:
+    if args.explain is not None:
+        print(explain_rule(args.explain))
+        return EXIT_CLEAN
     if args.list_rules:
         for rule in all_rules():
             meta = rule.meta
@@ -139,6 +151,40 @@ def _run(args: argparse.Namespace) -> int:
         )
     clean = not report.findings and not report.stale_baseline
     return EXIT_CLEAN if clean else EXIT_FINDINGS
+
+
+def explain_rule(code: str) -> str:
+    """Everything a developer needs to act on one rule code.
+
+    Raises :class:`UsageError` (exit 2) on unknown codes, matching the
+    ``--select`` contract.
+    """
+    try:
+        rule = get_rule(code.strip().upper())
+    except KeyError as exc:
+        raise UsageError(str(exc)) from None
+    meta = rule.meta
+    lines = [
+        f"{meta.code} {meta.name} [{meta.severity}]",
+        "",
+        meta.summary,
+        "",
+        meta.rationale,
+    ]
+    if meta.example:
+        lines += ["", "Example violation:", ""]
+        lines += [f"    {line}" for line in meta.example.splitlines()]
+    lines += [
+        "",
+        "Suppress one finding (with a recorded reason):",
+        "",
+        f"    offending_line()  # sievelint: disable={meta.code} -- why",
+        "",
+        "or grandfather existing findings into the committed baseline:",
+        "",
+        f"    sievelint --select {meta.code} --write-baseline",
+    ]
+    return "\n".join(lines)
 
 
 def _split_codes(groups: List[str]) -> List[str]:

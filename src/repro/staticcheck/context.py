@@ -1,13 +1,17 @@
-"""Per-file analysis context shared by every rule."""
+"""Per-file and project-wide analysis contexts shared by every rule."""
 
 from __future__ import annotations
 
 import ast
 from dataclasses import dataclass
 from pathlib import Path
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.staticcheck.astutil import ImportMap, module_name_for
 from repro.staticcheck.suppressions import Suppressions, parse_suppressions
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.staticcheck.callgraph import ProjectGraph
 
 
 @dataclass
@@ -41,3 +45,42 @@ class ModuleContext:
             suppressions=parse_suppressions(source),
             imports=ImportMap(tree, module=name),
         )
+
+
+class Project:
+    """Every parsed module of one analysis run, plus the call graph.
+
+    Handed to :meth:`~repro.staticcheck.registry.Rule.check_project` so
+    cross-file rules can see the whole scan at once.  The
+    :class:`~repro.staticcheck.callgraph.ProjectGraph` — symbol table,
+    call edges, boundary facts — is built lazily on first access and
+    shared by every rule that asks, so per-file-only runs never pay for
+    it.
+    """
+
+    def __init__(self, modules: List[ModuleContext]) -> None:
+        self.modules = list(modules)
+        self._graph: Optional["ProjectGraph"] = None
+        self._by_module: Optional[Dict[str, ModuleContext]] = None
+
+    @property
+    def graph(self) -> "ProjectGraph":
+        """The whole-program call graph (built on first use)."""
+        if self._graph is None:
+            from repro.staticcheck.callgraph import ProjectGraph
+
+            self._graph = ProjectGraph(self.modules)
+        return self._graph
+
+    @property
+    def by_module(self) -> Dict[str, ModuleContext]:
+        """Dotted module name -> context (last one wins on collision)."""
+        if self._by_module is None:
+            self._by_module = {ctx.module: ctx for ctx in self.modules}
+        return self._by_module
+
+    def __iter__(self):
+        return iter(self.modules)
+
+    def __len__(self) -> int:
+        return len(self.modules)

@@ -38,23 +38,40 @@ class Finding:
     message: str
     module: str
     symbol: str = ""
+    #: Last physical line of the offending node (0 = unknown; older
+    #: rules and parse errors have no span).
+    end_line: int = 0
 
     def sort_key(self) -> Tuple[str, int, int, str]:
         """Deterministic report ordering: path, position, code."""
         return (self.path, self.line, self.col, self.code)
 
     def baseline_key(self) -> str:
-        """Stable identity used by the committed findings baseline."""
+        """Stable identity used by the committed findings baseline.
+
+        Deliberately line-number-free: ``symbol`` carries the stable
+        anchor.  Per-file rules use the offending expression's source
+        text; call-graph rules use qualified function names
+        (``repro.sim.parallel._replay_shard``), which survive edits
+        anywhere else in the project.
+        """
         return f"{self.module}::{self.code}::{self.symbol}"
 
     def to_dict(self) -> Dict[str, Union[str, int]]:
-        """Plain-JSON form for the JSON reporter."""
+        """Plain-JSON form for the JSON reporter.
+
+        ``column`` duplicates ``col`` under the name most editors and
+        SARIF-ish consumers expect; ``col`` stays for compatibility
+        with format-version-1 consumers.
+        """
         return {
             "code": self.code,
             "severity": self.severity,
             "path": self.path,
             "line": self.line,
             "col": self.col,
+            "column": self.col,
+            "end_line": self.end_line or self.line,
             "module": self.module,
             "message": self.message,
             "symbol": self.symbol,

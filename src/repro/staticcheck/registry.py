@@ -5,6 +5,12 @@ Rules are classes decorated with :func:`register`; each carries a
 contract it enforces.  The analyzer instantiates every registered rule
 fresh per run, so rules may keep per-run state (SVL005 accumulates
 cross-module facts in :meth:`Rule.check_project`).
+
+Since the interprocedural re-host, :meth:`Rule.check_project` receives
+a :class:`~repro.staticcheck.context.Project` — every parsed module
+plus a lazily-built whole-program call graph — instead of a bare
+module list, so rules can be flow- and call-graph-sensitive (SVL007,
+SVL008) as well as cross-file (SVL005, SVL009).
 """
 
 from __future__ import annotations
@@ -15,28 +21,39 @@ from typing import TYPE_CHECKING, Dict, List, Type
 from repro.staticcheck.findings import Finding
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
-    from repro.staticcheck.context import ModuleContext
+    from repro.staticcheck.context import ModuleContext, Project
 
 
 @dataclass(frozen=True)
 class RuleMeta:
-    """Static description of a rule: its code, severity, and rationale."""
+    """Static description of a rule: its code, severity, and rationale.
+
+    ``example`` is a minimal self-contained snippet violating the rule
+    (printed by ``sievelint --explain CODE``); ``fixture_module`` is
+    the dotted module name under which the rule's fixture files in
+    ``tests/staticcheck/fixtures/`` trigger it (most rules scope
+    themselves to package prefixes, so the coverage meta-test needs to
+    know which module identity makes the rule fire).
+    """
 
     code: str
     name: str
     severity: str
     summary: str
     rationale: str
+    example: str = ""
+    fixture_module: str = "fixture"
 
 
 class Rule:
     """Base class for analyzer rules.
 
     Subclasses override :meth:`check_module` (called once per parsed
-    file) and/or :meth:`check_project` (called once after every file,
-    for cross-file rules such as the schema registry check).  Both
-    return findings; suppression and baseline filtering happen in the
-    analyzer, not here.
+    file) and/or :meth:`check_project` (called once after every file
+    with the whole :class:`~repro.staticcheck.context.Project`, for
+    cross-file and call-graph-sensitive rules).  Both return findings;
+    suppression and baseline filtering happen in the analyzer, not
+    here.
     """
 
     meta: RuleMeta
@@ -44,7 +61,7 @@ class Rule:
     def check_module(self, ctx: "ModuleContext") -> List[Finding]:
         return []
 
-    def check_project(self, modules: List["ModuleContext"]) -> List[Finding]:
+    def check_project(self, project: "Project") -> List[Finding]:
         return []
 
 

@@ -6,9 +6,14 @@ import json
 from typing import IO, Dict, List
 
 from repro.staticcheck.analyzer import Report
+from repro.staticcheck.findings import Finding
 
 #: Version of the JSON report envelope (not the baseline format).
-REPORT_FORMAT_VERSION = 1
+#: v2: findings gained ``column``/``end_line`` and the envelope pins
+#: deterministic finding order (file, line, column, code).  The report
+#: format itself is a serialized schema, registered in
+#: ``schema_registry`` so SVL005 guards the linter's own output.
+REPORT_FORMAT_VERSION = 2
 
 
 def render_text(report: Report, stale_hint: str = "") -> str:
@@ -34,10 +39,17 @@ def render_text(report: Report, stale_hint: str = "") -> str:
 
 
 def render_json(report: Report) -> Dict[str, object]:
-    """Machine-readable report envelope (stable schema for CI tooling)."""
+    """Machine-readable report envelope (stable schema for CI tooling).
+
+    Findings are re-sorted here rather than trusting the caller, so
+    the JSON order is deterministic no matter how the report was
+    assembled (CI tooling diffs these files).
+    """
     return {
         "version": REPORT_FORMAT_VERSION,
-        "findings": [f.to_dict() for f in report.findings],
+        "findings": [
+            f.to_dict() for f in sorted(report.findings, key=Finding.sort_key)
+        ],
         "stale_baseline": list(report.stale_baseline),
         "summary": {
             "files_scanned": report.files_scanned,

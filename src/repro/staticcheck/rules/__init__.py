@@ -3,6 +3,11 @@
 from __future__ import annotations
 
 from repro.staticcheck.rules import (  # noqa: F401
+    concurrency,
+    durability,
+    exactmath,
+    lifecycle,
+    metricnames,
     obsguard,
     ordering,
     picklable,

@@ -1,0 +1,325 @@
+"""SVL008 — state shared across thread/process boundaries.
+
+Call-graph-sensitive rule with two sub-checks:
+
+* **Shared connections** (repro.serve): a ``sqlite3.connect`` / ``open``
+  result stored on ``self`` or at module level is shared by every
+  thread the serving appliance runs — sqlite connections are
+  single-thread by default and file handles share one seek position.
+  The sanctioned pattern is a per-thread pool under
+  ``threading.local()`` (see ``repro.serve.store``), which stores into
+  ``self._local`` and is therefore not matched here.
+
+* **Worker-global mutation** (interprocedural SVL003 follow-up): a
+  function that the call graph proves runs inside a pool worker —
+  submitted, mapped, an ``initializer=``, or transitively called from
+  one — mutating a module-level mutable.  SVL003 catches unpicklable
+  *payloads* at the submit site; this catches the quieter bug where
+  the payload pickles fine but the worker updates a module global the
+  parent (and the merged results) never see.  The deliberate
+  worker-global idiom (set once per worker process in an initializer)
+  is expected to carry an inline suppression stating that intent.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set
+
+from repro.staticcheck.astutil import unparse_short, walk_scope
+from repro.staticcheck.callgraph import FunctionNode
+from repro.staticcheck.context import ModuleContext, Project
+from repro.staticcheck.findings import Finding, Severity
+from repro.staticcheck.registry import Rule, RuleMeta, register
+
+#: Package whose classes serve concurrent clients by design.
+SERVE_PREFIX = "repro.serve"
+
+#: Constructors whose results must not be shared across threads.
+THREAD_BOUND_CONSTRUCTORS = frozenset({"sqlite3.connect", "sqlite3.Connection"})
+
+#: Method calls that mutate their receiver in place.
+MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "add",
+        "update",
+        "setdefault",
+        "pop",
+        "popitem",
+        "remove",
+        "discard",
+        "clear",
+        "appendleft",
+        "extendleft",
+    }
+)
+
+
+@register
+class SharedStateRule(Rule):
+    meta = RuleMeta(
+        code="SVL008",
+        name="thread-shared-state",
+        severity=Severity.ERROR,
+        summary="connection or module state shared across a concurrency boundary",
+        rationale=(
+            "sqlite3 connections are single-thread by default and file "
+            "handles share one seek position, so storing one on self/"
+            "module in the multi-threaded serve path races; and a "
+            "module global mutated inside a pool worker updates the "
+            "worker's copy of the module, silently diverging from the "
+            "parent.  Use threading.local() pools for connections and "
+            "explicit task results (or a suppressed, documented "
+            "initializer-set worker global) for worker state."
+        ),
+        example=(
+            "import sqlite3, concurrent.futures\n"
+            "class Store:\n"
+            "    def __init__(self, path):\n"
+            "        self.conn = sqlite3.connect(path)  # shared by all threads\n"
+            "_SEEN = set()\n"
+            "def worker(block):\n"
+            "    _SEEN.add(block)  # mutates the worker's copy only\n"
+            "def run(pool, blocks):\n"
+            "    pool.map(worker, blocks)"
+        ),
+        fixture_module="repro.serve.fixture",
+    )
+
+    def check_project(self, project: Project) -> List[Finding]:
+        findings: List[Finding] = []
+        for ctx in project:
+            if ctx.module == SERVE_PREFIX or ctx.module.startswith(
+                SERVE_PREFIX + "."
+            ):
+                findings.extend(self._check_shared_connections(ctx))
+        graph = project.graph
+        for fn in graph.pool_worker_functions():
+            findings.extend(self._check_worker_globals(fn))
+        return findings
+
+    # -- sub-check: connections stored on self / module in serve -----------
+
+    def _check_shared_connections(self, ctx: ModuleContext) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Assign):
+                continue
+            if not self._is_thread_bound(ctx, node.value):
+                continue
+            for target in node.targets:
+                label = _shared_target(ctx, node, target)
+                if label is None:
+                    continue
+                findings.append(
+                    Finding(
+                        code=self.meta.code,
+                        severity=self.meta.severity,
+                        path=str(ctx.path),
+                        line=node.lineno,
+                        col=node.col_offset,
+                        end_line=getattr(node, "end_lineno", 0) or node.lineno,
+                        message=(
+                            f"{unparse_short(node.value.func, 30)} result "
+                            f"stored on {label}; every serving thread "
+                            f"shares it — keep per-thread instances in a "
+                            f"threading.local() pool "
+                            f"(see repro.serve.store)"
+                        ),
+                        module=ctx.module,
+                        symbol=f"shared-conn:{label}",
+                    )
+                )
+        return findings
+
+    def _is_thread_bound(self, ctx: ModuleContext, value: ast.expr) -> bool:
+        if not isinstance(value, ast.Call):
+            return False
+        resolved = ctx.imports.resolve(value.func)
+        return resolved in THREAD_BOUND_CONSTRUCTORS
+
+    # -- sub-check: module-global mutation inside pool workers -------------
+
+    def _check_worker_globals(self, fn: FunctionNode) -> List[Finding]:
+        module_names = _module_level_names(fn.ctx)
+        declared_global = _global_names(fn)
+        body = getattr(fn.node, "body", [])
+        findings: List[Finding] = []
+        seen: Set[int] = set()
+
+        def flag(node: ast.AST, name: str, what: str) -> None:
+            if id(node) in seen:
+                return
+            seen.add(id(node))
+            findings.append(
+                Finding(
+                    code=self.meta.code,
+                    severity=self.meta.severity,
+                    path=str(fn.ctx.path),
+                    line=node.lineno,
+                    col=node.col_offset,
+                    end_line=getattr(node, "end_lineno", 0) or node.lineno,
+                    message=(
+                        f"{what} of module-level {name!r} inside "
+                        f"{fn.name!r}, which the call graph places in a "
+                        f"pool worker; the mutation lands in the "
+                        f"worker's copy of the module, not the parent's "
+                        f"— return the value through the task result "
+                        f"instead"
+                    ),
+                    module=fn.ctx.module,
+                    symbol=f"{fn.qualname}:{name}",
+                )
+            )
+
+        for node in walk_scope(body):
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    name = _store_root(target)
+                    if name is None:
+                        continue
+                    if isinstance(target, ast.Name):
+                        # Plain Name stores rebind a local unless the
+                        # function declared the name global.
+                        if name in declared_global and name in module_names:
+                            flag(node, name, "rebinding")
+                    elif name in module_names and name not in _local_names(
+                        fn, declared_global
+                    ):
+                        flag(node, name, "item/field store")
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    name = _store_root(target)
+                    if (
+                        name is not None
+                        and name in module_names
+                        and (
+                            not isinstance(target, ast.Name)
+                            or name in declared_global
+                        )
+                    ):
+                        flag(node, name, "deletion")
+            elif isinstance(node, ast.Call):
+                name = _mutating_receiver(node)
+                if (
+                    name is not None
+                    and name in module_names
+                    and name not in _local_names(fn, declared_global)
+                ):
+                    flag(node, name, f"in-place {node.func.attr}()")
+        return findings
+
+
+def _shared_target(
+    ctx: ModuleContext, stmt: ast.Assign, target: ast.expr
+) -> Optional[str]:
+    """Human label when ``target`` is self.<attr> or a module global."""
+    if (
+        isinstance(target, ast.Attribute)
+        and isinstance(target.value, ast.Name)
+        and target.value.id == "self"
+    ):
+        return f"self.{target.attr}"
+    if isinstance(target, ast.Name):
+        # Module level = not inside any function scope; cheap check via
+        # col_offset 0 is wrong (try/if bodies), so walk the tree once.
+        if _is_module_level_stmt(ctx.tree, stmt):
+            return target.id
+    return None
+
+
+def _is_module_level_stmt(tree: ast.Module, stmt: ast.stmt) -> bool:
+    for node in walk_scope(tree.body):
+        if node is stmt:
+            return True
+    return False
+
+
+def _module_level_names(ctx: ModuleContext) -> Set[str]:
+    """Names bound by module-level statements (class bodies excluded)."""
+    names: Set[str] = set()
+
+    def visit(stmts: List[ast.stmt]) -> None:
+        for node in stmts:
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue  # class attrs / function locals are not globals
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                if isinstance(node.target, ast.Name):
+                    names.add(node.target.id)
+            elif isinstance(node, (ast.If, ast.Try, ast.For, ast.While)):
+                for block in ("body", "orelse", "finalbody"):
+                    visit(getattr(node, block, []) or [])
+                for handler in getattr(node, "handlers", []):
+                    visit(handler.body)
+
+    visit(ctx.tree.body)
+    return names
+
+
+def _global_names(fn: FunctionNode) -> Set[str]:
+    names: Set[str] = set()
+    for node in walk_scope(getattr(fn.node, "body", [])):
+        if isinstance(node, ast.Global):
+            names.update(node.names)
+    return names
+
+
+def _local_names(fn: FunctionNode, declared_global: Set[str]) -> Set[str]:
+    """Names that are local to ``fn`` (parameters + plain assignments)."""
+    local: Set[str] = set()
+    args = getattr(fn.node, "args", None)
+    if args is not None:
+        for arg in args.posonlyargs + args.args + args.kwonlyargs:
+            local.add(arg.arg)
+        if args.vararg:
+            local.add(args.vararg.arg)
+        if args.kwarg:
+            local.add(args.kwarg.arg)
+    for node in walk_scope(getattr(fn.node, "body", [])):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    local.add(target.id)
+        elif isinstance(node, (ast.AnnAssign, ast.For)):
+            target = node.target
+            if isinstance(target, ast.Name):
+                local.add(target.id)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if isinstance(item.optional_vars, ast.Name):
+                    local.add(item.optional_vars.id)
+    return local - declared_global
+
+
+def _store_root(target: ast.expr) -> Optional[str]:
+    """Root name of an assignment/delete target."""
+    node = target
+    while isinstance(node, (ast.Subscript, ast.Attribute)):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+def _mutating_receiver(call: ast.Call) -> Optional[str]:
+    """``NAME`` when the call is ``NAME.<mutating-method>(...)``."""
+    func = call.func
+    if (
+        isinstance(func, ast.Attribute)
+        and func.attr in MUTATING_METHODS
+        and isinstance(func.value, ast.Name)
+    ):
+        return func.value.id
+    return None

@@ -1,0 +1,169 @@
+"""SVL011 — no float arithmetic on block counts and percentile ranks.
+
+Scoped to the three modules whose outputs feed exact, byte-identity-
+pinned accounting: ``repro.util.units`` (capacity / block-count
+conversions), ``repro.util.intervals`` (epoch bucketing), and
+``repro.serve.percentiles`` (nearest-rank selection).  In these
+modules a ``math.ceil(a / b)`` computes the rank through a float and
+rounds the wrong way once the operands are large enough for IEEE-754
+to drop a ULP — the paper's 1%-selectivity claims are exactly the kind
+of statistic that moves.
+
+Flagged shapes:
+
+* ``math.ceil(expr)`` / ``math.floor(expr)`` where ``expr`` contains
+  true division (``/``) and no ``Fraction`` call;
+* ``int(expr)`` / ``round(expr)`` over true division, same exemption;
+* ``Fraction(<float literal>)`` — seeds the exact path with an inexact
+  value; write ``Fraction(str(x))`` or ``Fraction("0.95")``.
+
+The sanctioned idioms are integer ceiling division (``-(-a // b)``)
+and ``math.ceil(Fraction(...) * n)``; floor division (``//``) is
+always exact on ints and never flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from repro.staticcheck.astutil import unparse_short
+from repro.staticcheck.context import ModuleContext
+from repro.staticcheck.findings import Finding, Severity
+from repro.staticcheck.registry import Rule, RuleMeta, register
+
+SCOPED_MODULES = frozenset(
+    {"repro.util.units", "repro.util.intervals", "repro.serve.percentiles"}
+)
+
+#: Rounding callables that truncate a float intermediate.
+_ROUNDERS = frozenset({"math.ceil", "math.floor"})
+_BUILTIN_ROUNDERS = frozenset({"int", "round"})
+
+
+@register
+class ExactMathRule(Rule):
+    meta = RuleMeta(
+        code="SVL011",
+        name="exact-count-math",
+        severity=Severity.ERROR,
+        summary="float division feeding a rounding op in exact-math modules",
+        rationale=(
+            "Block counts and nearest-rank percentile indices are "
+            "exact integers; routing them through IEEE-754 division "
+            "before ceil/floor/int rounds the wrong way once operands "
+            "get large (or the ratio lands on a ULP boundary).  Use "
+            "integer ceiling division -(-a // b) or "
+            "math.ceil(Fraction(...) * n)."
+        ),
+        example=(
+            "import math\n"
+            "def blocks_needed(nbytes, block):\n"
+            "    return math.ceil(nbytes / block)  # float rounds wrong at scale\n"
+            "def rank(fraction, n):\n"
+            "    return int(fraction * n / 100)  # ditto\n"
+        ),
+        fixture_module="repro.util.units",
+    )
+
+    def check_module(self, ctx: ModuleContext) -> List[Finding]:
+        if ctx.module not in SCOPED_MODULES:
+            return []
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            label = self._flagged_rounding(ctx, node)
+            if label is not None:
+                findings.append(
+                    self._finding(
+                        ctx,
+                        node,
+                        f"{label} over true division computes an exact "
+                        f"count through a float; use -(-a // b) or "
+                        f"wrap the ratio in Fraction",
+                    )
+                )
+                continue
+            if self._is_float_fraction_seed(ctx, node):
+                findings.append(
+                    self._finding(
+                        ctx,
+                        node,
+                        "Fraction(<float literal>) seeds exact math "
+                        "with an inexact value; pass the string form "
+                        "(Fraction(str(x)) or Fraction('0.95'))",
+                    )
+                )
+        return findings
+
+    def _flagged_rounding(
+        self, ctx: ModuleContext, call: ast.Call
+    ) -> Optional[str]:
+        """Label of the rounding op when it truncates a float ratio."""
+        func = call.func
+        label: Optional[str] = None
+        resolved = ctx.imports.resolve(func)
+        if resolved in _ROUNDERS:
+            label = resolved
+        elif isinstance(func, ast.Name) and func.id in _BUILTIN_ROUNDERS:
+            label = f"{func.id}()"
+        elif (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "math"
+            and func.attr in ("ceil", "floor")
+        ):
+            label = f"math.{func.attr}"
+        if label is None or not call.args:
+            return None
+        arg = call.args[0]
+        if _contains_true_division(arg) and not _contains_fraction(ctx, arg):
+            return label
+        return None
+
+    def _is_float_fraction_seed(
+        self, ctx: ModuleContext, call: ast.Call
+    ) -> bool:
+        if not _is_fraction_call(ctx, call) or not call.args:
+            return False
+        first = call.args[0]
+        return isinstance(first, ast.Constant) and isinstance(
+            first.value, float
+        )
+
+    def _finding(
+        self, ctx: ModuleContext, call: ast.Call, message: str
+    ) -> Finding:
+        return Finding(
+            code=self.meta.code,
+            severity=self.meta.severity,
+            path=str(ctx.path),
+            line=call.lineno,
+            col=call.col_offset,
+            end_line=getattr(call, "end_lineno", 0) or call.lineno,
+            message=message,
+            module=ctx.module,
+            symbol=unparse_short(call, 50),
+        )
+
+
+def _contains_true_division(node: ast.AST) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.BinOp) and isinstance(sub.op, ast.Div):
+            return True
+    return False
+
+
+def _contains_fraction(ctx: ModuleContext, node: ast.AST) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call) and _is_fraction_call(ctx, sub):
+            return True
+    return False
+
+
+def _is_fraction_call(ctx: ModuleContext, call: ast.Call) -> bool:
+    func = call.func
+    if isinstance(func, ast.Name) and func.id == "Fraction":
+        return True
+    return ctx.imports.resolve(func) == "fractions.Fraction"

@@ -1,0 +1,257 @@
+"""SVL010 — resources opened without a close on every path.
+
+Per-scope dataflow rule, unscoped (tests leak file descriptors too).
+An ``open`` / ``sqlite3.connect`` / ``numpy.memmap`` / ``zipfile`` /
+``gzip`` handle must be governed: opened in a ``with`` block, closed
+by name, or handed off (returned, yielded, stored on an object,
+passed to another callable) so ownership visibly moves elsewhere.
+
+Two shapes are flagged:
+
+* an immediate-chain leak — ``open(p).read()`` or a bare ``open(p)``
+  expression statement — where the handle is never even bound;
+* a bound handle (``fh = open(p)``) whose only uses in the scope are
+  reads/writes: no ``close()``, no ``with``, no escape.
+
+The analysis is per-scope and deliberately generous about escapes: a
+handle passed as an argument, aliased, returned, or stored into any
+container/attribute is assumed managed by the recipient.  Missed leaks
+are possible; false positives should be rare.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Tuple
+
+from repro.staticcheck.astutil import (
+    parent_map,
+    unparse_short,
+    walk_scope,
+)
+from repro.staticcheck.context import ModuleContext
+from repro.staticcheck.findings import Finding, Severity
+from repro.staticcheck.registry import Rule, RuleMeta, register
+
+#: Canonical callables whose result owns an OS-level resource.
+OPENER_CALLS = frozenset(
+    {
+        "io.open",
+        "sqlite3.connect",
+        "numpy.memmap",
+        "numpy.lib.format.open_memmap",
+        "zipfile.ZipFile",
+        "gzip.open",
+        "gzip.GzipFile",
+        "bz2.open",
+        "lzma.open",
+        "tempfile.NamedTemporaryFile",
+        "tempfile.TemporaryFile",
+    }
+)
+
+#: Builtin / bare names that open resources without an import.
+OPENER_NAMES = frozenset({"open"})
+
+
+@register
+class ResourceLifecycleRule(Rule):
+    meta = RuleMeta(
+        code="SVL010",
+        name="resource-lifecycle",
+        severity=Severity.WARNING,
+        summary="resource opened without close/with on any path",
+        rationale=(
+            "Leaked descriptors and sqlite handles accumulate across "
+            "epochs and shard fan-outs until the process hits "
+            "EMFILE — typically mid-run, far from the leak.  Open "
+            "resources in a with block, close them in finally, or "
+            "hand them to an owner that does."
+        ),
+        example=(
+            "import json\n"
+            "def load_manifest(path):\n"
+            "    return json.loads(open(path).read())  # fd leaks\n"
+            "def tail(path):\n"
+            "    fh = open(path)\n"
+            "    fh.seek(-100, 2)\n"
+            "    return fh.read()  # fh never closed\n"
+        ),
+    )
+
+    def check_module(self, ctx: ModuleContext) -> List[Finding]:
+        parents = parent_map(ctx.tree)
+        findings: List[Finding] = []
+        scopes: List[List[ast.stmt]] = [ctx.tree.body]
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scopes.append(node.body)
+        for body in scopes:
+            findings.extend(self._check_scope(ctx, body, parents))
+        return findings
+
+    def _check_scope(
+        self,
+        ctx: ModuleContext,
+        body: List[ast.stmt],
+        parents: Dict[ast.AST, ast.AST],
+    ) -> List[Finding]:
+        findings: List[Finding] = []
+        tracked: Dict[str, ast.Call] = {}
+        for node in walk_scope(body):
+            if not isinstance(node, ast.Call):
+                continue
+            if not _is_opener(ctx, node):
+                continue
+            disposition = _immediate_disposition(node, parents)
+            if disposition == "managed":
+                continue
+            if disposition == "leak":
+                findings.append(self._finding(ctx, node, bound=None))
+            elif disposition.startswith("bound:"):
+                tracked[disposition.split(":", 1)[1]] = node
+        for name, call in sorted(tracked.items()):
+            if not _name_is_governed(name, body):
+                findings.append(self._finding(ctx, call, bound=name))
+        return findings
+
+    def _finding(
+        self, ctx: ModuleContext, call: ast.Call, bound: Optional[str]
+    ) -> Finding:
+        what = unparse_short(call.func, 30)
+        if bound is None:
+            message = (
+                f"{what}(...) result is never bound or closed; use a "
+                f"with block (the handle leaks as soon as this "
+                f"expression finishes)"
+            )
+            symbol = f"{what}:unbound:{call.lineno}"
+        else:
+            message = (
+                f"{bound!r} = {what}(...) is never closed on any path; "
+                f"use a with block or close it in finally"
+            )
+            symbol = f"{what}:{bound}"
+        return Finding(
+            code=self.meta.code,
+            severity=self.meta.severity,
+            path=str(ctx.path),
+            line=call.lineno,
+            col=call.col_offset,
+            end_line=getattr(call, "end_lineno", 0) or call.lineno,
+            message=message,
+            module=ctx.module,
+            symbol=symbol,
+        )
+
+
+def _is_opener(ctx: ModuleContext, call: ast.Call) -> bool:
+    func = call.func
+    if isinstance(func, ast.Name) and func.id in OPENER_NAMES:
+        return True
+    resolved = ctx.imports.resolve(func)
+    return resolved in OPENER_CALLS
+
+
+def _immediate_disposition(
+    call: ast.Call, parents: Dict[ast.AST, ast.AST]
+) -> str:
+    """How the opener's result is used at the call site.
+
+    Returns ``"managed"`` (with block / escapes to another owner),
+    ``"bound:<name>"`` (assigned to a local, track it), or ``"leak"``
+    (never bound: bare statement or immediate method chain).
+    """
+    parent = parents.get(call)
+    # with open(...) as f: / with closing(open(...)):
+    node: ast.AST = call
+    probe = parent
+    while probe is not None:
+        if isinstance(probe, ast.withitem):
+            return "managed"
+        if isinstance(probe, ast.stmt):
+            break
+        node, probe = probe, parents.get(probe)
+    if isinstance(parent, ast.withitem):
+        return "managed"
+    if isinstance(parent, ast.Assign):
+        if len(parent.targets) == 1 and isinstance(
+            parent.targets[0], ast.Name
+        ):
+            return f"bound:{parent.targets[0].id}"
+        return "managed"  # tuple/attribute target: ownership moved
+    if isinstance(parent, ast.AnnAssign) and isinstance(
+        parent.target, ast.Name
+    ):
+        return f"bound:{parent.target.id}"
+    if isinstance(parent, (ast.Return, ast.Yield, ast.YieldFrom, ast.Await)):
+        return "managed"  # caller owns it now
+    if isinstance(parent, ast.Call):
+        return "managed"  # argument: recipient owns it (closing(), wrapper)
+    if isinstance(parent, ast.Attribute):
+        return "leak"  # open(p).read() — handle dropped after the chain
+    if isinstance(parent, ast.Expr):
+        return "leak"  # bare open(p) statement
+    if isinstance(parent, ast.Starred):
+        return "managed"
+    if parent is None:
+        return "leak"
+    # Comprehensions, boolean ops, subscripts, f-strings: the handle
+    # is consumed by surrounding expressions we cannot track — assume
+    # managed rather than guessing.
+    return "managed"
+
+
+def _name_is_governed(name: str, body: List[ast.stmt]) -> bool:
+    """True when ``name`` is closed, with-managed, or escapes the scope."""
+    for node in walk_scope(body):
+        if isinstance(node, ast.Call):
+            func = node.func
+            # fh.close() / fh.__exit__ style
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in ("close", "detach", "release")
+                and isinstance(func.value, ast.Name)
+                and func.value.id == name
+            ):
+                return True
+            # passed as an argument: recipient owns it
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                if isinstance(arg, ast.Name) and arg.id == name:
+                    return True
+                if isinstance(arg, ast.Starred) and (
+                    isinstance(arg.value, ast.Name)
+                    and arg.value.id == name
+                ):
+                    return True
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                for sub in ast.walk(item.context_expr):
+                    if isinstance(sub, ast.Name) and sub.id == name:
+                        return True
+        elif isinstance(node, ast.Return):
+            if node.value is not None and _mentions(node.value, name):
+                return True
+        elif isinstance(node, (ast.Yield, ast.YieldFrom)):
+            if node.value is not None and _mentions(node.value, name):
+                return True
+        elif isinstance(node, ast.Assign):
+            # fh re-bound elsewhere, aliased, or stored into a
+            # container/attribute: ownership visibly moves.
+            if isinstance(node.value, ast.Name) and node.value.id == name:
+                return True
+            for target in node.targets:
+                if isinstance(target, (ast.Attribute, ast.Subscript)):
+                    if _mentions(node.value, name):
+                        return True
+        elif isinstance(node, (ast.Tuple, ast.List, ast.Dict, ast.Set)):
+            if _mentions(node, name):
+                return True  # collected into a structure: tracked there
+    return False
+
+
+def _mentions(node: ast.AST, name: str) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and sub.id == name:
+            return True
+    return False

@@ -1,0 +1,204 @@
+"""SVL009 — metric registrations must match the declared registry.
+
+Cross-file rule, same contract shape as SVL005 but for observability:
+:mod:`repro.staticcheck.metric_registry` declares every metric the
+repo emits (name, kind, label names); this rule re-extracts every
+``registry.counter(...)`` / ``.gauge(...)`` / ``.histogram(...)`` call
+site with a constant name from the scanned ASTs and compares.
+
+The exporter renders whatever was registered and the parallel runner
+merges worker snapshots by name+labels, so a silently renamed metric
+or drifted label set breaks dashboards and CI greps without any test
+failing.  Three drift directions are flagged: an unregistered name, a
+kind/label mismatch against the declared spec, and a stale registry
+entry (declared metric whose owning module is in the scan but has no
+surviving call site).
+
+Dynamic registrations (non-constant name, e.g. the snapshot-merge path
+in ``repro.obs.metrics``) are outside the contract and skipped.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set, Tuple
+
+from repro.staticcheck import metric_registry
+from repro.staticcheck.context import ModuleContext, Project
+from repro.staticcheck.findings import Finding, Severity
+from repro.staticcheck.registry import Rule, RuleMeta, register
+
+REGISTRY_PATH = "src/repro/staticcheck/metric_registry.py"
+
+METRIC_KINDS = frozenset({"counter", "gauge", "histogram"})
+
+
+@register
+class MetricNameRule(Rule):
+    meta = RuleMeta(
+        code="SVL009",
+        name="metric-name-registry",
+        severity=Severity.ERROR,
+        summary="metric registration drifted from the declared registry",
+        rationale=(
+            "Dashboards, CI greps, and the parallel runner's snapshot "
+            "merge all key on exact metric names and label sets; a "
+            "renamed metric or drifted label silently zeroes graphs "
+            "and merges nothing.  Declare every metric (name, kind, "
+            "labels) in staticcheck/metric_registry.py and keep call "
+            "sites in sync with it."
+        ),
+        example=(
+            "def record(registry, outcome):\n"
+            "    registry.counter(\n"
+            '        "trace_cache_request_total",  # registry declares ..._requests_...\n'
+            '        "Trace-cache lookups",\n'
+            '        ("result",),  # registry declares ("outcome",)\n'
+            "    ).inc(outcome=outcome)"
+        ),
+        fixture_module="repro.sim.fixture",
+    )
+
+    def check_project(self, project: Project) -> List[Finding]:
+        specs = metric_registry.specs_by_name()
+        findings: List[Finding] = []
+        seen_names: Set[str] = set()
+
+        for ctx in project:
+            if not ctx.module.startswith("repro."):
+                continue
+            for call, kind in _registration_sites(ctx.tree):
+                name = _constant_name(call)
+                if name is None:
+                    continue  # dynamic registration, outside the contract
+                seen_names.add(name)
+                spec = specs.get(name)
+                if spec is None:
+                    findings.append(
+                        self._finding(
+                            ctx,
+                            call,
+                            name,
+                            f"metric {name!r} is not declared; add a "
+                            f"MetricSpec to {REGISTRY_PATH}",
+                        )
+                    )
+                    continue
+                if kind != spec.kind:
+                    findings.append(
+                        self._finding(
+                            ctx,
+                            call,
+                            name,
+                            f"metric {name!r} registered as {kind} but "
+                            f"declared as {spec.kind} in {REGISTRY_PATH}",
+                        )
+                    )
+                labels = _constant_labels(call)
+                if labels is not None and labels != spec.labels:
+                    findings.append(
+                        self._finding(
+                            ctx,
+                            call,
+                            name,
+                            f"metric {name!r} registered with labels "
+                            f"{labels!r} but declared with "
+                            f"{spec.labels!r} in {REGISTRY_PATH}",
+                        )
+                    )
+
+        # Stale registry entries: only meaningful when the metric's
+        # owning module was actually part of this scan.
+        for spec in metric_registry.METRICS:
+            if spec.name in seen_names:
+                continue
+            ctx = project.by_module.get(spec.module)
+            if ctx is None:
+                continue
+            findings.append(
+                Finding(
+                    code=self.meta.code,
+                    severity=self.meta.severity,
+                    path=str(ctx.path),
+                    line=1,
+                    col=0,
+                    message=(
+                        f"metric registry is stale: {spec.name!r} is "
+                        f"declared for {spec.module} but no call site "
+                        f"registers it; remove the MetricSpec from "
+                        f"{REGISTRY_PATH} or restore the metric"
+                    ),
+                    module=ctx.module,
+                    symbol=f"stale:{spec.name}",
+                )
+            )
+        return findings
+
+    def _finding(
+        self, ctx: ModuleContext, call: ast.Call, name: str, message: str
+    ) -> Finding:
+        return Finding(
+            code=self.meta.code,
+            severity=self.meta.severity,
+            path=str(ctx.path),
+            line=call.lineno,
+            col=call.col_offset,
+            end_line=getattr(call, "end_lineno", 0) or call.lineno,
+            message=message,
+            module=ctx.module,
+            symbol=name,
+        )
+
+
+def _registration_sites(tree: ast.Module) -> List[Tuple[ast.Call, str]]:
+    """(call, kind) for every ``<obj>.counter/gauge/histogram(...)``."""
+    sites: List[Tuple[ast.Call, str]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        kind = ""
+        if isinstance(func, ast.Attribute) and func.attr in METRIC_KINDS:
+            kind = func.attr
+        elif isinstance(func, ast.Name) and func.id in METRIC_KINDS:
+            kind = func.id
+        if kind:
+            sites.append((node, kind))
+    sites.sort(key=lambda pair: (pair[0].lineno, pair[0].col_offset))
+    return sites
+
+
+def _constant_name(call: ast.Call) -> Optional[str]:
+    if not call.args:
+        return None
+    first = call.args[0]
+    if isinstance(first, ast.Constant) and isinstance(first.value, str):
+        return first.value
+    return None
+
+
+def _constant_labels(call: ast.Call) -> Optional[Tuple[str, ...]]:
+    """The declared label names, or None when not statically known.
+
+    Signature is ``counter(name, help="", labelnames=())``: labels are
+    the third positional argument or the ``labelnames`` keyword; an
+    absent argument means the metric is unlabelled (``()``).
+    """
+    expr: Optional[ast.expr] = None
+    if len(call.args) >= 3:
+        expr = call.args[2]
+    for kw in call.keywords:
+        if kw.arg == "labelnames":
+            expr = kw.value
+    if expr is None:
+        return ()
+    if isinstance(expr, (ast.Tuple, ast.List)):
+        labels = []
+        for elt in expr.elts:
+            if not (
+                isinstance(elt, ast.Constant) and isinstance(elt.value, str)
+            ):
+                return None
+            labels.append(elt.value)
+        return tuple(labels)
+    return None

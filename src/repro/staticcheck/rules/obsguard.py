@@ -45,6 +45,13 @@ class ObsGuardRule(Rule):
             "sit under the `is not None` guard so the hot path stays "
             "zero-overhead and crash-free with metrics disabled."
         ),
+        example=(
+            "from repro.obs import get_registry\n"
+            "def record(outcome):\n"
+            "    registry = get_registry()\n"
+            '    registry.counter("ops_total").inc()  # None when metrics off\n'
+        ),
+        fixture_module="repro.sim.fixture",
     )
 
     def check_module(self, ctx: ModuleContext) -> List[Finding]:

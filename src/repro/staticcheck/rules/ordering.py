@@ -48,6 +48,14 @@ class OrderingRule(Rule):
             "the moment accumulation becomes order-sensitive.  Wrap the "
             "iterable in sorted(...)."
         ),
+        example=(
+            "def total_latency(per_block):\n"
+            "    total = 0.0\n"
+            "    for block in set(per_block):  # hash order varies per run\n"
+            "        total += per_block[block]\n"
+            "    return total\n"
+        ),
+        fixture_module="repro.cache.fixture",
     )
 
     def check_module(self, ctx: ModuleContext) -> List[Finding]:

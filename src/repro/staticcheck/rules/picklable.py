@@ -50,6 +50,12 @@ class PicklableRule(Rule):
             "pickle only at runtime, on the submit path.  Worker "
             "payloads must be module-level callables and plain data."
         ),
+        example=(
+            "def run(pool, tasks):\n"
+            "    for task in tasks:\n"
+            "        pool.submit(lambda: task.run())  # lambdas don't pickle\n"
+        ),
+        fixture_module="repro.sim.parallel",
     )
 
     def check_module(self, ctx: ModuleContext) -> List[Finding]:

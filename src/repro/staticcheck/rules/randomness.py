@@ -59,6 +59,12 @@ class RandomnessRule(Rule):
             "random.Random(seed) / np.random.default_rng(seed) inside "
             "the consuming function, seed passed as a parameter."
         ),
+        example=(
+            "import random\n"
+            "def jitter(delay):\n"
+            "    return delay * random.random()  # global, unseeded RNG\n"
+        ),
+        fixture_module="repro.core.fixture",
     )
 
     def check_module(self, ctx: ModuleContext) -> List[Finding]:

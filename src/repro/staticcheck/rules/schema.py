@@ -14,7 +14,7 @@ import ast
 from typing import FrozenSet, List, Optional, Tuple
 
 from repro.staticcheck import schema_registry
-from repro.staticcheck.context import ModuleContext
+from repro.staticcheck.context import ModuleContext, Project
 from repro.staticcheck.findings import Finding, Severity
 from repro.staticcheck.registry import Rule, RuleMeta, register
 from repro.staticcheck.schema_registry import SchemaSpec
@@ -35,10 +35,20 @@ class SchemaVersionRule(Rule):
             "ships files old readers mis-parse.  Bump the constant and "
             "update the checked field-registry together."
         ),
+        example=(
+            "SCHEMA_VERSION = 1  # unchanged...\n"
+            "def result_to_dict(result):\n"
+            "    return {\n"
+            '        "schema_version": SCHEMA_VERSION,\n'
+            '        "policy_name": result.policy_name,\n'
+            '        "brand_new_field": 0,  # ...but the field set grew\n'
+            "    }"
+        ),
+        fixture_module="repro.sim.serialize",
     )
 
-    def check_project(self, modules: List[ModuleContext]) -> List[Finding]:
-        by_module = {ctx.module: ctx for ctx in modules}
+    def check_project(self, project: Project) -> List[Finding]:
+        by_module = project.by_module
         findings: List[Finding] = []
         for spec in schema_registry.SPECS:
             ctx = by_module.get(spec.fields_module)

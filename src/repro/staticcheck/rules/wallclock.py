@@ -55,6 +55,12 @@ class WallClockRule(Rule):
             "depend on when the process ran.  Use time.perf_counter "
             "for durations, or route timestamps through repro.obs."
         ),
+        example=(
+            "import time\n"
+            "def stamp_result(result):\n"
+            '    result["finished_at"] = time.time()  # differs every run\n'
+        ),
+        fixture_module="repro.sim.fixture",
     )
 
     def check_module(self, ctx: ModuleContext) -> List[Finding]:

@@ -266,6 +266,35 @@ SPECS: Tuple[SchemaSpec, ...] = (
         track_var="manifest",
     ),
     _spec(
+        "staticcheck-finding",
+        "repro.staticcheck.findings",
+        "dict",
+        "to_dict",
+        (
+            "code",
+            "severity",
+            "path",
+            "line",
+            "col",
+            "column",
+            "end_line",
+            "module",
+            "message",
+            "symbol",
+        ),
+        "repro.staticcheck.reporters",
+        (("REPORT_FORMAT_VERSION", 2),),
+    ),
+    _spec(
+        "staticcheck-report",
+        "repro.staticcheck.reporters",
+        "dict",
+        "render_json",
+        ("version", "findings", "stale_baseline", "summary"),
+        "repro.staticcheck.reporters",
+        (("REPORT_FORMAT_VERSION", 2),),
+    ),
+    _spec(
         "stats-json",
         "repro.sim.serialize",
         "dict",

@@ -52,6 +52,7 @@ from repro.traces.model import (
     _VOLUME_MASK,
     pack_address,
 )
+from repro.util.atomic import atomic_write
 from repro.util.intervals import SECONDS_PER_DAY, bucket_indices
 
 #: Bump when the on-disk ``.npz`` layout changes; loaders refuse others.
@@ -345,8 +346,12 @@ class ColumnarTrace:
 
     # -- serialization -----------------------------------------------------
     def save_npz(self, path: Union[str, Path]) -> None:
-        """Write all columns to one uncompressed ``.npz`` file."""
-        with open(path, "wb") as handle:
+        """Write all columns to one uncompressed ``.npz`` file.
+
+        Published atomically: shard workers and the serving bench read
+        these caches while other processes regenerate them.
+        """
+        with atomic_write(path) as handle:
             np.savez(
                 handle,
                 format_version=np.int64(NPZ_FORMAT_VERSION),

@@ -15,10 +15,12 @@ be driven by the real traces when they are available.
 from __future__ import annotations
 
 import csv
+import io
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
 from repro.traces.model import IOKind, IORequest, Trace
+from repro.util.atomic import atomic_write
 from repro.util.units import BLOCK_BYTES, IO_UNIT_BYTES
 
 #: 100-ns ticks per second (Windows filetime resolution).
@@ -94,8 +96,11 @@ def write_msr_csv(
     """
     path = Path(path)
     names = hostnames or {}
-    with path.open("w", newline="") as handle:
-        writer = csv.writer(handle)
+    with atomic_write(path) as handle:
+        # Text layer over the atomic binary handle; detach (not close)
+        # at the end so atomic_write can still flush/fsync the file.
+        wrapper = io.TextIOWrapper(handle, encoding="utf-8", newline="")
+        writer = csv.writer(wrapper)
         for request in trace:
             writer.writerow(
                 [
@@ -113,3 +118,5 @@ def write_msr_csv(
                     ),
                 ]
             )
+        wrapper.flush()
+        wrapper.detach()

@@ -1,0 +1,14 @@
+# Fixture: SVL001 negative — monotonic duration measurement only.
+import time
+
+
+def measure(work):
+    start = time.perf_counter()
+    work()
+    return time.perf_counter() - start
+
+
+def measure_ns(work):
+    start = time.perf_counter_ns()
+    work()
+    return time.perf_counter_ns() - start

@@ -1,0 +1,14 @@
+# Fixture: SVL002 negative — seeded, function-scoped RNG construction.
+import random
+
+import numpy as np
+
+
+def draw(seed, count):
+    rng = random.Random(seed)
+    return [rng.random() for _ in range(count)]
+
+
+def draw_np(seed, count):
+    gen = np.random.default_rng(seed)
+    return gen.random(count)

@@ -1,0 +1,19 @@
+# Fixture: SVL003 negative — module-level callables and plain data only.
+from concurrent.futures import ProcessPoolExecutor
+
+
+def _task(x):
+    return x + 1
+
+
+def _init_worker(seed):
+    del seed
+
+
+def submit_all(pool, values):
+    return [pool.submit(_task, v) for v in values]
+
+
+def map_all(values):
+    with ProcessPoolExecutor(initializer=_init_worker, initargs=(7,)) as pool:
+        return list(pool.map(_task, values))

@@ -1,0 +1,15 @@
+# Fixture: SVL004 negative — every obs-handle dereference is guarded.
+from repro.obs.runtime import get_registry
+
+
+def record(outcome):
+    registry = get_registry()
+    if registry is not None:
+        registry.counter("ops_total").inc(outcome=outcome)
+
+
+def record_early_exit(outcome):
+    registry = get_registry()
+    if registry is None:
+        return
+    registry.counter("ops_total").inc(outcome=outcome)

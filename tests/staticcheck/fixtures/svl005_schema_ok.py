@@ -1,5 +1,7 @@
-# Fixture: SVL005 positive — the field set drifted (extra "hostname")
-# while SCHEMA_VERSION and the checked registry stayed put.
+# Fixture: a stand-in for repro.sim.serialize that satisfies the
+# schema registry exactly.  Tests derive drifted variants from it by
+# string substitution (extra field, version bump) and assert SVL005
+# fires or stays quiet accordingly.
 SCHEMA_VERSION = 1
 CHECKPOINT_SCHEMA_VERSION = 1
 
@@ -23,6 +25,5 @@ def result_to_dict(result):
         "policy_name": result.policy_name,
         "wall_seconds": result.wall_seconds,
         "engine": result.engine,
-        "hostname": result.hostname,  # HIT: field added, version unchanged
         "stats": stats_to_dict(result.stats),
     }

@@ -1,0 +1,17 @@
+# Fixture: SVL006 negative — accumulation only over explicit orders.
+def sum_values(table):
+    total = 0
+    for _key, value in sorted(table.items()):
+        total += value
+    return total
+
+
+def sum_blocks(blocks):
+    total = 0
+    for block in sorted(set(blocks)):
+        total += block
+    return total
+
+
+def collect(table):
+    return [value * 2 for value in sorted(table.values())]

@@ -1,0 +1,29 @@
+# Fixture: SVL007 positives — persisted writes bypassing
+# repro.util.atomic, including an interprocedural miss where the
+# helper's caller hands it a raw destination.
+import json
+from pathlib import Path
+
+import numpy as np
+
+
+def save_manifest(path, payload):
+    Path(path).write_text(json.dumps(payload))  # HIT: bare write_text
+
+
+def save_arrays(path, arrays):
+    with open(path, "wb") as handle:  # HIT: bare truncating open
+        np.savez(handle, **arrays)  # HIT: handle is not atomic-bound
+
+
+def _write_payload(path, payload):
+    Path(path).write_text(json.dumps(payload))  # HIT: caller passes raw path
+
+
+def publish(base, payload):
+    _write_payload(base + ".json", payload)
+
+
+def append_log(path, line):
+    with open(path, "a") as handle:  # ok: append-mode event log
+        handle.write(line)

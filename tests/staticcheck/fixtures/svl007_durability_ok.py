@@ -1,0 +1,44 @@
+# Fixture: SVL007 negative — every persisted write flows through
+# repro.util.atomic, directly or via the interprocedural parameter
+# exemption (every caller of _write_bare passes an atomic temp path).
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.util.atomic import atomic_write, atomic_write_path
+
+
+def save_manifest(path, payload):
+    encoded = json.dumps(payload).encode("utf-8")
+    with atomic_write(path) as handle:
+        handle.write(encoded)
+
+
+def save_arrays(path, arrays):
+    with atomic_write(path) as handle:
+        np.savez(handle, **arrays)
+
+
+def save_arrays_via_temp(path, arrays):
+    with atomic_write_path(path) as tmp:
+        np.savez(tmp, **arrays)
+
+
+def _write_bare(path, payload):
+    Path(path).write_text(json.dumps(payload))
+
+
+def publish(path, payload):
+    with atomic_write_path(path) as tmp:
+        _write_bare(tmp, payload)
+
+
+def republish(path, payload):
+    with atomic_write_path(path) as tmp:
+        _write_bare(tmp, payload)
+
+
+def append_log(path, line):
+    with open(path, "a") as handle:
+        handle.write(line)

@@ -1,0 +1,29 @@
+# Fixture: SVL008 positives — a connection shared across serving
+# threads, and module globals mutated inside a pool-worker call graph
+# (directly and one call deep).
+import sqlite3
+from concurrent.futures import ProcessPoolExecutor
+
+_RESULTS = {}
+_MODE = "idle"
+
+
+class Store:
+    def __init__(self, path):
+        self.conn = sqlite3.connect(path)  # HIT: shared by every thread
+
+
+def _set_mode(mode):
+    global _MODE
+    _MODE = mode  # HIT: rebind inside a pool-worker call graph
+
+
+def _worker(task):
+    _set_mode("busy")
+    _RESULTS[task] = task * 2  # HIT: lands in the worker's module copy
+    return task
+
+
+def run(tasks):
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(_worker, tasks))

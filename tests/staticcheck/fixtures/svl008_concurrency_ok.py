@@ -1,0 +1,29 @@
+# Fixture: SVL008 negative — per-thread connections under
+# threading.local, and workers that keep state function-local.
+import sqlite3
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+
+class Store:
+    def __init__(self, path):
+        self._path = path
+        self._local = threading.local()
+
+    def _connection(self):
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            conn = sqlite3.connect(self._path)
+            self._local.conn = conn
+        return conn
+
+
+def _worker(task):
+    local = {}
+    local[task] = task * 2
+    return local
+
+
+def run(tasks):
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(_worker, tasks))

@@ -1,0 +1,18 @@
+# Fixture: SVL009 positives — every drift direction against the
+# declared metric registry.
+def record(registry, outcome):
+    registry.counter(
+        "trace_cache_request_total",  # HIT: undeclared (singular) name
+        "Trace-cache lookups",
+        ("outcome",),
+    ).inc(outcome=outcome)
+    registry.gauge(
+        "sim_requests_total",  # HIT: declared as a counter
+        "Requests",
+        ("policy", "engine"),
+    ).set(1)
+    registry.counter(
+        "trace_cache_requests_total",
+        "Trace-cache lookups",
+        ("result",),  # HIT: declared labels are ("outcome",)
+    ).inc(result=outcome)

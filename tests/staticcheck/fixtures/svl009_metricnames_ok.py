@@ -1,0 +1,25 @@
+# Fixture: SVL009 negative — registrations matching the declared
+# registry exactly (positional and keyword label forms), plus a
+# dynamic registration that is outside the contract.
+def record(registry, outcome, policy, engine):
+    registry.counter(
+        "trace_cache_requests_total",
+        "Trace-cache lookups",
+        ("outcome",),
+    ).inc(outcome=outcome)
+    registry.gauge(
+        "sim_blocks_per_second",
+        "Simulation throughput",
+        labelnames=("policy", "engine"),
+    ).set(1.0, policy=policy, engine=engine)
+    registry.histogram(
+        "sim_epoch_wall_seconds",
+        "Epoch wall seconds",
+        ("policy", "engine"),
+    ).observe(0.5, policy=policy, engine=engine)
+
+
+def restore(registry, name, entry):
+    # Non-constant name: the merge/restore path registers dynamically
+    # and is deliberately outside the registry contract.
+    registry.counter(name, entry["help"], tuple(entry["labels"]))

@@ -1,0 +1,26 @@
+# Fixture: SVL010 positives — handles opened and dropped.
+import gzip
+import sqlite3
+
+
+def read_all(path):
+    return open(path).read()  # HIT: handle never bound, fd dropped
+
+
+def tail(path):
+    fh = open(path)  # HIT: fh never closed on any path
+    fh.seek(0, 2)
+    size = fh.tell()
+    return size
+
+
+def probe(db_path):
+    conn = sqlite3.connect(db_path)  # HIT: conn never closed
+    cursor = conn.execute("select 1")
+    return cursor.fetchone()
+
+
+def peek(path):
+    gz = gzip.open(path)  # HIT: gz never closed
+    header = gz.read(16)
+    return header

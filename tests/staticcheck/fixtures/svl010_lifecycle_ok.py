@@ -1,0 +1,37 @@
+# Fixture: SVL010 negative — every handle is with-managed, closed in
+# finally, or visibly hands ownership elsewhere.
+import sqlite3
+
+
+def read_all(path):
+    with open(path) as fh:
+        return fh.read()
+
+
+def copy(src, sink):
+    fh = open(src)
+    try:
+        sink.write(fh.read())
+    finally:
+        fh.close()
+
+
+def open_for_caller(path):
+    return open(path)  # ownership transfers with the return
+
+
+def stash(registry, key, path):
+    fh = open(path)
+    registry[key] = fh  # ownership moves into the registry
+
+
+def feed(parser, path):
+    parser.consume(open(path))  # recipient owns the handle
+
+
+def probe(db_path):
+    conn = sqlite3.connect(db_path)
+    try:
+        return conn.execute("select 1").fetchone()
+    finally:
+        conn.close()

@@ -1,0 +1,23 @@
+# Fixture: SVL011 positives — float ratios feeding rounding ops in an
+# exact-math module.
+import math
+from fractions import Fraction
+
+
+def blocks_needed(nbytes, block_bytes):
+    return math.ceil(nbytes / block_bytes)  # HIT: float ratio
+
+def rank_index(fraction, n):
+    return int(fraction * n / 100)  # HIT: int() over true division
+
+
+def rounded_share(hits, total):
+    return round(hits / total)  # HIT: round() over true division
+
+
+def floored_ratio(a, b):
+    return math.floor(a / b)  # HIT: float ratio
+
+
+def bad_seed():
+    return Fraction(0.95)  # HIT: float literal seeds exact math

@@ -1,0 +1,23 @@
+# Fixture: SVL011 negative — the sanctioned exact idioms.
+import math
+from fractions import Fraction
+
+
+def blocks_needed(nbytes, block_bytes):
+    return -(-nbytes // block_bytes)  # integer ceiling division
+
+
+def rank_index(fraction, n):
+    return math.ceil(Fraction(str(fraction)) * n)
+
+
+def exact_ratio_ceil(a, b):
+    return math.ceil(Fraction(a, b))
+
+
+def bucket(timestamp, bucket_seconds):
+    return int(timestamp // bucket_seconds)  # floor division stays exact
+
+
+def good_seed():
+    return Fraction("0.95")

@@ -1,0 +1,164 @@
+"""ProjectGraph: symbol table, edge resolution, boundary facts."""
+
+from pathlib import Path
+
+from repro.staticcheck.callgraph import ProjectGraph
+from repro.staticcheck.context import ModuleContext, Project
+
+
+def _ctx(source, module):
+    return ModuleContext.from_source(
+        source, Path(f"<{module}>"), module=module
+    )
+
+
+def _graph(*pairs):
+    return ProjectGraph([_ctx(src, mod) for src, mod in pairs])
+
+
+def test_symbol_table_indexes_functions_methods_and_nested():
+    graph = _graph(
+        (
+            "def top():\n"
+            "    def inner():\n"
+            "        pass\n"
+            "    return inner\n"
+            "class Store:\n"
+            "    def put(self, key):\n"
+            "        pass\n",
+            "repro.demo",
+        )
+    )
+    assert set(graph.functions) == {
+        "repro.demo.top",
+        "repro.demo.top.inner",
+        "repro.demo.Store.put",
+    }
+    assert graph.function("repro.demo.Store.put").cls == "Store"
+    assert graph.function("repro.demo.top").name == "top"
+
+
+def test_cross_module_edges_resolve_through_imports():
+    graph = _graph(
+        ("def helper(x):\n    return x\n", "repro.a"),
+        (
+            "from repro.a import helper\n"
+            "def caller():\n"
+            "    return helper(1)\n",
+            "repro.b",
+        ),
+    )
+    caller = graph.function("repro.b.caller")
+    assert [site.callee for site in caller.calls] == ["repro.a.helper"]
+    callers = graph.callers_of("repro.a.helper")
+    assert [(fn.qualname, call.lineno) for fn, call in callers] == [
+        ("repro.b.caller", 3)
+    ]
+
+
+def test_self_method_dispatch_resolves():
+    graph = _graph(
+        (
+            "class Engine:\n"
+            "    def run(self):\n"
+            "        self.step()\n"
+            "    def step(self):\n"
+            "        pass\n",
+            "repro.demo",
+        )
+    )
+    run = graph.function("repro.demo.Engine.run")
+    assert [site.callee for site in run.calls] == ["repro.demo.Engine.step"]
+
+
+def test_unresolvable_calls_produce_no_edges():
+    graph = _graph(
+        (
+            "def caller(obj):\n"
+            "    obj.method()\n"
+            "    unknown_name(1)\n",
+            "repro.demo",
+        )
+    )
+    assert graph.function("repro.demo.caller").calls == []
+
+
+def test_pool_facts_propagate_transitively():
+    graph = _graph(
+        (
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "def leaf():\n"
+            "    pass\n"
+            "def worker(task):\n"
+            "    leaf()\n"
+            "    return task\n"
+            "def driver(tasks):\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return list(pool.map(worker, tasks))\n",
+            "repro.demo",
+        )
+    )
+    worker = graph.function("repro.demo.worker")
+    leaf = graph.function("repro.demo.leaf")
+    driver = graph.function("repro.demo.driver")
+    assert worker.pool_entry and worker.runs_in_pool_worker
+    assert not leaf.pool_entry and leaf.runs_in_pool_worker
+    assert not driver.runs_in_pool_worker
+    assert [f.qualname for f in graph.pool_worker_functions()] == [
+        "repro.demo.leaf",
+        "repro.demo.worker",
+    ]
+
+
+def test_initializer_is_a_pool_entry():
+    graph = _graph(
+        (
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "def _init(cfg):\n"
+            "    pass\n"
+            "def driver():\n"
+            "    return ProcessPoolExecutor(initializer=_init)\n",
+            "repro.demo",
+        )
+    )
+    assert graph.function("repro.demo._init").pool_entry
+
+
+def test_thread_facts_propagate():
+    graph = _graph(
+        (
+            "import threading\n"
+            "def tick():\n"
+            "    poll()\n"
+            "def poll():\n"
+            "    pass\n"
+            "def start():\n"
+            "    threading.Thread(target=tick).start()\n",
+            "repro.demo",
+        )
+    )
+    assert graph.function("repro.demo.tick").thread_entry
+    assert graph.function("repro.demo.poll").reachable_from_thread
+    assert not graph.function("repro.demo.start").reachable_from_thread
+
+
+def test_touches_persisted_path_fact():
+    graph = _graph(
+        (
+            "from pathlib import Path\n"
+            "def save(path):\n"
+            "    Path(path).write_text('x')\n"
+            "def load(path):\n"
+            "    return Path(path).read_text()\n",
+            "repro.demo",
+        )
+    )
+    assert graph.function("repro.demo.save").touches_persisted_path
+    assert not graph.function("repro.demo.load").touches_persisted_path
+
+
+def test_project_graph_is_lazy_and_cached():
+    project = Project([_ctx("def f():\n    pass\n", "repro.demo")])
+    graph = project.graph
+    assert graph is project.graph  # built once, cached
+    assert "repro.demo.f" in graph.functions

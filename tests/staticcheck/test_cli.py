@@ -6,8 +6,12 @@ import subprocess
 import sys
 from pathlib import Path
 
+import pytest
+
 REPO = Path(__file__).resolve().parents[2]
 FIXTURES = Path(__file__).parent / "fixtures"
+
+ALL_CODES = tuple(f"SVL{n:03d}" for n in range(1, 12))
 
 
 def _run_check(*args, cwd=None):
@@ -86,7 +90,7 @@ def test_baseline_workflow(tmp_path):
 def test_list_rules():
     proc = _run_check("--list-rules")
     assert proc.returncode == 0
-    for code in ("SVL001", "SVL002", "SVL003", "SVL004", "SVL005", "SVL006"):
+    for code in ALL_CODES:
         assert code in proc.stdout
 
 
@@ -94,6 +98,98 @@ def test_committed_baseline_is_empty():
     """Debt-free tree: the committed baseline grandfathers nothing."""
     data = json.loads((REPO / "staticcheck-baseline.json").read_text())
     assert data == {"entries": {}, "version": 1}
+
+
+def _seed_module(tmp_path, module, source):
+    """Materialize ``module`` as a real package under ``tmp_path/tree``
+    so the analyzer's path->module resolution sees the scoped name.
+    The extra ``tree`` level keeps the seeded ``repro`` package from
+    shadowing the real one when the subprocess runs ``-m repro``."""
+    parts = module.split(".")
+    directory = tmp_path / "tree"
+    directory.mkdir(exist_ok=True)
+    for package in parts[:-1]:
+        directory = directory / package
+        directory.mkdir(exist_ok=True)
+        init = directory / "__init__.py"
+        if not init.exists():
+            init.write_text("")
+    target = directory / f"{parts[-1]}.py"
+    target.write_text(source)
+    return target
+
+
+#: One deliberate violation per interprocedural-era rule; each must be
+#: caught end-to-end through the subprocess CLI with exit code 1.
+SEEDED_VIOLATIONS = [
+    (
+        "SVL007",
+        "repro.sim.dirty",
+        "from pathlib import Path\n"
+        "def save(path, payload):\n"
+        "    Path(path).write_text(payload)\n",
+    ),
+    (
+        "SVL008",
+        "repro.serve.dirty",
+        "import sqlite3\n"
+        "CONN = sqlite3.connect('shards.sqlite')\n",
+    ),
+    (
+        "SVL009",
+        "repro.sim.dirty",
+        "def record(registry):\n"
+        "    registry.counter('totally_undeclared_total', 'help', ())\n",
+    ),
+    (
+        "SVL010",
+        "repro.sim.dirty",
+        "def tail(path):\n"
+        "    fh = open(path)\n"
+        "    data = fh.read()\n"
+        "    print(data)\n",
+    ),
+    (
+        "SVL011",
+        "repro.util.units",
+        "import math\n"
+        "def blocks(nbytes, block):\n"
+        "    return math.ceil(nbytes / block)\n",
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "code,module,source",
+    SEEDED_VIOLATIONS,
+    ids=[case[0] for case in SEEDED_VIOLATIONS],
+)
+def test_exit_1_on_seeded_violation(tmp_path, code, module, source):
+    _seed_module(tmp_path, module, source)
+    proc = _run_check(str(tmp_path / "tree"), "--select", code, cwd=tmp_path)
+    assert proc.returncode == 1, proc.stdout + proc.stderr
+    assert code in proc.stdout
+
+
+def test_explain_known_rule():
+    proc = _run_check("--explain", "SVL007")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "SVL007" in proc.stdout
+    assert "Example violation:" in proc.stdout
+    assert "sievelint: disable=SVL007" in proc.stdout
+    assert "--write-baseline" in proc.stdout
+
+
+def test_explain_is_case_insensitive():
+    proc = _run_check("--explain", "svl011")
+    assert proc.returncode == 0
+    assert "SVL011" in proc.stdout
+
+
+def test_explain_unknown_rule_is_usage_error():
+    proc = _run_check("--explain", "SVL999")
+    assert proc.returncode == 2
+    assert "no rule registered" in proc.stderr
 
 
 def test_sievelint_module_entry_point(tmp_path):

@@ -1,0 +1,98 @@
+"""Meta-test: every registered rule ships fixtures, docs, and an example.
+
+For each SVL code the contract is:
+
+* at least one positive fixture ``svl{nnn}_*.py`` that fires under the
+  rule's declared ``fixture_module`` — and every positive fixture
+  fires (a stale fixture that stopped triggering is a silent coverage
+  hole);
+* at least one negative fixture ``svl{nnn}_*_ok.py`` that stays clean
+  under the same module identity;
+* a row in the README's static-analysis rules table;
+* a non-empty ``--explain`` example that itself trips the rule.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.staticcheck.analyzer import check_source
+from repro.staticcheck.registry import all_rules
+
+FIXTURES = Path(__file__).parent / "fixtures"
+README = Path(__file__).parent.parent.parent / "README.md"
+
+RULES = all_rules()
+
+
+def _fixture_sets(code):
+    stem = f"svl{int(code[3:]):03d}"
+    paths = sorted(FIXTURES.glob(f"{stem}_*.py"))
+    negatives = [p for p in paths if p.stem.endswith("_ok")]
+    positives = [p for p in paths if not p.stem.endswith("_ok")]
+    return positives, negatives
+
+
+@pytest.mark.parametrize("rule", RULES, ids=lambda r: r.meta.code)
+def test_rule_has_firing_positive_fixtures(rule):
+    positives, _ = _fixture_sets(rule.meta.code)
+    assert positives, f"{rule.meta.code} has no positive fixture"
+    for path in positives:
+        findings = check_source(
+            path.read_text(),
+            module=rule.meta.fixture_module,
+            select=[rule.meta.code],
+        )
+        assert findings, (
+            f"{path.name} no longer triggers {rule.meta.code} under "
+            f"module {rule.meta.fixture_module!r}"
+        )
+        assert all(f.code == rule.meta.code for f in findings)
+
+
+@pytest.mark.parametrize("rule", RULES, ids=lambda r: r.meta.code)
+def test_rule_has_clean_negative_fixtures(rule):
+    _, negatives = _fixture_sets(rule.meta.code)
+    assert negatives, f"{rule.meta.code} has no negative (_ok) fixture"
+    for path in negatives:
+        findings = check_source(
+            path.read_text(),
+            module=rule.meta.fixture_module,
+            select=[rule.meta.code],
+        )
+        assert not findings, (
+            f"{path.name} should be clean but raised: "
+            + "; ".join(f"L{f.line} {f.message}" for f in findings)
+        )
+
+
+@pytest.mark.parametrize("rule", RULES, ids=lambda r: r.meta.code)
+def test_rule_is_documented_in_readme(rule):
+    text = README.read_text()
+    pattern = rf"^\|[\s`]*{rule.meta.code}\b"
+    assert re.search(pattern, text, re.MULTILINE), (
+        f"README.md static-analysis table is missing a row for "
+        f"{rule.meta.code}"
+    )
+
+
+@pytest.mark.parametrize("rule", RULES, ids=lambda r: r.meta.code)
+def test_rule_example_trips_the_rule(rule):
+    assert rule.meta.example.strip(), f"{rule.meta.code} has no example"
+    findings = check_source(
+        rule.meta.example,
+        module=rule.meta.fixture_module,
+        select=[rule.meta.code],
+    )
+    assert findings, (
+        f"{rule.meta.code}'s --explain example does not trigger the rule"
+    )
+
+
+def test_fixture_files_all_belong_to_a_rule():
+    """Every svlNNN_* fixture maps to a registered rule code."""
+    codes = {int(r.meta.code[3:]) for r in RULES}
+    for path in FIXTURES.glob("svl*.py"):
+        number = int(re.match(r"svl(\d+)_", path.name).group(1))
+        assert number in codes, f"{path.name} references unknown rule"

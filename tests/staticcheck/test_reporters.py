@@ -2,7 +2,11 @@
 
 from repro.staticcheck.analyzer import Report
 from repro.staticcheck.findings import Finding
-from repro.staticcheck.reporters import render_json, render_text
+from repro.staticcheck.reporters import (
+    REPORT_FORMAT_VERSION,
+    render_json,
+    render_text,
+)
 
 
 def _report():
@@ -43,7 +47,7 @@ def test_text_reporter_lines_and_summary():
 
 def test_json_reporter_schema():
     payload = render_json(_report())
-    assert payload["version"] == 1
+    assert payload["version"] == REPORT_FORMAT_VERSION == 2
     assert payload["summary"] == {
         "files_scanned": 3,
         "findings": 2,
@@ -59,11 +63,60 @@ def test_json_reporter_schema():
         "path",
         "line",
         "col",
+        "column",
+        "end_line",
         "module",
         "message",
         "symbol",
     }
     assert first["code"] == "SVL001"
+    # v2: column mirrors col; end_line defaults to line when a rule
+    # recorded no span.
+    assert first["column"] == first["col"] == 8
+    assert first["end_line"] == first["line"] == 4
+
+
+def test_json_reporter_end_line_span():
+    report = Report(files_scanned=1)
+    report.findings = [
+        Finding(
+            code="SVL007",
+            severity="error",
+            path="src/c.py",
+            line=10,
+            col=4,
+            message="torn write",
+            module="c",
+            symbol="save",
+            end_line=14,
+        )
+    ]
+    payload = render_json(report)
+    assert payload["findings"][0]["end_line"] == 14
+
+
+def test_json_reporter_orders_findings_deterministically():
+    report = _report()
+    # Deliberately shuffled: same file ordered by line/col/code, then
+    # by path — render_json must not trust caller order.
+    report.findings = list(reversed(report.findings)) + [
+        Finding(
+            code="SVL002",
+            severity="error",
+            path="src/a.py",
+            line=4,
+            col=8,
+            message="rng",
+            module="a",
+            symbol="random.random",
+        )
+    ]
+    payload = render_json(report)
+    keys = [
+        (f["path"], f["line"], f["column"], f["code"])
+        for f in payload["findings"]
+    ]
+    assert keys == sorted(keys)
 
 
 def test_stale_baseline_rendered():

@@ -1,0 +1,63 @@
+"""SVL008: shared sqlite handles in serve; worker-side global writes."""
+
+from repro.staticcheck.analyzer import check_source
+
+
+def _hits(source, module="repro.serve.fixture"):
+    return [
+        (f.line, f.symbol)
+        for f in check_source(source, module=module, select=["SVL008"])
+    ]
+
+
+def test_fixture_hits(fixture_source):
+    hits = _hits(fixture_source("svl008_concurrency.py"))
+    assert hits == [
+        (13, "shared-conn:self.conn"),
+        (18, "repro.serve.fixture._set_mode:_MODE"),
+        (23, "repro.serve.fixture._worker:_RESULTS"),
+    ]
+
+
+def test_fixture_ok_is_clean(fixture_source):
+    assert _hits(fixture_source("svl008_concurrency_ok.py")) == []
+
+
+def test_shared_connection_check_is_serve_scoped(fixture_source):
+    """Outside repro.serve only the worker-global findings remain: no
+    serving threads means a long-lived connection on self is fine."""
+    hits = _hits(
+        fixture_source("svl008_concurrency.py"), module="repro.sim.fixture"
+    )
+    assert [line for line, _ in hits] == [18, 23]
+    assert all("shared-conn" not in sym for _, sym in hits)
+
+
+def test_worker_global_via_transitive_call(fixture_source):
+    """_set_mode never touches the pool directly; the call graph places
+    it in a worker because _worker (a pool.map target) calls it."""
+    hits = _hits(fixture_source("svl008_concurrency.py"))
+    assert any(sym.endswith("_set_mode:_MODE") for _, sym in hits)
+
+
+def test_module_level_connection_in_serve():
+    source = (
+        "import sqlite3\n"
+        "CONN = sqlite3.connect('db.sqlite')\n"
+    )
+    assert _hits(source) == [(2, "shared-conn:CONN")]
+
+
+def test_local_shadowing_is_not_flagged():
+    source = (
+        "from concurrent.futures import ProcessPoolExecutor\n"
+        "_CACHE = {}\n"
+        "def _worker(task):\n"
+        "    _CACHE = {}\n"
+        "    _CACHE[task] = 1\n"
+        "    return task\n"
+        "def run(tasks):\n"
+        "    with ProcessPoolExecutor() as pool:\n"
+        "        return list(pool.map(_worker, tasks))\n"
+    )
+    assert _hits(source) == []

@@ -1,0 +1,52 @@
+"""SVL011: exact-math modules may not round through floats."""
+
+from repro.staticcheck.analyzer import check_source
+
+
+def _lines(source, module="repro.util.units"):
+    return [
+        f.line for f in check_source(source, module=module, select=["SVL011"])
+    ]
+
+
+def test_fixture_hits(fixture_source):
+    findings = check_source(
+        fixture_source("svl011_exactmath.py"),
+        module="repro.util.units",
+        select=["SVL011"],
+    )
+    assert [f.line for f in findings] == [8, 11, 15, 19, 23]
+    assert all(f.severity == "error" for f in findings)
+
+
+def test_fixture_ok_is_clean(fixture_source):
+    assert _lines(fixture_source("svl011_exactmath_ok.py")) == []
+
+
+def test_scope_is_exact_module_set(fixture_source):
+    """Only the three exact-math modules are in scope; the same source
+    in the simulator (where floats are fine) is untouched."""
+    source = fixture_source("svl011_exactmath.py")
+    assert _lines(source, module="repro.sim.engine") == []
+    assert _lines(source, module="repro.serve.percentiles") != []
+    assert _lines(source, module="repro.util.intervals") != []
+
+
+def test_fraction_wrapped_division_is_exact():
+    source = (
+        "import math\n"
+        "from fractions import Fraction\n"
+        "def ceil_ratio(a, b):\n"
+        "    return math.ceil(Fraction(a, b))\n"
+    )
+    assert _lines(source) == []
+
+
+def test_floor_division_is_exact():
+    source = "def bucket(ts, s):\n    return int(ts // s)\n"
+    assert _lines(source) == []
+
+
+def test_fraction_from_string_is_exact():
+    source = "from fractions import Fraction\nHALF = Fraction('0.5')\n"
+    assert _lines(source) == []

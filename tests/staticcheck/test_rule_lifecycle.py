@@ -1,0 +1,59 @@
+"""SVL010: opened resources must be closed or visibly hand off."""
+
+from repro.staticcheck.analyzer import check_source
+
+
+def _hits(source, module="fixture"):
+    return [
+        (f.line, f.symbol, f.severity)
+        for f in check_source(source, module=module, select=["SVL010"])
+    ]
+
+
+def test_fixture_hits(fixture_source):
+    hits = _hits(fixture_source("svl010_lifecycle.py"))
+    assert [(line, sym) for line, sym, _ in hits] == [
+        (7, "open:unbound:7"),
+        (11, "open:fh"),
+        (18, "sqlite3.connect:conn"),
+        (24, "gzip.open:gz"),
+    ]
+    # Lifecycle findings are warnings: heuristic, not a hard gate.
+    assert all(sev == "warning" for _, _, sev in hits)
+
+
+def test_fixture_ok_is_clean(fixture_source):
+    assert _hits(fixture_source("svl010_lifecycle_ok.py")) == []
+
+
+def test_return_transfers_ownership():
+    source = "def opener(path):\n    return open(path)\n"
+    assert _hits(source) == []
+
+
+def test_with_block_manages():
+    source = "def read(path):\n    with open(path) as fh:\n        return fh.read()\n"
+    assert _hits(source) == []
+
+
+def test_passing_to_callee_transfers_ownership():
+    source = "def feed(sink, path):\n    fh = open(path)\n    sink.consume(fh)\n"
+    assert _hits(source) == []
+
+
+def test_close_in_finally_governs():
+    source = (
+        "def copy(path, sink):\n"
+        "    fh = open(path)\n"
+        "    try:\n"
+        "        sink.write(fh.read())\n"
+        "    finally:\n"
+        "        fh.close()\n"
+    )
+    assert _hits(source) == []
+
+
+def test_rule_applies_everywhere():
+    """SVL010 is unscoped: even obs/cli modules get the warning."""
+    source = "def peek(path):\n    fh = open(path)\n    data = fh.read()\n    print(data)\n"
+    assert [line for line, _, _ in _hits(source, module="repro.cli")] == [2]

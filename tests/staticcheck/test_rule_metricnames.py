@@ -1,0 +1,56 @@
+"""SVL009: metric registrations must match the declared registry."""
+
+from repro.staticcheck.analyzer import check_source
+from repro.staticcheck.metric_registry import METRICS, specs_by_name
+
+
+def _hits(source, module="repro.sim.fixture"):
+    return [
+        (f.line, f.symbol)
+        for f in check_source(source, module=module, select=["SVL009"])
+    ]
+
+
+def test_registry_is_ordered_and_unique():
+    names = [spec.name for spec in METRICS]
+    assert names == sorted(names)
+    assert len(set(names)) == len(names)
+    assert set(spec.kind for spec in METRICS) <= {
+        "counter",
+        "gauge",
+        "histogram",
+    }
+    assert specs_by_name()["trace_cache_requests_total"].labels == ("outcome",)
+
+
+def test_fixture_hits(fixture_source):
+    hits = _hits(fixture_source("svl009_metricnames.py"))
+    assert hits == [
+        (4, "trace_cache_request_total"),  # undeclared (singular) name
+        (9, "sim_requests_total"),  # kind drift: gauge vs counter
+        (14, "trace_cache_requests_total"),  # label drift
+    ]
+
+
+def test_fixture_ok_is_clean(fixture_source):
+    assert _hits(fixture_source("svl009_metricnames_ok.py")) == []
+
+
+def test_dynamic_names_are_skipped():
+    source = (
+        "def restore(registry, name):\n"
+        "    registry.counter(name, 'help', ())\n"
+    )
+    assert _hits(source) == []
+
+
+def test_stale_spec_flagged_when_owning_module_scanned():
+    """An empty repro.traces.store means the registry entry it owns has
+    no surviving call site -> stale."""
+    hits = _hits("", module="repro.traces.store")
+    assert hits == [(1, "stale:trace_cache_requests_total")]
+
+
+def test_stale_check_gated_on_module_presence():
+    """Scanning an unrelated module must not flag every absent metric."""
+    assert _hits("", module="repro.core.sieve") == []

@@ -10,11 +10,11 @@ def _findings(source):
 
 
 def test_clean_fixture_matches_registry(fixture_source):
-    assert _findings(fixture_source("svl005_schema.py")) == []
+    assert _findings(fixture_source("svl005_schema_ok.py")) == []
 
 
 def test_field_added_without_bump_flagged(fixture_source):
-    drifted = fixture_source("svl005_schema.py").replace(
+    drifted = fixture_source("svl005_schema_ok.py").replace(
         '"engine": result.engine,',
         '"engine": result.engine,\n        "hostname": result.hostname,',
     )
@@ -28,7 +28,7 @@ def test_field_added_without_bump_flagged(fixture_source):
 
 
 def test_field_removed_without_bump_flagged(fixture_source):
-    drifted = fixture_source("svl005_schema.py").replace(
+    drifted = fixture_source("svl005_schema_ok.py").replace(
         '        "wall_seconds": result.wall_seconds,\n', ""
     )
     findings = _findings(drifted)
@@ -37,7 +37,7 @@ def test_field_removed_without_bump_flagged(fixture_source):
 
 
 def test_version_bump_without_registry_update_flagged(fixture_source):
-    bumped = fixture_source("svl005_schema.py").replace(
+    bumped = fixture_source("svl005_schema_ok.py").replace(
         "SCHEMA_VERSION = 1", "SCHEMA_VERSION = 2"
     )
     findings = _findings(bumped)
@@ -51,7 +51,7 @@ def test_bump_plus_registry_is_the_documented_fix(fixture_source):
     # Field drift *with* a bump still flags until the registry entry is
     # updated — the registry is the second half of the contract.
     drifted = (
-        fixture_source("svl005_schema.py")
+        fixture_source("svl005_schema_ok.py")
         .replace("SCHEMA_VERSION = 1", "SCHEMA_VERSION = 2")
         .replace(
             '"engine": result.engine,',
@@ -64,7 +64,7 @@ def test_bump_plus_registry_is_the_documented_fix(fixture_source):
 
 def test_tracked_var_subscript_stores_extracted(fixture_source):
     # Removing a conditional subscript store counts as field removal.
-    drifted = fixture_source("svl005_schema.py").replace(
+    drifted = fixture_source("svl005_schema_ok.py").replace(
         '    if stats.degraded_seconds:\n'
         '        payload["degraded_seconds"] = stats.degraded_seconds\n',
         "",
@@ -75,7 +75,7 @@ def test_tracked_var_subscript_stores_extracted(fixture_source):
 
 
 def test_missing_symbol_reports_stale_registry(fixture_source):
-    gutted = fixture_source("svl005_schema.py").replace(
+    gutted = fixture_source("svl005_schema_ok.py").replace(
         "def result_to_dict", "def renamed_to_dict"
     )
     findings = _findings(gutted)
